@@ -1,0 +1,65 @@
+// Shared helpers for the experiment binaries (E1-E11, see DESIGN.md §5).
+#pragma once
+
+#include <cmath>
+
+#include <string>
+#include <vector>
+
+#include "baselines/block_schedulers.hpp"
+#include "core/lookahead.hpp"
+#include "machine/machine_model.hpp"
+#include "sim/lookahead_sim.hpp"
+#include "support/str.hpp"
+
+namespace ais::benchutil {
+
+/// Simulated completion of a trace graph under every scheduler, in a fixed
+/// order: anticipatory first, then the per-block baselines.
+struct SchedulerRow {
+  std::string name;
+  Time cycles = 0;
+};
+
+inline std::vector<SchedulerRow> compare_schedulers(const DepGraph& g,
+                                                    const MachineModel& machine,
+                                                    int window) {
+  std::vector<SchedulerRow> rows;
+
+  const RankScheduler scheduler(g, machine);
+  LookaheadOptions opts;
+  opts.window = window;
+  const LookaheadResult res = schedule_trace(scheduler, opts);
+  rows.push_back({"anticipatory",
+                  simulated_completion(g, machine, res.priority_list(),
+                                       window)});
+
+  for (const BlockScheduler kind :
+       {BlockScheduler::kRankDelayed, BlockScheduler::kRank,
+        BlockScheduler::kCriticalPathList, BlockScheduler::kGibbonsMuchnick,
+        BlockScheduler::kWarren, BlockScheduler::kSourceOrder}) {
+    const auto list = schedule_trace_per_block(g, machine, kind);
+    rows.push_back({block_scheduler_name(kind),
+                    simulated_completion(g, machine, list, window)});
+  }
+  return rows;
+}
+
+inline std::string fmt_time(Time t) { return std::to_string(t); }
+
+/// Geometric-mean-friendly accumulator for cycle ratios.
+class RatioMean {
+ public:
+  void add(double ratio) {
+    log_sum_ += std::log(ratio);
+    ++n_;
+  }
+  double geomean() const { return n_ == 0 ? 1.0 : std::exp(log_sum_ / n_); }
+  int count() const { return n_; }
+
+ private:
+  double log_sum_ = 0;
+  int n_ = 0;
+};
+
+}  // namespace ais::benchutil

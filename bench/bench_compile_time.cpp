@@ -1,0 +1,119 @@
+// E11: scheduler runtime scaling (google-benchmark).
+//
+// The paper defers empirical evaluation; §4.1 argues the deadline-relaxation
+// loop does not change the asymptotic cost.  This bench measures wall time
+// of the Rank Algorithm, Delay_Idle_Slots and full Algorithm Lookahead as
+// block / trace size grows.
+#include <algorithm>
+
+#include <benchmark/benchmark.h>
+
+#include "core/lookahead.hpp"
+#include "core/move_idle.hpp"
+#include "core/rank.hpp"
+#include "machine/machine_model.hpp"
+#include "workloads/random_graphs.hpp"
+
+namespace {
+
+using namespace ais;
+
+DepGraph make_block(int n) {
+  Prng prng(0xb10c + static_cast<std::uint64_t>(n));
+  RandomBlockParams params;
+  params.num_nodes = n;
+  params.edge_prob = 8.0 / n;  // constant average degree
+  return random_block(prng, params);
+}
+
+/// Narrow latency-rich block (deep layered chains): its schedules stall, so
+/// Delay_Idle_Slots and Chop actually do work (the interesting regime).
+DepGraph make_stalling_block(int n) {
+  Prng prng(0x57a1 + static_cast<std::uint64_t>(n));
+  RandomBlockParams params;
+  params.num_nodes = n;
+  params.layers = std::max(2, n / 2);
+  params.edge_prob = 0.8;
+  params.max_latency = 3;
+  return random_block(prng, params);
+}
+
+void BM_RankAlgorithm(benchmark::State& state) {
+  const DepGraph g = make_block(static_cast<int>(state.range(0)));
+  const MachineModel machine = scalar01();
+  const RankScheduler scheduler(g, machine);
+  const NodeSet all = NodeSet::all(g.num_nodes());
+  const DeadlineMap d = uniform_deadlines(g, huge_deadline(g, all));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.run(all, d, {}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RankAlgorithm)->RangeMultiplier(2)->Range(16, 512)->Complexity();
+
+void BM_DelayIdleSlots(benchmark::State& state) {
+  const DepGraph g = make_stalling_block(static_cast<int>(state.range(0)));
+  const MachineModel machine = deep_pipeline();
+  const RankScheduler scheduler(g, machine);
+  const NodeSet all = NodeSet::all(g.num_nodes());
+  DeadlineMap base = uniform_deadlines(g, huge_deadline(g, all));
+  RankResult r = scheduler.run(all, base, {});
+  for (const NodeId id : all.ids()) base[id] = r.makespan;
+  for (auto _ : state) {
+    DeadlineMap d = base;
+    Schedule s = r.schedule;
+    benchmark::DoNotOptimize(delay_idle_slots(scheduler, std::move(s), d, {}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DelayIdleSlots)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+// Two trace regimes: latency-rich blocks leave idle slots, so Chop emits
+// prefixes and keeps the live set bounded (the paper's intended, roughly
+// per-block-cost regime); dense stall-free blocks never produce a chop
+// point and the live set grows with the trace (degenerate worst case).
+void BM_LookaheadChoppable(benchmark::State& state) {
+  const int blocks = static_cast<int>(state.range(0));
+  Prng prng(0x7ace + static_cast<std::uint64_t>(blocks));
+  RandomTraceParams params;
+  params.num_blocks = blocks;
+  params.block.num_nodes = 12;
+  params.block.edge_prob = 0.35;
+  params.block.max_latency = 3;
+  params.cross_edges = 2;
+  const DepGraph g = random_trace(prng, params);
+  const MachineModel machine = deep_pipeline();
+  const RankScheduler scheduler(g, machine);
+  LookaheadOptions opts;
+  opts.window = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_trace(scheduler, opts));
+  }
+  state.SetComplexityN(blocks);
+}
+BENCHMARK(BM_LookaheadChoppable)
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Complexity();
+
+void BM_LookaheadDense(benchmark::State& state) {
+  const int blocks = static_cast<int>(state.range(0));
+  Prng prng(0x7ace + static_cast<std::uint64_t>(blocks));
+  RandomTraceParams params;
+  params.num_blocks = blocks;
+  params.block.num_nodes = 12;
+  params.block.edge_prob = 0.3;
+  params.cross_edges = 2;
+  const DepGraph g = random_trace(prng, params);
+  const MachineModel machine = scalar01();
+  const RankScheduler scheduler(g, machine);
+  LookaheadOptions opts;
+  opts.window = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_trace(scheduler, opts));
+  }
+  state.SetComplexityN(blocks);
+}
+BENCHMARK(BM_LookaheadDense)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+}  // namespace

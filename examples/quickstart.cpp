@@ -1,0 +1,72 @@
+// Quickstart: schedule a two-block trace anticipatorily and execute it on
+// the lookahead machine simulator.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks the whole public API surface: build IR from assembly text, derive
+// the dependence graph, run Algorithm Lookahead, check legality, and compare
+// the simulated completion time against a per-block baseline.
+#include <cstdio>
+
+#include "baselines/block_schedulers.hpp"
+#include "core/legality.hpp"
+#include "core/lookahead.hpp"
+#include "ir/asm_parser.hpp"
+#include "ir/depbuild.hpp"
+#include "machine/machine_model.hpp"
+#include "sim/lookahead_sim.hpp"
+
+int main() {
+  using namespace ais;
+
+  // 1. A two-block trace in the toy assembly.
+  const Program prog = parse_program(R"(
+    block entry:
+      LDU r6, a[r7+4]
+      LDU r8, b[r9+4]
+      MUL r10, r6, r8
+      CMP c1, r10, 0
+      BT  c1, exit
+    block body:
+      ADD r11, r10, r6
+      ADD r12, r11, r8
+      LD  r13, c[r12+0]
+      ST  d[r7+0], r13
+  )");
+  const Trace trace{prog.blocks};
+
+  // 2. Dependence graph under an RS/6000-flavoured machine model.
+  const MachineModel machine = rs6000_like();
+  const DepGraph g = build_trace_graph(trace, machine);
+  std::printf("trace: %zu instructions, %zu dependence edges\n\n",
+              g.num_nodes(), g.num_edges());
+
+  // 3. Anticipatory scheduling with a lookahead window of 4.
+  const int window = 4;
+  const RankScheduler scheduler(g, machine);
+  LookaheadOptions opts;
+  opts.window = window;
+  const LookaheadResult anticipatory = schedule_trace(scheduler, opts);
+
+  std::printf("emitted code (block boundaries preserved):\n");
+  for (std::size_t b = 0; b < anticipatory.per_block.size(); ++b) {
+    std::printf("  block %zu:\n", b);
+    for (const NodeId id : anticipatory.per_block[b]) {
+      std::printf("    %s\n", g.node(id).name.c_str());
+    }
+  }
+
+  // 4. Execute on the lookahead machine; compare with a classic per-block
+  // critical-path list scheduler.
+  const auto baseline = schedule_trace_per_block(
+      g, machine, BlockScheduler::kCriticalPathList);
+  const Time t_anticipatory =
+      simulated_completion(g, machine, anticipatory.priority_list(), window);
+  const Time t_baseline = simulated_completion(g, machine, baseline, window);
+  std::printf("\nsimulated completion (W = %d):\n", window);
+  std::printf("  anticipatory : %lld cycles\n",
+              static_cast<long long>(t_anticipatory));
+  std::printf("  cp-list      : %lld cycles\n",
+              static_cast<long long>(t_baseline));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Window explorer: how does the hardware lookahead window size change the
+// value of compile-time anticipation?
+//
+//   $ ./build/examples/window_explorer [--blocks 4] [--latency 3] [--seed 7]
+//
+// Generates a boundary-structured trace (every block ends with a
+// long-latency producer feeding the next block's critical chain), schedules
+// it anticipatorily and locally, and prints completion cycles for W = 1..16
+// — the crossover the paper describes: the compiler matters most when the
+// window is small.
+#include <cstdio>
+
+#include "baselines/block_schedulers.hpp"
+#include "core/lookahead.hpp"
+#include "machine/machine_model.hpp"
+#include "sim/lookahead_sim.hpp"
+#include "support/cli.hpp"
+#include "support/prng.hpp"
+#include "support/table.hpp"
+#include "workloads/random_graphs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ais;
+  const CliArgs args(argc, argv);
+
+  BoundaryTraceParams params;
+  params.num_blocks = static_cast<int>(args.get_int("blocks", 4));
+  params.boundary_latency = static_cast<int>(args.get_int("latency", 3));
+  Prng prng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
+  const DepGraph g = boundary_trace(prng, params);
+  const MachineModel machine = deep_pipeline();
+
+  std::printf("boundary trace: %d blocks, boundary latency %d, "
+              "%zu instructions, machine %s\n\n",
+              params.num_blocks, params.boundary_latency, g.num_nodes(),
+              machine.name().c_str());
+
+  const RankScheduler scheduler(g, machine);
+  TextTable t({"W", "anticipatory", "per-block rank", "source order",
+               "anticipatory win vs rank"});
+  for (const int w : {1, 2, 3, 4, 6, 8, 12, 16}) {
+    LookaheadOptions opts;
+    opts.window = w;
+    const LookaheadResult res = schedule_trace(scheduler, opts);
+    const Time ours =
+        simulated_completion(g, machine, res.priority_list(), w);
+    const Time rank = simulated_completion(
+        g, machine, schedule_trace_per_block(g, machine, BlockScheduler::kRank),
+        w);
+    const Time src = simulated_completion(
+        g, machine,
+        schedule_trace_per_block(g, machine, BlockScheduler::kSourceOrder), w);
+    char win[32];
+    std::snprintf(win, sizeof(win), "%+lld cycles",
+                  static_cast<long long>(rank - ours));
+    t.add_row({std::to_string(w), std::to_string(ours), std::to_string(rank),
+               std::to_string(src), win});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\nNote how the advantage of anticipatory scheduling shrinks "
+              "as the hardware window grows: with a large window the\n"
+              "processor discovers the same overlap dynamically, which is "
+              "exactly the interplay the paper studies.\n");
+  return 0;
+}

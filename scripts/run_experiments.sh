@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Regenerates every experiment (E1-E14) and mirrors the sweep data as CSV.
+#
+#   sh scripts/run_experiments.sh [BUILD_DIR] [OUT_DIR]
+set -eu
+
+BUILD=${1:-build}
+OUT=${2:-results}
+mkdir -p "$OUT"
+
+run() {
+  name=$1
+  shift
+  echo "===== $name ====="
+  "$BUILD/bench/$name" "$@"
+  echo
+}
+
+{
+  run bench_fig1_block
+  run bench_fig2_trace
+  run bench_fig3_loop
+  run bench_fig8_duality
+  run bench_window_sweep --csv "$OUT/window_sweep.csv"
+  run bench_trace_length --csv "$OUT/trace_length.csv"
+  run bench_general_machine --csv "$OUT/general_machine.csv"
+  run bench_loops
+  run bench_optimality
+  run bench_ablation
+  run bench_swp_postpass
+  run bench_renaming
+  run bench_memory_deps
+  run bench_compile_time --benchmark_min_time=0.2
+} | tee "$OUT/experiments.txt"
+
+echo "results written to $OUT/"

@@ -1,0 +1,182 @@
+#include "baselines/block_schedulers.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/lookahead.hpp"
+#include "core/move_idle.hpp"
+#include "graph/critpath.hpp"
+#include "support/assert.hpp"
+
+namespace ais {
+namespace {
+
+/// Immediate-successor count inside the block (Gibbons-Muchnick tie rule).
+std::vector<int> successor_counts(const DepGraph& g, const NodeSet& block) {
+  std::vector<int> count(g.num_nodes(), 0);
+  for (const NodeId id : block.ids()) {
+    for (const auto eidx : g.out_edges(id)) {
+      const DepEdge& e = g.edge(eidx);
+      if (e.distance == 0 && block.contains(e.to)) ++count[id];
+    }
+  }
+  return count;
+}
+
+/// Generic dynamic greedy: at each step pick the best *ready* node by the
+/// provided comparator; if none is ready, advance time.  Single ordering
+/// decision stream — the emitted order, not a timed schedule.
+template <typename Better>
+std::vector<NodeId> dynamic_greedy(const DepGraph& g, const NodeSet& block,
+                                   Better better) {
+  std::vector<NodeId> order;
+  std::vector<int> preds_left(g.num_nodes(), 0);
+  std::vector<Time> release(g.num_nodes(), 0);
+  for (const NodeId id : block.ids()) {
+    for (const auto eidx : g.in_edges(id)) {
+      const DepEdge& e = g.edge(eidx);
+      if (e.distance == 0 && block.contains(e.from)) ++preds_left[id];
+    }
+  }
+
+  const std::size_t n = block.size();
+  Time t = 0;
+  while (order.size() < n) {
+    NodeId chosen = kInvalidNode;
+    for (const NodeId id : block.ids()) {
+      if (preds_left[id] < 0) continue;  // already emitted
+      if (preds_left[id] > 0 || release[id] > t) continue;
+      if (chosen == kInvalidNode || better(id, chosen, t)) chosen = id;
+    }
+    if (chosen == kInvalidNode) {
+      ++t;
+      continue;
+    }
+    order.push_back(chosen);
+    const Time finish = t + g.node(chosen).exec_time;
+    preds_left[chosen] = -1;
+    for (const auto eidx : g.out_edges(chosen)) {
+      const DepEdge& e = g.edge(eidx);
+      if (e.distance != 0 || !block.contains(e.to)) continue;
+      --preds_left[e.to];
+      release[e.to] = std::max(release[e.to], finish + e.latency);
+    }
+    t = finish;
+  }
+  return order;
+}
+
+std::vector<NodeId> rank_order(const DepGraph& g, const MachineModel& machine,
+                               const NodeSet& block, bool delay) {
+  const RankScheduler scheduler(g, machine);
+  DeadlineMap d = uniform_deadlines(g, huge_deadline(g, block));
+  RankResult r = scheduler.run(block, d, {});
+  AIS_CHECK(r.feasible, "unconstrained block schedule must be feasible");
+  Schedule s = std::move(r.schedule);
+  if (delay) {
+    for (const NodeId id : block.ids()) d[id] = r.makespan;
+    s = delay_idle_slots(scheduler, std::move(s), d, {});
+  }
+  return s.permutation();
+}
+
+}  // namespace
+
+const char* block_scheduler_name(BlockScheduler s) {
+  switch (s) {
+    case BlockScheduler::kSourceOrder: return "source-order";
+    case BlockScheduler::kCriticalPathList: return "cp-list";
+    case BlockScheduler::kGibbonsMuchnick: return "gibbons-muchnick";
+    case BlockScheduler::kWarren: return "warren";
+    case BlockScheduler::kRank: return "rank";
+    case BlockScheduler::kRankDelayed: return "rank+delay";
+  }
+  return "?";
+}
+
+std::vector<NodeId> schedule_block(const DepGraph& g,
+                                   const MachineModel& machine,
+                                   const NodeSet& block, BlockScheduler kind) {
+  switch (kind) {
+    case BlockScheduler::kSourceOrder:
+      return block.ids();  // ascending id = original program order
+
+    case BlockScheduler::kCriticalPathList: {
+      const auto cp = critical_path_lengths(g, block);
+      return dynamic_greedy(g, block, [&cp](NodeId a, NodeId b, Time) {
+        return std::make_tuple(-cp[a], a) < std::make_tuple(-cp[b], b);
+      });
+    }
+
+    case BlockScheduler::kGibbonsMuchnick: {
+      const auto cp = critical_path_lengths(g, block);
+      const auto succs = successor_counts(g, block);
+      // Interlock avoidance: prefer a candidate whose predecessors' results
+      // are already "old" (release strictly below the current decision time
+      // would require the release table; approximate with: avoid candidates
+      // that have an outgoing latency edge only as a *tie* consideration is
+      // the original's secondary rule — here we order by (more successors,
+      // longer critical path, program order)).
+      return dynamic_greedy(g, block, [&](NodeId a, NodeId b, Time) {
+        return std::make_tuple(-succs[a], -cp[a], a) <
+               std::make_tuple(-succs[b], -cp[b], b);
+      });
+    }
+
+    case BlockScheduler::kWarren: {
+      // Static priority list (critical path, then original position); the
+      // emitted order is the highest-priority dependence-ready node at each
+      // step, *without* modelling latencies — one-pass prioritized greedy,
+      // leaving interlocks to the hardware.
+      const auto cp = critical_path_lengths(g, block);
+      std::vector<NodeId> order;
+      std::vector<int> preds_left(g.num_nodes(), 0);
+      for (const NodeId id : block.ids()) {
+        for (const auto eidx : g.in_edges(id)) {
+          const DepEdge& e = g.edge(eidx);
+          if (e.distance == 0 && block.contains(e.from)) ++preds_left[id];
+        }
+      }
+      while (order.size() < block.size()) {
+        NodeId chosen = kInvalidNode;
+        for (const NodeId id : block.ids()) {
+          if (preds_left[id] != 0) continue;
+          if (chosen == kInvalidNode ||
+              std::make_tuple(-cp[id], id) < std::make_tuple(-cp[chosen],
+                                                             chosen)) {
+            chosen = id;
+          }
+        }
+        AIS_CHECK(chosen != kInvalidNode, "block graph has a cycle");
+        order.push_back(chosen);
+        preds_left[chosen] = -1;
+        for (const auto eidx : g.out_edges(chosen)) {
+          const DepEdge& e = g.edge(eidx);
+          if (e.distance == 0 && block.contains(e.to)) --preds_left[e.to];
+        }
+      }
+      return order;
+    }
+
+    case BlockScheduler::kRank:
+      return rank_order(g, machine, block, /*delay=*/false);
+    case BlockScheduler::kRankDelayed:
+      return rank_order(g, machine, block, /*delay=*/true);
+  }
+  AIS_CHECK(false, "unknown block scheduler");
+  return {};
+}
+
+std::vector<NodeId> schedule_trace_per_block(const DepGraph& g,
+                                             const MachineModel& machine,
+                                             BlockScheduler kind) {
+  std::vector<NodeId> list;
+  for (const NodeSet& block : blocks_of(g)) {
+    if (block.empty()) continue;
+    const auto order = schedule_block(g, machine, block, kind);
+    list.insert(list.end(), order.begin(), order.end());
+  }
+  return list;
+}
+
+}  // namespace ais

@@ -1,0 +1,56 @@
+// Baseline block schedulers the paper positions itself against (§6).
+//
+// Each baseline produces a per-block instruction order *without* looking
+// across block boundaries; anticipatory scheduling is compared against them
+// by executing both on the same lookahead machine.  All baselines honor the
+// same dependence graph and machine model.
+//
+//  * CP list scheduling: classic greedy by longest latency-weighted path to
+//    a sink (highest level first) — the textbook local scheduler.
+//  * Gibbons-Muchnick: greedy that prefers a ready instruction that does not
+//    interlock with the just-issued one, breaking ties by number of
+//    immediate successors, then by critical path (their §"heuristics",
+//    simplified to our machine model).
+//  * Warren (RS/6000 product compiler): one-pass greedy over a static
+//    priority list ordered by critical path, then earliest original
+//    position (simplified rendition of prioritized greedy scheduling).
+//  * Per-block Rank: the Rank Algorithm run on each block in isolation —
+//    block-optimal in the restricted case but lookahead-oblivious.
+//  * Per-block Rank + Delay: Rank followed by Delay_Idle_Slots per block,
+//    the paper's "simple application" when no trace information exists.
+//  * Source order: the unscheduled input order (sanity floor).
+#pragma once
+
+#include <vector>
+
+#include "core/rank.hpp"
+#include "graph/depgraph.hpp"
+#include "graph/nodeset.hpp"
+#include "machine/machine_model.hpp"
+
+namespace ais {
+
+enum class BlockScheduler {
+  kSourceOrder,
+  kCriticalPathList,
+  kGibbonsMuchnick,
+  kWarren,
+  kRank,
+  kRankDelayed,
+};
+
+const char* block_scheduler_name(BlockScheduler s);
+
+/// Orders the nodes of one block (`block` ⊆ g's nodes) for emission.
+/// Only distance-0 edges inside `block` are considered.
+std::vector<NodeId> schedule_block(const DepGraph& g,
+                                   const MachineModel& machine,
+                                   const NodeSet& block, BlockScheduler kind);
+
+/// Applies `kind` to every block of a trace graph and concatenates the
+/// per-block orders into the priority list the hardware executes.
+std::vector<NodeId> schedule_trace_per_block(const DepGraph& g,
+                                             const MachineModel& machine,
+                                             BlockScheduler kind);
+
+}  // namespace ais

@@ -1,0 +1,235 @@
+#include "baselines/bruteforce.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "core/lookahead.hpp"
+#include "graph/critpath.hpp"
+#include "sim/lookahead_sim.hpp"
+#include "sim/loop_sim.hpp"
+#include "support/assert.hpp"
+
+namespace ais {
+namespace {
+
+/// DFS state for the single-unit branch-and-bound.
+struct Bnb {
+  const DepGraph& g;
+  std::vector<NodeId> members;         // block nodes
+  std::vector<std::size_t> index_of;   // NodeId -> position in members
+  std::vector<Time> cp;                // critical path lengths
+  Time best = std::numeric_limits<Time>::max();
+
+  // Mutable DFS state.
+  std::vector<Time> finish;  // completion per member; -1 = unscheduled
+  std::vector<int> preds_left;
+  Time remaining_work = 0;
+
+  explicit Bnb(const DepGraph& graph, const NodeSet& block)
+      : g(graph),
+        members(block.ids()),
+        index_of(graph.num_nodes(), 0),
+        finish(block.size(), -1),
+        preds_left(block.size(), 0) {
+    AIS_CHECK(members.size() <= 20, "brute force limited to small blocks");
+    const auto cp_all = critical_path_lengths(graph, block);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      index_of[members[i]] = i;
+      cp.push_back(cp_all[members[i]]);
+      remaining_work += graph.node(members[i]).exec_time;
+      for (const auto eidx : graph.in_edges(members[i])) {
+        const DepEdge& e = graph.edge(eidx);
+        if (e.distance == 0 && block.contains(e.from)) ++preds_left[i];
+      }
+    }
+  }
+
+  /// Earliest dependence-legal start of member i given current finishes.
+  Time release(std::size_t i) const {
+    Time r = 0;
+    for (const auto eidx : g.in_edges(members[i])) {
+      const DepEdge& e = g.edge(eidx);
+      if (e.distance != 0) continue;
+      const auto from_it =
+          std::find(members.begin(), members.end(), e.from);
+      if (from_it == members.end()) continue;
+      const std::size_t j = static_cast<std::size_t>(from_it - members.begin());
+      AIS_CHECK(finish[j] >= 0, "release queried before predecessor done");
+      r = std::max(r, finish[j] + e.latency);
+    }
+    return r;
+  }
+
+  void dfs(Time t, std::size_t scheduled) {
+    if (scheduled == members.size()) {
+      best = std::min(best, t);
+      return;
+    }
+    // Lower bounds: serial work, and longest remaining critical path.
+    Time cp_bound = 0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (finish[i] < 0 && preds_left[i] == 0) {
+        cp_bound = std::max(cp_bound, std::max(t, release(i)) + cp[i]);
+      }
+    }
+    if (std::max(t + remaining_work, cp_bound) >= best) return;
+
+    // Candidate decisions at time t: any available node whose release <= t,
+    // or idle until the next release.
+    Time next_release = std::numeric_limits<Time>::max();
+    bool issued_any = false;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (finish[i] >= 0 || preds_left[i] != 0) continue;
+      const Time r = release(i);
+      if (r > t) {
+        next_release = std::min(next_release, r);
+        continue;
+      }
+      // Issue member i at t.
+      const Time f = t + g.node(members[i]).exec_time;
+      finish[i] = f;
+      remaining_work -= g.node(members[i]).exec_time;
+      for (const auto eidx : g.out_edges(members[i])) {
+        const DepEdge& e = g.edge(eidx);
+        if (e.distance != 0) continue;
+        const auto to_it = std::find(members.begin(), members.end(), e.to);
+        if (to_it != members.end()) {
+          --preds_left[static_cast<std::size_t>(to_it - members.begin())];
+        }
+      }
+      dfs(f, scheduled + 1);
+      for (const auto eidx : g.out_edges(members[i])) {
+        const DepEdge& e = g.edge(eidx);
+        if (e.distance != 0) continue;
+        const auto to_it = std::find(members.begin(), members.end(), e.to);
+        if (to_it != members.end()) {
+          ++preds_left[static_cast<std::size_t>(to_it - members.begin())];
+        }
+      }
+      remaining_work += g.node(members[i]).exec_time;
+      finish[i] = -1;
+      issued_any = true;
+    }
+    // Deliberate idling is only useful when some node is pending release.
+    if (next_release != std::numeric_limits<Time>::max()) {
+      dfs(next_release, scheduled);
+    } else {
+      AIS_CHECK(issued_any || scheduled == members.size(),
+                "deadlocked brute-force state");
+    }
+  }
+};
+
+/// Enumerates topological orders of `block`, invoking fn(order); returns
+/// false if more than `cap` orders would be generated.
+bool for_each_topo_order(const DepGraph& g, const NodeSet& block,
+                         std::size_t cap,
+                         const std::function<void(const std::vector<NodeId>&)>& fn) {
+  std::vector<NodeId> members = block.ids();
+  std::vector<int> preds_left(g.num_nodes(), 0);
+  for (const NodeId id : members) {
+    for (const auto eidx : g.in_edges(id)) {
+      const DepEdge& e = g.edge(eidx);
+      if (e.distance == 0 && block.contains(e.from)) ++preds_left[id];
+    }
+  }
+  std::vector<NodeId> order;
+  std::size_t produced = 0;
+  bool ok = true;
+
+  std::function<void()> rec = [&]() {
+    if (!ok) return;
+    if (order.size() == members.size()) {
+      if (++produced > cap) {
+        ok = false;
+        return;
+      }
+      fn(order);
+      return;
+    }
+    for (const NodeId id : members) {
+      if (preds_left[id] != 0) continue;
+      preds_left[id] = -1;
+      order.push_back(id);
+      for (const auto eidx : g.out_edges(id)) {
+        const DepEdge& e = g.edge(eidx);
+        if (e.distance == 0 && block.contains(e.to)) --preds_left[e.to];
+      }
+      rec();
+      for (const auto eidx : g.out_edges(id)) {
+        const DepEdge& e = g.edge(eidx);
+        if (e.distance == 0 && block.contains(e.to)) ++preds_left[e.to];
+      }
+      order.pop_back();
+      preds_left[id] = 0;
+      if (!ok) return;
+    }
+  };
+  rec();
+  return ok;
+}
+
+}  // namespace
+
+Time optimal_block_makespan(const DepGraph& g, const NodeSet& block) {
+  if (block.empty()) return 0;
+  Bnb bnb(g, block);
+  bnb.dfs(0, 0);
+  return bnb.best;
+}
+
+Time optimal_trace_completion(const DepGraph& g, const MachineModel& machine,
+                              int window, std::size_t enumeration_cap) {
+  const std::vector<NodeSet> blocks = blocks_of(g);
+
+  // Enumerate per-block topological orders, then take the cartesian product.
+  std::vector<std::vector<std::vector<NodeId>>> options;
+  std::size_t combinations = 1;
+  for (const NodeSet& block : blocks) {
+    std::vector<std::vector<NodeId>> orders;
+    if (!for_each_topo_order(
+            g, block, enumeration_cap,
+            [&orders](const std::vector<NodeId>& o) { orders.push_back(o); })) {
+      return -1;
+    }
+    if (orders.empty()) orders.push_back({});
+    combinations *= orders.size();
+    if (combinations > enumeration_cap) return -1;
+    options.push_back(std::move(orders));
+  }
+
+  Time best = std::numeric_limits<Time>::max();
+  std::vector<std::size_t> pick(options.size(), 0);
+  while (true) {
+    std::vector<NodeId> list;
+    for (std::size_t b = 0; b < options.size(); ++b) {
+      const auto& o = options[b][pick[b]];
+      list.insert(list.end(), o.begin(), o.end());
+    }
+    best = std::min(best, simulated_completion(g, machine, list, window));
+
+    std::size_t b = 0;
+    while (b < options.size() && ++pick[b] == options[b].size()) {
+      pick[b] = 0;
+      ++b;
+    }
+    if (b == options.size()) break;
+  }
+  return best;
+}
+
+double optimal_loop_period(const DepGraph& g, const MachineModel& machine,
+                           int window, int iterations,
+                           std::size_t enumeration_cap) {
+  const NodeSet all = NodeSet::all(g.num_nodes());
+  double best = std::numeric_limits<double>::infinity();
+  const bool ok = for_each_topo_order(
+      g, all, enumeration_cap, [&](const std::vector<NodeId>& order) {
+        best = std::min(best, steady_state_period(g, machine, order, window,
+                                                  iterations));
+      });
+  return ok ? best : -1.0;
+}
+
+}  // namespace ais

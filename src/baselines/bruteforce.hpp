@@ -1,0 +1,36 @@
+// Exhaustive optima for small instances: the ground truth behind the
+// optimality claims (§4.1) and the property-test oracle.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/depgraph.hpp"
+#include "graph/nodeset.hpp"
+#include "machine/machine_model.hpp"
+
+namespace ais {
+
+/// Minimum makespan of `block` on a *single unit* machine (arbitrary
+/// latencies and execution times) by branch-and-bound over issue decisions,
+/// including deliberate idling.  Intended for |block| <= ~14.
+Time optimal_block_makespan(const DepGraph& g, const NodeSet& block);
+
+/// Minimum *simulated* completion time over all per-block instruction
+/// orders of a trace executed with lookahead window `window`: the true
+/// anticipatory-scheduling optimum.  Enumerates every combination of block
+/// permutations (topological ones only); intended for tiny traces
+/// (product of per-block topological orders <= `enumeration_cap`).
+/// Returns -1 if the cap would be exceeded.
+Time optimal_trace_completion(const DepGraph& g, const MachineModel& machine,
+                              int window,
+                              std::size_t enumeration_cap = 2000000);
+
+/// Minimum steady-state period over all single-block loop orders, measured
+/// by the loop simulator with `iterations` runs.  Same enumeration cap
+/// semantics as optimal_trace_completion; returns -1.0 when exceeded.
+double optimal_loop_period(const DepGraph& g, const MachineModel& machine,
+                           int window, int iterations = 32,
+                           std::size_t enumeration_cap = 500000);
+
+}  // namespace ais

@@ -1,0 +1,115 @@
+#include "cfg/cfg.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace ais {
+
+Cfg::Cfg(const Program& prog, double entry_weight)
+    : prog_(prog),
+      taken_probability_(prog.blocks.size(),
+                         std::numeric_limits<double>::quiet_NaN()),
+      entry_weight_(entry_weight) {
+  AIS_CHECK(!prog_.blocks.empty(), "CFG needs at least one block");
+  for (BlockId id = 0; id < static_cast<BlockId>(prog_.blocks.size()); ++id) {
+    const BasicBlock& bb = prog_.blocks[static_cast<std::size_t>(id)];
+    const Instruction* last = bb.insts.empty() ? nullptr : &bb.insts.back();
+    const bool has_branch = last != nullptr && last->is_branch();
+    const bool conditional =
+        has_branch && (last->op == Opcode::kBt || last->op == Opcode::kBf);
+
+    if (has_branch) {
+      const BlockId target = find_label(last->target);
+      if (target != kNoBlock) {
+        edges_.push_back(CfgEdge{id, target, 0, /*taken=*/true});
+      }
+    }
+    const bool falls_through =
+        (!has_branch || conditional) &&
+        id + 1 < static_cast<BlockId>(prog_.blocks.size());
+    if (falls_through) {
+      edges_.push_back(CfgEdge{id, id + 1, 0, /*taken=*/false});
+    }
+    if (conditional) taken_probability_[static_cast<std::size_t>(id)] = 0.5;
+  }
+  recompute_weights();
+}
+
+const BasicBlock& Cfg::block(BlockId id) const {
+  AIS_CHECK(id >= 0 && id < static_cast<BlockId>(prog_.blocks.size()),
+            "block id out of range");
+  return prog_.blocks[static_cast<std::size_t>(id)];
+}
+
+BlockId Cfg::find_label(const std::string& label) const {
+  for (BlockId id = 0; id < static_cast<BlockId>(prog_.blocks.size()); ++id) {
+    if (prog_.blocks[static_cast<std::size_t>(id)].label == label) return id;
+  }
+  return kNoBlock;
+}
+
+std::vector<CfgEdge> Cfg::out_edges(BlockId id) const {
+  std::vector<CfgEdge> out;
+  for (const CfgEdge& e : edges_) {
+    if (e.from == id) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<CfgEdge> Cfg::in_edges(BlockId id) const {
+  std::vector<CfgEdge> in;
+  for (const CfgEdge& e : edges_) {
+    if (e.to == id) in.push_back(e);
+  }
+  return in;
+}
+
+void Cfg::set_branch_probability(BlockId id, double taken_probability) {
+  AIS_CHECK(id >= 0 && id < static_cast<BlockId>(prog_.blocks.size()),
+            "block id out of range");
+  AIS_CHECK(taken_probability >= 0 && taken_probability <= 1,
+            "probability out of range");
+  AIS_CHECK(!std::isnan(taken_probability_[static_cast<std::size_t>(id)]),
+            "block has no conditional branch");
+  taken_probability_[static_cast<std::size_t>(id)] = taken_probability;
+  recompute_weights();
+}
+
+double Cfg::block_weight(BlockId id) const {
+  double w = (id == 0) ? entry_weight_ : 0;
+  for (const CfgEdge& e : edges_) {
+    if (e.to == id) w += e.weight;
+  }
+  return w;
+}
+
+void Cfg::recompute_weights() {
+  // Forward-only propagation: weights flow along forward edges in block
+  // order; back edges receive weight but do not re-inject it (keeps the
+  // estimate finite for loops — relative magnitudes are all the trace
+  // selector needs).
+  std::vector<double> in_weight(prog_.blocks.size(), 0);
+  in_weight[0] = entry_weight_;
+  for (BlockId id = 0; id < static_cast<BlockId>(prog_.blocks.size()); ++id) {
+    const double w = in_weight[static_cast<std::size_t>(id)];
+    std::vector<std::size_t> out_idx;
+    for (std::size_t k = 0; k < edges_.size(); ++k) {
+      if (edges_[k].from == id) out_idx.push_back(k);
+    }
+    const double p = taken_probability_[static_cast<std::size_t>(id)];
+    for (const std::size_t k : out_idx) {
+      CfgEdge& e = edges_[k];
+      double share = 1.0;
+      if (out_idx.size() > 1) {
+        AIS_CHECK(!std::isnan(p), "multiple successors need a conditional");
+        share = e.taken ? p : 1.0 - p;
+      }
+      e.weight = w * share;
+      if (e.to > id) in_weight[static_cast<std::size_t>(e.to)] += e.weight;
+    }
+  }
+}
+
+}  // namespace ais

@@ -1,0 +1,69 @@
+// Control-flow graph over toy-IR programs, with edge execution profiles.
+//
+// The paper's unit of work is a *trace*: "a sequence of basic blocks
+// obtained by following a simple path in the program's control flow graph"
+// (footnote 2), selected by profiling as in Fisher's trace scheduling (§6).
+// This module builds the CFG from a Program and carries the profile the
+// trace selector consumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/asm_parser.hpp"
+#include "ir/instruction.hpp"
+
+namespace ais {
+
+using BlockId = int;
+inline constexpr BlockId kNoBlock = -1;
+
+struct CfgEdge {
+  BlockId from = kNoBlock;
+  BlockId to = kNoBlock;
+  /// Execution frequency (profile weight); defaults split conditional
+  /// branches 50/50 until a profile is applied.
+  double weight = 0;
+  /// True for the branch-taken edge, false for fall-through.
+  bool taken = false;
+};
+
+class Cfg {
+ public:
+  /// Builds the CFG of `prog`:
+  ///  * a conditional branch adds a taken edge to its target label and a
+  ///    fall-through edge to the next block,
+  ///  * an unconditional branch adds only the taken edge,
+  ///  * a block without a branch falls through.
+  /// Entry is block 0 with weight `entry_weight`; edge weights propagate by
+  /// splitting each block's weight across its successors (50/50 for
+  /// conditionals) until overridden by set_branch_probability.
+  explicit Cfg(const Program& prog, double entry_weight = 100.0);
+
+  std::size_t num_blocks() const { return prog_.blocks.size(); }
+  const BasicBlock& block(BlockId id) const;
+  const Program& program() const { return prog_; }
+
+  BlockId find_label(const std::string& label) const;
+
+  const std::vector<CfgEdge>& edges() const { return edges_; }
+  std::vector<CfgEdge> out_edges(BlockId id) const;
+  std::vector<CfgEdge> in_edges(BlockId id) const;
+
+  /// Sets the probability of taking block `id`'s conditional branch and
+  /// recomputes all edge weights by propagation from the entry.
+  void set_branch_probability(BlockId id, double taken_probability);
+
+  /// Total profile weight entering `id`.
+  double block_weight(BlockId id) const;
+
+ private:
+  void recompute_weights();
+
+  Program prog_;
+  std::vector<CfgEdge> edges_;
+  std::vector<double> taken_probability_;  // per block; NaN = no conditional
+  double entry_weight_;
+};
+
+}  // namespace ais

@@ -1,0 +1,84 @@
+#include "cfg/trace_select.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "support/assert.hpp"
+
+namespace ais {
+namespace {
+
+/// Heaviest outgoing edge of `id`, or nullopt.
+std::optional<CfgEdge> best_out(const Cfg& cfg, BlockId id) {
+  std::optional<CfgEdge> best;
+  for (const CfgEdge& e : cfg.out_edges(id)) {
+    if (!best || e.weight > best->weight) best = e;
+  }
+  return best;
+}
+
+std::optional<CfgEdge> best_in(const Cfg& cfg, BlockId id) {
+  std::optional<CfgEdge> best;
+  for (const CfgEdge& e : cfg.in_edges(id)) {
+    if (!best || e.weight > best->weight) best = e;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<SelectedTrace> select_traces(const Cfg& cfg) {
+  const std::size_t n = cfg.num_blocks();
+  std::vector<bool> visited(n, false);
+
+  // Seeds in decreasing weight order (ties: program order).
+  std::vector<BlockId> seeds;
+  for (BlockId id = 0; id < static_cast<BlockId>(n); ++id) seeds.push_back(id);
+  std::stable_sort(seeds.begin(), seeds.end(), [&cfg](BlockId a, BlockId b) {
+    return cfg.block_weight(a) > cfg.block_weight(b);
+  });
+
+  std::vector<SelectedTrace> traces;
+  for (const BlockId seed : seeds) {
+    if (visited[static_cast<std::size_t>(seed)]) continue;
+    SelectedTrace trace;
+    trace.weight = cfg.block_weight(seed);
+    trace.blocks = {seed};
+    visited[static_cast<std::size_t>(seed)] = true;
+
+    // Grow forward.
+    BlockId cur = seed;
+    while (true) {
+      const auto out = best_out(cfg, cur);
+      if (!out || visited[static_cast<std::size_t>(out->to)]) break;
+      const auto in = best_in(cfg, out->to);
+      // Mutual most likely: our edge must also be the target's best entry.
+      if (!in || in->from != cur) break;
+      cur = out->to;
+      trace.blocks.push_back(cur);
+      visited[static_cast<std::size_t>(cur)] = true;
+    }
+    // Grow backward.
+    cur = seed;
+    while (true) {
+      const auto in = best_in(cfg, cur);
+      if (!in || visited[static_cast<std::size_t>(in->from)]) break;
+      const auto out = best_out(cfg, in->from);
+      if (!out || out->to != cur) break;
+      cur = in->from;
+      trace.blocks.insert(trace.blocks.begin(), cur);
+      visited[static_cast<std::size_t>(cur)] = true;
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+Trace materialize(const Cfg& cfg, const SelectedTrace& trace) {
+  Trace out;
+  for (const BlockId id : trace.blocks) out.blocks.push_back(cfg.block(id));
+  AIS_CHECK(!out.blocks.empty(), "empty trace");
+  return out;
+}
+
+}  // namespace ais

@@ -1,0 +1,31 @@
+// Profile-guided trace selection (Fisher's mutual-most-likely heuristic).
+//
+// Partitions the CFG's blocks into traces: starting from the heaviest
+// unvisited block, a trace grows forward along the most likely outgoing
+// edge — but only if that edge is also the most likely *incoming* edge of
+// its target (mutual most likely) and the target is unvisited — and then
+// grows backward symmetrically.  Every block lands in exactly one trace.
+// Traces feed Algorithm Lookahead; code layout (block order in the emitted
+// program) is never changed, preserving the paper's serviceability claim.
+#pragma once
+
+#include <vector>
+
+#include "cfg/cfg.hpp"
+
+namespace ais {
+
+struct SelectedTrace {
+  /// Block ids along the trace, in control-flow order.
+  std::vector<BlockId> blocks;
+  /// Profile weight of the trace's seed block.
+  double weight = 0;
+};
+
+/// Partitions all blocks into traces, heaviest seed first.
+std::vector<SelectedTrace> select_traces(const Cfg& cfg);
+
+/// Materializes a selected trace as scheduling input.
+Trace materialize(const Cfg& cfg, const SelectedTrace& trace);
+
+}  // namespace ais

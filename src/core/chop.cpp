@@ -1,0 +1,78 @@
+#include "core/chop.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace ais {
+
+ChopResult chop(const Schedule& s, DeadlineMap& deadlines, int window) {
+  AIS_CHECK(window >= 1, "window must be positive");
+  const DepGraph& g = s.graph();
+  const std::vector<NodeId> perm = s.permutation();
+
+  ChopResult keep_all(g.num_nodes());
+  for (const NodeId id : perm) keep_all.suffix.insert(id);
+  keep_all.suffix_makespan = s.makespan();
+
+  if (perm.size() < static_cast<std::size_t>(window)) return keep_all;
+
+  // Candidate split times: cycles where every unit is idle.  On a single
+  // unit this is exactly the paper's idle-slot set; on multiple units it is
+  // the safe generalization (no instruction spans the split).
+  std::vector<Time> candidates;
+  {
+    std::vector<std::vector<Time>> per_unit;
+    for (int u = 0; u < s.total_units(); ++u) {
+      per_unit.push_back(s.idle_times(u));
+    }
+    for (const Time t : per_unit[0]) {
+      bool all_idle = true;
+      for (int u = 1; u < s.total_units(); ++u) {
+        if (!std::binary_search(per_unit[static_cast<std::size_t>(u)].begin(),
+                                per_unit[static_cast<std::size_t>(u)].end(),
+                                t)) {
+          all_idle = false;
+          break;
+        }
+      }
+      if (all_idle) candidates.push_back(t);
+    }
+  }
+  if (candidates.empty()) return keep_all;
+
+  // Largest t_j with at least W nodes starting after it — the slot is then
+  // out of reach of any future instruction: a later-block node filling it
+  // would form an inversion spanning >= W + 1 list positions.  (The paper's
+  // prose, "the last idle slot prior to the last W nodes in S"; its
+  // pseudocode says W-1, which is off by one — with only W-1 nodes after
+  // the slot a future node can still legally fill it, see
+  // tests/test_baselines.cpp LookaheadOptimality.)
+  Time split = -1;
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    std::size_t after = 0;
+    for (const NodeId id : perm) {
+      if (s.start(id) > *it) ++after;
+    }
+    if (after >= static_cast<std::size_t>(window)) {
+      split = *it;
+      break;
+    }
+  }
+  if (split < 0) return keep_all;
+
+  ChopResult result(g.num_nodes());
+  for (const NodeId id : perm) {
+    if (s.start(id) < split) {
+      result.emitted.push_back(id);
+    } else {
+      AIS_CHECK(s.start(id) > split, "node scheduled inside the idle split");
+      result.suffix.insert(id);
+    }
+  }
+  shift_deadlines(deadlines, result.suffix, split + 1);
+  result.suffix_makespan = s.makespan() - (split + 1);
+  return result;
+}
+
+}  // namespace ais

@@ -1,0 +1,40 @@
+// Procedure Chop (paper Fig. 6).
+//
+// Splits a merged schedule S into a prefix S- that can be emitted
+// immediately (no future block can improve it) and a suffix S+ that stays
+// live for merging with the next block.  The split point is the last idle
+// slot t_j "prior to the last W nodes" of S — i.e. with at least W nodes
+// after it: the slot (and everything before it) is then out of reach of a
+// W-instruction lookahead window.  Deadlines of suffix nodes are rebased by
+// t_j + 1 so the suffix schedule starts at time 0.
+//
+// Per the paper: when S has no idle slot, has fewer than W nodes, or no idle
+// slot has W-1 nodes behind it, everything is retained (S- is empty) —
+// latency edges into the next block may still create fillable idle time
+// near the boundary.
+#pragma once
+
+#include <vector>
+
+#include "core/deadlines.hpp"
+#include "core/schedule.hpp"
+
+namespace ais {
+
+struct ChopResult {
+  /// Emitted nodes, in schedule order (possibly empty).
+  std::vector<NodeId> emitted;
+  /// Retained suffix node set.
+  NodeSet suffix;
+  /// Makespan of the (rebased) suffix schedule: the "T_old" input of the
+  /// next merge.
+  Time suffix_makespan = 0;
+
+  explicit ChopResult(std::size_t domain) : suffix(domain) {}
+};
+
+/// Chops single-unit schedule `s`; rebases `deadlines` of suffix nodes in
+/// place.  `window` is the hardware lookahead window size W.
+ChopResult chop(const Schedule& s, DeadlineMap& deadlines, int window);
+
+}  // namespace ais

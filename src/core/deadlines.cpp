@@ -1,0 +1,29 @@
+#include "core/deadlines.hpp"
+
+#include <algorithm>
+
+namespace ais {
+
+Time huge_deadline(const DepGraph& g, const NodeSet& active) {
+  // Any schedule of the active nodes completes within total work plus the
+  // worst idle stretch per node; (latency + exec) per node is a safe bound.
+  Time bound = 1;
+  for (const NodeId id : active.ids()) {
+    bound += g.node(id).exec_time + g.max_latency();
+  }
+  return bound;
+}
+
+DeadlineMap uniform_deadlines(const DepGraph& g, Time d) {
+  return DeadlineMap(g.num_nodes(), d);
+}
+
+void shift_deadlines(DeadlineMap& d, const NodeSet& subset, Time delta) {
+  for (const NodeId id : subset.ids()) d[id] -= delta;
+}
+
+void cap_deadlines(DeadlineMap& d, const NodeSet& subset, Time cap) {
+  for (const NodeId id : subset.ids()) d[id] = std::min(d[id], cap);
+}
+
+}  // namespace ais

@@ -1,0 +1,33 @@
+// Deadline maps for the Rank Algorithm.
+//
+// The paper drives every transformation (idle-slot motion, merging, chopping)
+// through deadline assignment: nodes start with a single artificially large
+// deadline D and the algorithms tighten / rebase per-node deadlines.
+#pragma once
+
+#include <vector>
+
+#include "graph/depgraph.hpp"
+#include "graph/nodeset.hpp"
+
+namespace ais {
+
+/// Per-node deadlines, indexed by NodeId.  Entries of inactive nodes are
+/// ignored by the scheduler.
+using DeadlineMap = std::vector<Time>;
+
+/// A "sufficiently large" artificial deadline for `active` nodes of `g`:
+/// big enough never to constrain any schedule of the set (paper §2.1), small
+/// enough to keep printed ranks readable.
+Time huge_deadline(const DepGraph& g, const NodeSet& active);
+
+/// DeadlineMap with every entry = `d`.
+DeadlineMap uniform_deadlines(const DepGraph& g, Time d);
+
+/// Subtracts `delta` from the deadline of every node in `subset`.
+void shift_deadlines(DeadlineMap& d, const NodeSet& subset, Time delta);
+
+/// d[id] = min(d[id], cap) for every node in `subset`.
+void cap_deadlines(DeadlineMap& d, const NodeSet& subset, Time cap);
+
+}  // namespace ais

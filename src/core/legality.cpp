@@ -1,0 +1,80 @@
+#include "core/legality.hpp"
+
+#include "support/assert.hpp"
+
+namespace ais {
+
+std::vector<std::vector<NodeId>> subpermutations(
+    const DepGraph& g, const std::vector<NodeId>& perm, int num_blocks) {
+  std::vector<std::vector<NodeId>> subs(static_cast<std::size_t>(num_blocks));
+  for (const NodeId id : perm) {
+    const int b = g.node(id).block;
+    AIS_CHECK(b >= 0 && b < num_blocks, "node block index out of range");
+    subs[static_cast<std::size_t>(b)].push_back(id);
+  }
+  return subs;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> inversions(
+    const DepGraph& g, const std::vector<NodeId>& perm) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    for (std::size_t j = i + 1; j < perm.size(); ++j) {
+      if (g.node(perm[i]).block > g.node(perm[j]).block) {
+        out.emplace_back(i, j);
+      }
+    }
+  }
+  return out;
+}
+
+bool window_constraint_ok(const DepGraph& g, const std::vector<NodeId>& perm,
+                          int window, std::string* why) {
+  for (const auto& [i, j] : inversions(g, perm)) {
+    if (static_cast<int>(j - i + 1) > window) {
+      if (why != nullptr) {
+        *why = "inversion (" + g.node(perm[i]).name + " @" +
+               std::to_string(i) + ", " + g.node(perm[j]).name + " @" +
+               std::to_string(j) + ") spans " + std::to_string(j - i + 1) +
+               " > W = " + std::to_string(window);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+LegalityReport check_legal(const RankScheduler& scheduler, const Schedule& s,
+                           int window, int num_blocks) {
+  const DepGraph& g = s.graph();
+  if (!s.complete()) return {false, "schedule is incomplete"};
+
+  const std::string dep_issue = validate_schedule(s, scheduler.machine());
+  if (!dep_issue.empty()) return {false, dep_issue};
+
+  const std::vector<NodeId> perm = s.permutation();
+
+  std::string why;
+  if (!window_constraint_ok(g, perm, window, &why)) {
+    return {false, "window constraint: " + why};
+  }
+
+  // Ordering Constraint: rebuild greedily from L = P1 o ... o Pm and demand
+  // identical start times.
+  std::vector<NodeId> list;
+  for (auto& sub : subpermutations(g, perm, num_blocks)) {
+    list.insert(list.end(), sub.begin(), sub.end());
+  }
+  const Schedule rebuilt = scheduler.greedy_from_list(s.active(), list);
+  for (const NodeId id : perm) {
+    if (rebuilt.start(id) != s.start(id)) {
+      return {false,
+              "ordering constraint: greedy from L schedules " +
+                  g.node(id).name + " at " + std::to_string(rebuilt.start(id)) +
+                  ", not " + std::to_string(s.start(id))};
+    }
+  }
+  return {true, {}};
+}
+
+}  // namespace ais

@@ -1,0 +1,48 @@
+// Legality of trace schedules under hardware lookahead (Definitions 2.1-2.3).
+//
+// A schedule S with permutation P for a trace of blocks is *legal* iff
+//  (a) it satisfies all data dependences,
+//  (b) Window Constraint: every inversion (i, j) in P — position i < j but
+//      P[i] belongs to a later block than P[j] — fits the lookahead window:
+//      j - i + 1 <= W,
+//  (c) Ordering Constraint: S is obtainable as a greedy schedule from the
+//      priority list L = P1 o P2 o ... o Pm (the concatenation of P's
+//      per-block subpermutations), modelling hardware that never issues a
+//      later ready instruction in the window ahead of an earlier ready one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rank.hpp"
+#include "core/schedule.hpp"
+#include "graph/depgraph.hpp"
+
+namespace ais {
+
+/// Subpermutations of `perm`: perm filtered to each block 0..num_blocks-1
+/// (Definition 2.1).  Every node of `perm` must carry its block index in
+/// NodeInfo::block.
+std::vector<std::vector<NodeId>> subpermutations(const DepGraph& g,
+                                                 const std::vector<NodeId>& perm,
+                                                 int num_blocks);
+
+/// All inversions (i, j) of `perm` (Definition 2.2), as index pairs.
+std::vector<std::pair<std::size_t, std::size_t>> inversions(
+    const DepGraph& g, const std::vector<NodeId>& perm);
+
+/// Checks the Window Constraint for window size `window`.
+bool window_constraint_ok(const DepGraph& g, const std::vector<NodeId>& perm,
+                          int window, std::string* why = nullptr);
+
+struct LegalityReport {
+  bool legal = false;
+  std::string reason;  // empty when legal
+};
+
+/// Full Definition-2.3 check of `s` (which must schedule the whole trace
+/// graph) for window size `window`.
+LegalityReport check_legal(const RankScheduler& scheduler, const Schedule& s,
+                           int window, int num_blocks);
+
+}  // namespace ais

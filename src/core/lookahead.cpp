@@ -1,0 +1,127 @@
+#include "core/lookahead.hpp"
+
+#include <algorithm>
+
+#include "core/chop.hpp"
+#include "core/merge.hpp"
+#include "core/move_idle.hpp"
+#include "support/assert.hpp"
+
+namespace ais {
+
+std::vector<NodeId> LookaheadResult::priority_list() const {
+  std::vector<NodeId> list;
+  for (const auto& sub : per_block) {
+    list.insert(list.end(), sub.begin(), sub.end());
+  }
+  return list;
+}
+
+std::vector<NodeSet> blocks_of(const DepGraph& g) {
+  int max_block = -1;
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    max_block = std::max(max_block, g.node(id).block);
+  }
+  std::vector<NodeSet> blocks(static_cast<std::size_t>(max_block + 1),
+                              NodeSet(g.num_nodes()));
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    blocks[static_cast<std::size_t>(g.node(id).block)].insert(id);
+  }
+  return blocks;
+}
+
+LookaheadResult schedule_trace(const RankScheduler& scheduler,
+                               const std::vector<NodeSet>& blocks,
+                               const LookaheadOptions& opts) {
+  const DepGraph& g = scheduler.graph();
+  AIS_CHECK(!blocks.empty(), "trace needs at least one block");
+  AIS_CHECK(opts.window >= 1, "window must be positive");
+
+  const Time huge =
+      opts.huge > 0 ? opts.huge : huge_deadline(g, NodeSet::all(g.num_nodes()));
+
+  LookaheadResult out;
+  NodeSet old(g.num_nodes());
+  DeadlineMap deadlines = uniform_deadlines(g, huge);
+  Time t_old = 0;
+
+  auto append_suffix = [&](const Schedule& s, const NodeSet& suffix) {
+    // Suffix nodes in schedule order.
+    std::vector<NodeId> tail;
+    for (const NodeId id : s.permutation()) {
+      if (suffix.contains(id)) tail.push_back(id);
+    }
+    out.order.insert(out.order.end(), tail.begin(), tail.end());
+  };
+
+  Schedule last_schedule(&g, NodeSet(g.num_nodes()), 1);
+  for (const NodeSet& new_nodes : blocks) {
+    if (new_nodes.empty()) continue;
+
+    Schedule merged(&g, NodeSet(g.num_nodes()), 1);
+    if (opts.merge_deadline_caps) {
+      MergeResult m = merge_blocks(scheduler, old, new_nodes, deadlines, t_old,
+                                   huge, opts.rank);
+      deadlines = std::move(m.deadlines);
+      merged = std::move(m.schedule);
+    } else {
+      // Ablation: schedule the whole live set fresh, no displacement
+      // protection for old nodes.
+      const NodeSet cur = set_union(old, new_nodes);
+      DeadlineMap flat = uniform_deadlines(g, huge);
+      RankResult r = scheduler.run(cur, flat, opts.rank);
+      AIS_CHECK(r.feasible, "unconstrained schedule must be feasible");
+      for (const NodeId id : cur.ids()) flat[id] = r.makespan;
+      deadlines = std::move(flat);
+      merged = std::move(r.schedule);
+    }
+
+    if (opts.delay_idle) {
+      merged = delay_idle_slots(scheduler, std::move(merged), deadlines,
+                                opts.rank);
+    }
+    out.diag.merged_makespans.push_back(merged.makespan());
+
+    if (opts.do_chop) {
+      ChopResult c = chop(merged, deadlines, opts.window);
+      out.order.insert(out.order.end(), c.emitted.begin(), c.emitted.end());
+      if (!c.emitted.empty()) ++out.diag.prefixes_emitted;
+      old = std::move(c.suffix);
+      t_old = c.suffix_makespan;
+      // Rebase the retained suffix schedule implicitly: the next merge
+      // re-schedules `old` from its deadlines, so only the node set, the
+      // deadlines (already rebased by chop) and t_old carry forward.
+    } else {
+      old = merged.active();
+      t_old = merged.makespan();
+    }
+    last_schedule = std::move(merged);
+  }
+
+  // Emit the final suffix in its schedule order.
+  append_suffix(last_schedule, old);
+
+  AIS_CHECK(out.order.size() == [&] {
+    std::size_t n = 0;
+    for (const auto& b : blocks) n += b.size();
+    return n;
+  }(), "lookahead must emit every instruction exactly once");
+
+  out.per_block.assign(blocks.size(), {});
+  for (const NodeId id : out.order) {
+    const int b = g.node(id).block;
+    AIS_CHECK(b >= 0 && b < static_cast<int>(blocks.size()),
+              "node block index out of range");
+    AIS_CHECK(blocks[static_cast<std::size_t>(b)].contains(id),
+              "node emitted into the wrong block");
+    out.per_block[static_cast<std::size_t>(b)].push_back(id);
+  }
+  return out;
+}
+
+LookaheadResult schedule_trace(const RankScheduler& scheduler,
+                               const LookaheadOptions& opts) {
+  return schedule_trace(scheduler, blocks_of(scheduler.graph()), opts);
+}
+
+}  // namespace ais

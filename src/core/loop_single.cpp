@@ -1,0 +1,196 @@
+#include "core/loop_single.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/move_idle.hpp"
+#include "support/assert.hpp"
+
+namespace ais {
+namespace {
+
+/// Copies the loop-independent part of `g` (nodes + distance-0 edges).
+DepGraph copy_loop_independent(const DepGraph& g) {
+  DepGraph out;
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    const NodeInfo& n = g.node(id);
+    out.add_node(n.name, n.exec_time, n.fu_class, n.block);
+  }
+  for (const DepEdge& e : g.edges()) {
+    if (e.distance == 0) out.add_edge(e.from, e.to, e.latency, 0);
+  }
+  return out;
+}
+
+/// Schedules `surrogate` (acyclic) with Rank + Delay_Idle_Slots and returns
+/// the permutation with `dummy` removed.
+std::vector<NodeId> schedule_surrogate(const DepGraph& surrogate,
+                                       const MachineModel& machine,
+                                       NodeId dummy,
+                                       const RankOptions& rank_opts,
+                                       Time* makespan) {
+  const RankScheduler scheduler(surrogate, machine);
+  const NodeSet active = NodeSet::all(surrogate.num_nodes());
+  DeadlineMap d = uniform_deadlines(surrogate, huge_deadline(surrogate, active));
+  RankResult r = scheduler.run(active, d, rank_opts);
+  AIS_CHECK(r.feasible, "surrogate loop schedule must be feasible");
+  // Normalize deadlines to the achieved makespan, then push idle slots late
+  // ("followed by repeated applications of Move_Idle_Slot", §5.2.1).
+  for (const NodeId id : active.ids()) d[id] = r.makespan;
+  Schedule s =
+      delay_idle_slots(scheduler, std::move(r.schedule), d, rank_opts);
+  *makespan = s.makespan();
+
+  std::vector<NodeId> order;
+  for (const NodeId id : s.permutation()) {
+    if (id != dummy) order.push_back(id);
+  }
+  return order;
+}
+
+bool is_carried_target(const DepGraph& g, NodeId id) {
+  for (const auto eidx : g.in_edges(id)) {
+    if (g.edge(eidx).carried()) return true;
+  }
+  return false;
+}
+
+bool is_carried_source(const DepGraph& g, NodeId id) {
+  for (const auto eidx : g.out_edges(id)) {
+    if (g.edge(eidx).carried()) return true;
+  }
+  return false;
+}
+
+bool is_li_source(const DepGraph& g, NodeId id) {
+  for (const auto eidx : g.in_edges(id)) {
+    if (g.edge(eidx).distance == 0) return false;
+  }
+  return true;
+}
+
+bool is_li_sink(const DepGraph& g, NodeId id) {
+  for (const auto eidx : g.out_edges(id)) {
+    if (g.edge(eidx).distance == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+LoopCandidate build_loop_candidate(const DepGraph& g,
+                                   const MachineModel& machine, NodeId pivot,
+                                   bool source_form,
+                                   const RankOptions& rank_opts) {
+  AIS_CHECK(pivot < g.num_nodes(), "pivot out of range");
+  DepGraph surrogate = copy_loop_independent(g);
+  const NodeInfo& pivot_info = g.node(pivot);
+  const NodeId dummy = surrogate.add_node(
+      source_form ? pivot_info.name + "'" : pivot_info.name + "~",
+      pivot_info.exec_time, pivot_info.fu_class, pivot_info.block);
+
+  // Carried edges incident to the pivot are rewritten onto the dummy node;
+  // carried edges not touching the pivot are dropped for this candidate (in
+  // the exact §5.2.1/§5.2.2 settings every carried edge touches the pivot,
+  // so nothing is lost; in the §5.2.3 general case the candidate search plus
+  // steady-state evaluation compensates for the relaxation).
+  if (source_form) {
+    // §5.2.1: dummy sink = next iteration's pivot instance.
+    for (NodeId id = 0; id < g.num_nodes(); ++id) {
+      surrogate.add_edge(id, dummy, 0, 0);
+    }
+    for (const DepEdge& e : g.edges()) {
+      if (e.carried() && e.to == pivot) {
+        surrogate.add_edge(e.from, dummy, e.latency, 0);
+      }
+    }
+  } else {
+    // §5.2.2: dummy source = previous iteration's pivot instance.
+    for (NodeId id = 0; id < g.num_nodes(); ++id) {
+      surrogate.add_edge(dummy, id, 0, 0);
+    }
+    for (const DepEdge& e : g.edges()) {
+      if (e.carried() && e.from == pivot) {
+        surrogate.add_edge(dummy, e.to, e.latency, 0);
+      }
+    }
+  }
+
+  LoopCandidate cand;
+  cand.pivot = pivot;
+  cand.source_form = source_form;
+  cand.order = schedule_surrogate(surrogate, machine, dummy, rank_opts,
+                                  &cand.surrogate_makespan);
+  return cand;
+}
+
+std::vector<LoopCandidate> loop_single_candidates(
+    const DepGraph& g, const MachineModel& machine,
+    const LoopSingleOptions& opts) {
+  std::vector<LoopCandidate> candidates;
+
+  if (!g.has_carried_edges()) {
+    // Iterations are independent: the plain block schedule is the only
+    // candidate (steady state equals back-to-back block issues).
+    DepGraph surrogate = copy_loop_independent(g);
+    const NodeId dummy = surrogate.add_node("(end)", 1, 0, 0);
+    for (NodeId id = 0; id + 1 < surrogate.num_nodes(); ++id) {
+      surrogate.add_edge(id, dummy, 0, 0);
+    }
+    LoopCandidate cand;
+    cand.pivot = kInvalidNode;
+    cand.order = schedule_surrogate(surrogate, machine, dummy, opts.rank,
+                                    &cand.surrogate_makespan);
+    candidates.push_back(std::move(cand));
+    return candidates;
+  }
+
+  // The paper's compile-time pruning is only valid for 0/1 latencies; kAuto
+  // additionally checks the graph's actual latencies, not just the machine's
+  // timing table.
+  const bool prune =
+      opts.prune == LoopSingleOptions::Prune::kAlways ||
+      (opts.prune == LoopSingleOptions::Prune::kAuto &&
+       machine.is_restricted_case() && g.max_latency() <= 1);
+
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    if (is_carried_target(g, id) && (!prune || is_li_source(g, id))) {
+      candidates.push_back(
+          build_loop_candidate(g, machine, id, /*source_form=*/true,
+                               opts.rank));
+    }
+    if (is_carried_source(g, id) && (!prune || is_li_sink(g, id))) {
+      candidates.push_back(
+          build_loop_candidate(g, machine, id, /*source_form=*/false,
+                               opts.rank));
+    }
+  }
+  AIS_CHECK(!candidates.empty(),
+            "a loop with carried edges must yield at least one candidate");
+  return candidates;
+}
+
+LoopCandidate schedule_single_block_loop(
+    const DepGraph& g, const MachineModel& machine,
+    const std::function<double(const std::vector<NodeId>&)>& evaluate,
+    const LoopSingleOptions& opts) {
+  std::vector<LoopCandidate> candidates =
+      loop_single_candidates(g, machine, opts);
+
+  std::size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  Time best_makespan = std::numeric_limits<Time>::max();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double score = evaluate(candidates[i].order);
+    if (score < best_score ||
+        (score == best_score &&
+         candidates[i].surrogate_makespan < best_makespan)) {
+      best = i;
+      best_score = score;
+      best_makespan = candidates[i].surrogate_makespan;
+    }
+  }
+  return candidates[best];
+}
+
+}  // namespace ais

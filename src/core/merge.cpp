@@ -1,0 +1,62 @@
+#include "core/merge.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace ais {
+
+MergeResult merge_blocks(const RankScheduler& scheduler,
+                         const NodeSet& old_nodes, const NodeSet& new_nodes,
+                         const DeadlineMap& deadlines, Time t_old, Time huge,
+                         const RankOptions& opts) {
+  const DepGraph& g = scheduler.graph();
+  AIS_CHECK(deadlines.size() == g.num_nodes(), "deadline map size");
+  const NodeSet cur = set_union(old_nodes, new_nodes);
+  AIS_CHECK(!new_nodes.empty(), "merge needs at least one new node");
+
+  // Lower-bound pass: one huge uniform deadline.
+  DeadlineMap d_cur = uniform_deadlines(g, huge);
+  const RankResult lower = scheduler.run(cur, d_cur, opts);
+  AIS_CHECK(lower.feasible, "unconstrained merge schedule must be feasible");
+  const Time t_lower = lower.makespan;
+
+  // Old nodes keep (capped) deadlines; new nodes start at the lower bound.
+  for (const NodeId w : old_nodes.ids()) {
+    d_cur[w] = std::min(deadlines[w], t_old);
+  }
+  for (const NodeId w : new_nodes.ids()) d_cur[w] = t_lower;
+
+  // Minimal relaxation of the new nodes' deadlines.  A feasible schedule
+  // always exists with new entirely after old plus a worst-case latency gap
+  // (paper footnote 8), which bounds the loop in the restricted case.  In
+  // the heuristic regimes (latencies > 1, typed units) greedy-by-rank is
+  // not minimum-tardiness, so the old caps themselves may be unreachable;
+  // past the budget we relax *all* deadlines, trading the no-displacement
+  // guarantee for progress (§4.2 heuristic territory).
+  const Time new_only_limit =
+      t_old + g.max_latency() + g.total_work() + 1 - t_lower;
+  const Time hard_limit =
+      new_only_limit + g.total_work() +
+      static_cast<Time>(cur.size() + 1) * (g.max_latency() + 1);
+  Time relax = 0;
+  while (true) {
+    RankResult result = scheduler.run(cur, d_cur, opts);
+    if (result.feasible) {
+      return MergeResult{
+          .schedule = std::move(result.schedule),
+          .makespan = result.makespan,
+          .deadlines = std::move(d_cur),
+          .rank = std::move(result.rank),
+      };
+    }
+    ++relax;
+    AIS_CHECK(relax <= hard_limit, "merge failed to find a feasible schedule");
+    for (const NodeId w : new_nodes.ids()) ++d_cur[w];
+    if (relax > new_only_limit) {
+      for (const NodeId w : old_nodes.ids()) ++d_cur[w];
+    }
+  }
+}
+
+}  // namespace ais

@@ -1,0 +1,131 @@
+#include "core/move_idle.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace ais {
+namespace {
+
+/// Class-major unit -> FU class mapping (same layout as greedy_from_list).
+std::vector<int> unit_classes(const MachineModel& machine) {
+  std::vector<int> classes;
+  for (int c = 0; c < machine.num_fu_classes(); ++c) {
+    for (int k = 0; k < machine.fu_count(c); ++k) classes.push_back(c);
+  }
+  return classes;
+}
+
+/// Index of `slot` in s.idle_slots(), used to re-identify "the i-th idle
+/// slot" across re-schedules (paper Fig. 4).
+std::size_t slot_index(const Schedule& s, IdleSlot slot) {
+  const auto slots = s.idle_slots();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i] == slot) return i;
+  }
+  AIS_CHECK(false, "slot is not idle in the given schedule");
+  return 0;
+}
+
+}  // namespace
+
+MoveIdleResult move_idle_slot(const RankScheduler& scheduler,
+                              const Schedule& s, DeadlineMap& deadlines,
+                              IdleSlot slot, const RankOptions& opts) {
+  const NodeSet& active = s.active();
+  const std::vector<int> classes = unit_classes(scheduler.machine());
+  const int slot_class = classes[static_cast<std::size_t>(slot.unit)];
+  const std::size_t index = slot_index(s, slot);
+
+  const MoveIdleResult failure{s, slot, false};
+
+  // Trial deadlines; committed into `deadlines` only on success.
+  DeadlineMap trial = deadlines;
+
+  // sigma: nodes currently scheduled before the slot on units of the slot's
+  // class.  Capping their deadlines at the slot time guarantees no earlier
+  // idle slot moves earlier (they must all still complete by slot.time).
+  std::vector<NodeId> sigma;
+  for (const NodeId y : active.ids()) {
+    if (classes[static_cast<std::size_t>(s.unit_of(y))] != slot_class) continue;
+    if (s.start(y) < slot.time) {
+      sigma.push_back(y);
+      trial[y] = std::min(trial[y], slot.time);
+    }
+  }
+
+  // Ranks under the capped deadlines, for the paper's failure guard.
+  bool structurally_feasible = true;
+  std::vector<Time> rank =
+      scheduler.compute_ranks(active, trial, opts, &structurally_feasible);
+  if (!structurally_feasible) return failure;
+
+  Schedule current = s;
+  // Each iteration strictly reduces the tail node's deadline below
+  // slot.time, and the guard below bounds how often the slot can stay put;
+  // the explicit cap is belt-and-braces for the heuristic regimes.
+  const std::size_t iteration_cap = 4 * active.size() + 8;
+  for (std::size_t iter = 0; iter < iteration_cap; ++iter) {
+    const NodeId tail = current.tail_node(slot.unit, slot.time);
+    if (tail == kInvalidNode) return failure;  // slot preceded by idle time
+    trial[tail] = std::min(trial[tail], slot.time - 1);
+
+    // Paper guard: some sigma node must still be allowed to complete at
+    // slot.time, otherwise the tail position can never be filled.
+    bool refillable = false;
+    for (const NodeId y : sigma) {
+      if (rank[y] >= slot.time && trial[y] >= slot.time) {
+        refillable = true;
+        break;
+      }
+    }
+    if (!refillable) return failure;
+
+    const RankResult result = scheduler.run(active, trial, opts);
+    if (!result.feasible) return failure;
+    rank = result.rank;
+
+    const auto slots = result.schedule.idle_slots();
+    IdleSlot new_slot;
+    if (index >= slots.size()) {
+      // The slot was eliminated outright (possible in heuristic regimes;
+      // §4.2 calls this out as a desirable outcome).
+      new_slot = IdleSlot{slot.unit, result.schedule.makespan()};
+    } else {
+      new_slot = slots[index];
+    }
+    if (new_slot.time > slot.time) {
+      deadlines = std::move(trial);  // finalize all deadline modifications
+      return MoveIdleResult{result.schedule, new_slot, true};
+    }
+    if (new_slot.time < slot.time) {
+      // Cannot happen in the restricted case (the sigma caps pin every node
+      // before the slot), but heuristic machines (typed units, long
+      // execution times) can shuffle slots across units; treat as failure.
+      return failure;
+    }
+    current = result.schedule;
+  }
+  return failure;
+}
+
+Schedule delay_idle_slots(const RankScheduler& scheduler, Schedule s,
+                          DeadlineMap& deadlines, const RankOptions& opts) {
+  std::size_t i = 0;
+  while (true) {
+    const auto slots = s.idle_slots();
+    if (i >= slots.size()) break;
+    IdleSlot slot = slots[i];
+    // Keep trying to move the i-th idle slot (paper Fig. 6 inner loop).
+    while (true) {
+      MoveIdleResult res = move_idle_slot(scheduler, s, deadlines, slot, opts);
+      s = std::move(res.schedule);
+      if (!res.moved || res.slot.time >= s.makespan()) break;
+      slot = res.slot;
+    }
+    ++i;
+  }
+  return s;
+}
+
+}  // namespace ais

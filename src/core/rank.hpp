@@ -1,0 +1,95 @@
+// The Rank Algorithm (Palem & Simons, TOPLAS'93) as used by the paper.
+//
+// rank(x) is an upper bound on the completion time of x in any schedule in
+// which x and all of its descendants meet their deadlines.  The algorithm:
+//
+//   1. compute ranks of all nodes (reverse topological order; for each node,
+//      backward-schedule its descendants as late as their ranks allow),
+//   2. order nodes by nondecreasing rank,
+//   3. greedy (list) schedule in that order.
+//
+// For the restricted case — unit execution times, latencies in {0,1}, a
+// single functional unit — the result is an optimal (minimum makespan,
+// minimum tardiness) schedule.  For typed multiple units, non-unit execution
+// times and longer latencies it is the §4.2 heuristic: the backward pass
+// packs per-FU-class (optionally unit-splitting long operations) and the
+// forward pass respects unit typing and issue width.
+//
+// rank(x) for node x with descendant set D(x):
+//
+//   backward-schedule D(x) in nonincreasing rank order, each node completing
+//   at the latest free slot <= its rank on a unit of its class; with s_y the
+//   resulting start times,
+//
+//   rank(x) = min( d(x),
+//                  min_{y in D(x)} s_y,                     [x precedes all]
+//                  min_{(x,y) edge} s_y - latency(x, y) )   [latency gaps]
+//
+// This formulation reproduces every rank value printed in the paper's
+// worked examples (see tests/test_paper_figures.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/deadlines.hpp"
+#include "core/schedule.hpp"
+#include "graph/depgraph.hpp"
+#include "graph/nodeset.hpp"
+#include "machine/machine_model.hpp"
+
+namespace ais {
+
+struct RankOptions {
+  /// Secondary priority for equal ranks; lower values are scheduled first.
+  /// Empty = ascending node id (stable, deterministic).
+  std::vector<int> tie_break;
+  /// §4.2 "non-unit execution times": when true, long operations are broken
+  /// into unit pieces in the backward pass (tighter packing bound); when
+  /// false they are inserted whole.
+  bool split_long_ops = false;
+};
+
+struct RankResult {
+  /// True iff every rank admits a start >= 0 and the greedy schedule meets
+  /// every deadline.
+  bool feasible = false;
+  std::string infeasible_reason;
+  /// rank[id]; only entries of active nodes are meaningful.
+  std::vector<Time> rank;
+  Schedule schedule;
+  Time makespan = 0;
+};
+
+class RankScheduler {
+ public:
+  /// `g` must outlive the scheduler; the machine model is copied (it is
+  /// small, and callers routinely pass preset temporaries).
+  RankScheduler(const DepGraph& g, MachineModel machine);
+
+  /// Runs ranks + greedy scheduling of `active` under `deadlines`.
+  RankResult run(const NodeSet& active, const DeadlineMap& deadlines,
+                 const RankOptions& opts = {}) const;
+
+  /// Rank computation only.  Sets *structurally_feasible to false when some
+  /// rank cannot be met by any schedule (rank(x) < exec_time(x)).
+  std::vector<Time> compute_ranks(const NodeSet& active,
+                                  const DeadlineMap& deadlines,
+                                  const RankOptions& opts,
+                                  bool* structurally_feasible) const;
+
+  /// Greedy list scheduling of `active` using the given priority list
+  /// (every active node exactly once).  Exposed for the legality checker's
+  /// Ordering Constraint and for baselines.
+  Schedule greedy_from_list(const NodeSet& active,
+                            const std::vector<NodeId>& list) const;
+
+  const MachineModel& machine() const { return machine_; }
+  const DepGraph& graph() const { return graph_; }
+
+ private:
+  const DepGraph& graph_;
+  MachineModel machine_;
+};
+
+}  // namespace ais

@@ -1,0 +1,91 @@
+// Schedule: assignment of start times and functional units to instructions.
+//
+// The paper's §3 terminology is implemented directly: idle slots, the
+// partition into "u sets" (maximal runs terminated by idle slots), tail
+// nodes, and the permutation a single-unit schedule corresponds to.
+#pragma once
+
+#include <vector>
+
+#include "graph/depgraph.hpp"
+#include "graph/nodeset.hpp"
+#include "machine/machine_model.hpp"
+
+namespace ais {
+
+/// An idle slot: a (unit, time) pair where a unit is neither starting nor
+/// running an instruction (paper §3), with time < makespan.
+struct IdleSlot {
+  int unit = 0;
+  Time time = 0;
+
+  bool operator==(const IdleSlot&) const = default;
+  auto operator<=>(const IdleSlot&) const = default;
+};
+
+class Schedule {
+ public:
+  /// An empty schedule over `active` nodes of `g`, on `total_units` units.
+  Schedule(const DepGraph* g, NodeSet active, int total_units);
+
+  /// Places `id` starting at `start` (completing at start + exec_time) on
+  /// global unit index `unit`.  The slot range must be free on that unit.
+  void place(NodeId id, Time start, int unit);
+
+  bool placed(NodeId id) const;
+  Time start(NodeId id) const;
+  Time completion(NodeId id) const;
+  int unit_of(NodeId id) const;
+
+  const NodeSet& active() const { return active_; }
+  const DepGraph& graph() const { return *graph_; }
+  int total_units() const { return static_cast<int>(units_.size()); }
+
+  /// True when every active node has been placed.
+  bool complete() const;
+
+  /// Completion time of the last instruction (0 for an empty schedule).
+  Time makespan() const { return makespan_; }
+
+  /// Node occupying `unit` whose execution covers `time`, or kInvalidNode.
+  NodeId node_at(int unit, Time time) const;
+
+  /// All idle slots, ordered by (time, unit).
+  std::vector<IdleSlot> idle_slots() const;
+
+  /// Idle slots of a single unit, ascending by time.
+  std::vector<Time> idle_times(int unit) const;
+
+  /// Nodes ordered by (start time, unit): the permutation P the legality
+  /// definitions (Def. 2.1) are phrased over.
+  std::vector<NodeId> permutation() const;
+
+  /// The u-set partition of a single-unit schedule: runs of nodes separated
+  /// by idle slots (paper §3).  result[i] = nodes of u_{i+1} in time order.
+  std::vector<std::vector<NodeId>> u_sets() const;
+
+  /// Tail node of the u set ending at idle time `t` (the node completing at
+  /// exactly t on `unit`), or kInvalidNode if the slot is preceded by idle.
+  NodeId tail_node(int unit, Time t) const;
+
+ private:
+  const DepGraph* graph_;
+  NodeSet active_;
+  /// Per unit: (start, node) pairs kept sorted by start.
+  std::vector<std::vector<std::pair<Time, NodeId>>> units_;
+  std::vector<Time> start_;   // indexed by NodeId; -1 = unplaced
+  std::vector<int> unit_;     // indexed by NodeId
+  Time makespan_ = 0;
+};
+
+/// Checks that `s` is complete and respects every distance-0 dependence
+/// between active nodes (start(to) >= completion(from) + latency), unit
+/// exclusivity, unit typing against `machine`, and the issue-width limit.
+/// Returns an explanation for the first violation, or empty if valid.
+std::string validate_schedule(const Schedule& s, const MachineModel& machine);
+
+/// Renders a single-unit schedule as the paper draws them:
+/// "| x | e | . | w | b | r | a |" with '.' for idle slots.
+std::string format_timeline(const Schedule& s, int unit = 0);
+
+}  // namespace ais

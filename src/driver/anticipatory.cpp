@@ -1,0 +1,104 @@
+#include "driver/anticipatory.hpp"
+
+#include "core/loop_single.hpp"
+#include "core/loop_trace.hpp"
+#include "sim/lookahead_sim.hpp"
+#include "sim/loop_sim.hpp"
+#include "support/assert.hpp"
+
+namespace ais {
+namespace {
+
+/// Reassembles per-block instruction orders into BasicBlocks.  Node id i is
+/// instruction i in trace emission order (blocks concatenated), which is
+/// how the dependence builder numbers them.
+std::vector<BasicBlock> reorder_blocks(
+    const Trace& trace, const std::vector<std::vector<NodeId>>& per_block) {
+  // Flatten the original instructions in numbering order.
+  std::vector<const Instruction*> flat;
+  for (const BasicBlock& bb : trace.blocks) {
+    for (const Instruction& inst : bb.insts) flat.push_back(&inst);
+  }
+
+  std::vector<BasicBlock> out;
+  AIS_CHECK(per_block.size() == trace.blocks.size(),
+            "per-block orders do not match the trace");
+  for (std::size_t b = 0; b < per_block.size(); ++b) {
+    BasicBlock bb;
+    bb.label = trace.blocks[b].label;
+    for (const NodeId id : per_block[b]) {
+      AIS_CHECK(id < flat.size(), "node id out of range");
+      bb.insts.push_back(*flat[id]);
+    }
+    AIS_CHECK(bb.insts.size() == trace.blocks[b].insts.size(),
+              "scheduled block lost or gained instructions");
+    out.push_back(std::move(bb));
+  }
+  return out;
+}
+
+int resolve_window(const MachineModel& machine, int window) {
+  AIS_CHECK(window >= 0, "window must be nonnegative");
+  return window == 0 ? machine.default_window() : window;
+}
+
+}  // namespace
+
+Time ScheduledTrace::simulated_cycles(const MachineModel& machine) const {
+  return simulated_completion(graph, machine, detail.priority_list(), window);
+}
+
+ScheduledTrace schedule(const Trace& trace, const MachineModel& machine,
+                        int window, const DepBuildOptions& deps) {
+  const int w = resolve_window(machine, window);
+  DepGraph g = build_trace_graph(trace, machine, deps);
+  const RankScheduler scheduler(g, machine);
+  LookaheadOptions opts;
+  opts.window = w;
+  LookaheadResult detail = schedule_trace(scheduler, opts);
+
+  ScheduledTrace out{
+      .blocks = reorder_blocks(trace, detail.per_block),
+      .graph = std::move(g),
+      .detail = std::move(detail),
+      .window = w,
+  };
+  return out;
+}
+
+ScheduledLoop schedule(const Loop& loop, const MachineModel& machine,
+                       int window, const DepBuildOptions& deps) {
+  const int w = resolve_window(machine, window);
+  DepGraph g = build_loop_graph(loop, machine, deps);
+
+  std::vector<std::vector<NodeId>> per_block;
+  std::vector<NodeId> iteration_list;
+  if (loop.body.blocks.size() == 1) {
+    const auto evaluator = [&](const std::vector<NodeId>& order) {
+      return steady_state_period(g, machine, order, w);
+    };
+    LoopSingleOptions opts;
+    const LoopCandidate best =
+        schedule_single_block_loop(g, machine, evaluator, opts);
+    per_block.push_back(best.order);
+    iteration_list = best.order;
+  } else {
+    LookaheadOptions opts;
+    opts.window = w;
+    const LookaheadResult res = schedule_loop_trace(g, machine, opts);
+    per_block = res.per_block;
+    iteration_list = res.priority_list();
+  }
+
+  ScheduledLoop out{
+      .blocks = reorder_blocks(loop.body, per_block),
+      .graph = std::move(g),
+      .cycles_per_iteration = 0,
+      .window = w,
+  };
+  out.cycles_per_iteration =
+      steady_state_period(out.graph, machine, iteration_list, w);
+  return out;
+}
+
+}  // namespace ais

@@ -1,0 +1,50 @@
+// Facade: the one-call interface a compiler backend would use.
+//
+// Wraps the whole pipeline — dependence analysis, Algorithm Lookahead for
+// traces (§4), the wrap-around step for multi-block loop bodies (§5.1) and
+// the candidate search for single-block loops (§5.2) — behind `schedule`
+// overloads that take IR and return reordered IR with diagnostics attached.
+#pragma once
+
+#include <vector>
+
+#include "core/lookahead.hpp"
+#include "ir/depbuild.hpp"
+#include "ir/instruction.hpp"
+#include "machine/machine_model.hpp"
+
+namespace ais {
+
+/// Result of scheduling a trace: reordered blocks (same labels, same
+/// instruction multisets — nothing crosses a block boundary) plus the
+/// dependence graph and per-iteration diagnostics for inspection.
+struct ScheduledTrace {
+  std::vector<BasicBlock> blocks;
+  DepGraph graph;
+  LookaheadResult detail;
+  int window = 0;
+
+  /// Simulated completion of the emitted code on the lookahead machine.
+  Time simulated_cycles(const MachineModel& machine) const;
+};
+
+/// Result of scheduling a loop body.
+struct ScheduledLoop {
+  std::vector<BasicBlock> blocks;
+  DepGraph graph;
+  /// Steady-state cycles per iteration of the selected schedule.
+  double cycles_per_iteration = 0;
+  int window = 0;
+};
+
+/// Anticipatorily schedules `trace` for `machine`.  `window` = 0 uses the
+/// machine's default lookahead window.
+ScheduledTrace schedule(const Trace& trace, const MachineModel& machine,
+                        int window = 0, const DepBuildOptions& deps = {});
+
+/// Anticipatorily schedules the body of `loop`: §5.2.3 for a single block,
+/// §5.1 (Algorithm Lookahead + wrap-around clone) for multi-block bodies.
+ScheduledLoop schedule(const Loop& loop, const MachineModel& machine,
+                       int window = 0, const DepBuildOptions& deps = {});
+
+}  // namespace ais

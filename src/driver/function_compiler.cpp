@@ -1,0 +1,44 @@
+#include "driver/function_compiler.hpp"
+
+#include "baselines/block_schedulers.hpp"
+#include "ir/depbuild.hpp"
+#include "sim/lookahead_sim.hpp"
+#include "support/assert.hpp"
+
+namespace ais {
+
+CompiledProgram compile_program(const Cfg& cfg, const MachineModel& machine,
+                                int window) {
+  const int w = window == 0 ? machine.default_window() : window;
+
+  CompiledProgram out;
+  out.program = cfg.program();
+  out.traces = select_traces(cfg);
+  out.window = w;
+
+  for (std::size_t t = 0; t < out.traces.size(); ++t) {
+    const SelectedTrace& selected = out.traces[t];
+    const Trace trace = materialize(cfg, selected);
+
+    const ScheduledTrace scheduled = schedule(trace, machine, w);
+    AIS_CHECK(scheduled.blocks.size() == selected.blocks.size(),
+              "scheduled trace block count mismatch");
+    for (std::size_t i = 0; i < selected.blocks.size(); ++i) {
+      out.program.blocks[static_cast<std::size_t>(selected.blocks[i])] =
+          scheduled.blocks[i];
+    }
+
+    if (t == 0) {
+      // Hot-trace diagnostics: original order vs anticipatory order.
+      const DepGraph g = build_trace_graph(trace, machine);
+      out.hot_trace_cycles_before = simulated_completion(
+          g, machine,
+          schedule_trace_per_block(g, machine, BlockScheduler::kSourceOrder),
+          w);
+      out.hot_trace_cycles_after = scheduled.simulated_cycles(machine);
+    }
+  }
+  return out;
+}
+
+}  // namespace ais

@@ -1,0 +1,39 @@
+#include "graph/closure.hpp"
+
+#include "graph/topo.hpp"
+#include "support/assert.hpp"
+
+namespace ais {
+
+DescendantClosure::DescendantClosure(const DepGraph& g, const NodeSet& active)
+    : domain_(g.num_nodes()),
+      desc_(g.num_nodes(), DynamicBitset(g.num_nodes())),
+      member_(g.num_nodes(), false) {
+  const auto order = topo_order(g, active);
+  AIS_CHECK(order.has_value(),
+            "descendant closure requires an acyclic loop-independent subgraph");
+  for (const NodeId id : *order) member_[id] = true;
+
+  // Reverse topological order: successors' closures are complete first.
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId id = *it;
+    DynamicBitset& mine = desc_[id];
+    for (const auto eidx : g.out_edges(id)) {
+      const DepEdge& e = g.edge(eidx);
+      if (e.distance != 0 || !active.contains(e.to)) continue;
+      mine.set(e.to);
+      mine |= desc_[e.to];
+    }
+  }
+}
+
+const DynamicBitset& DescendantClosure::descendants(NodeId id) const {
+  AIS_CHECK(id < domain_ && member_[id], "node not in closure's active set");
+  return desc_[id];
+}
+
+bool DescendantClosure::reaches(NodeId ancestor, NodeId descendant) const {
+  return descendants(ancestor).test(descendant);
+}
+
+}  // namespace ais

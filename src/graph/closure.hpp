@@ -1,0 +1,35 @@
+// Descendant closure over the loop-independent subgraph.
+//
+// The Rank Algorithm's backward-scheduling step needs, for each node x, the
+// set of all (transitive) descendants of x among the active nodes.  We
+// compute these as bitsets in reverse topological order: O(V * E / 64).
+#pragma once
+
+#include <vector>
+
+#include "graph/depgraph.hpp"
+#include "graph/nodeset.hpp"
+#include "support/bitset.hpp"
+
+namespace ais {
+
+class DescendantClosure {
+ public:
+  /// Computes closures for every node in `active` using distance-0 edges
+  /// between active nodes.  The induced subgraph must be acyclic.
+  DescendantClosure(const DepGraph& g, const NodeSet& active);
+
+  /// Bitset of descendants of `id` (excluding `id` itself).  `id` must be a
+  /// member of the active set this closure was built from.
+  const DynamicBitset& descendants(NodeId id) const;
+
+  /// True iff `descendant` is reachable from `ancestor` (strictly).
+  bool reaches(NodeId ancestor, NodeId descendant) const;
+
+ private:
+  std::size_t domain_;
+  std::vector<DynamicBitset> desc_;
+  std::vector<bool> member_;
+};
+
+}  // namespace ais

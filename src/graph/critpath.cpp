@@ -1,0 +1,35 @@
+#include "graph/critpath.hpp"
+
+#include <algorithm>
+
+#include "graph/topo.hpp"
+#include "support/assert.hpp"
+
+namespace ais {
+
+std::vector<Time> critical_path_lengths(const DepGraph& g,
+                                        const NodeSet& active) {
+  const auto order = topo_order(g, active);
+  AIS_CHECK(order.has_value(), "critical path requires an acyclic subgraph");
+  std::vector<Time> len(g.num_nodes(), 0);
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId id = *it;
+    Time best = 0;
+    for (const auto eidx : g.out_edges(id)) {
+      const DepEdge& e = g.edge(eidx);
+      if (e.distance != 0 || !active.contains(e.to)) continue;
+      best = std::max(best, static_cast<Time>(e.latency) + len[e.to]);
+    }
+    len[id] = best + g.node(id).exec_time;
+  }
+  return len;
+}
+
+Time critical_path(const DepGraph& g, const NodeSet& active) {
+  const auto len = critical_path_lengths(g, active);
+  Time best = 0;
+  for (const NodeId id : active.ids()) best = std::max(best, len[id]);
+  return best;
+}
+
+}  // namespace ais

@@ -1,0 +1,23 @@
+// Critical-path (longest-path) metrics over the loop-independent subgraph.
+//
+// Used as (a) the priority function of the classic list-scheduling baseline
+// and (b) a lower bound on makespan for sanity checks.
+#pragma once
+
+#include <vector>
+
+#include "graph/depgraph.hpp"
+#include "graph/nodeset.hpp"
+
+namespace ais {
+
+/// For each active node, the length of the longest latency-weighted path
+/// from that node to any sink, *including* the node's own execution time.
+/// Entries for non-active nodes are 0.
+std::vector<Time> critical_path_lengths(const DepGraph& g,
+                                        const NodeSet& active);
+
+/// Longest path length over the whole active set: a makespan lower bound.
+Time critical_path(const DepGraph& g, const NodeSet& active);
+
+}  // namespace ais

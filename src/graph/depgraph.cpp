@@ -1,0 +1,69 @@
+#include "graph/depgraph.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace ais {
+
+NodeId DepGraph::add_node(std::string name, int exec_time, int fu_class,
+                          int block) {
+  AIS_CHECK(exec_time >= 1, "exec_time must be positive");
+  AIS_CHECK(fu_class >= 0, "fu_class must be nonnegative");
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(NodeInfo{std::move(name), exec_time, fu_class, block});
+  out_.emplace_back();
+  in_.emplace_back();
+  max_exec_time_ = std::max(max_exec_time_, exec_time);
+  total_work_ += exec_time;
+  return id;
+}
+
+void DepGraph::add_edge(NodeId from, NodeId to, int latency, int distance) {
+  AIS_CHECK(from < nodes_.size() && to < nodes_.size(),
+            "edge endpoint out of range");
+  AIS_CHECK(latency >= 0, "latency must be nonnegative");
+  AIS_CHECK(distance >= 0, "distance must be nonnegative");
+  AIS_CHECK(from != to || distance > 0,
+            "loop-independent self-dependence is a cycle");
+  const auto idx = static_cast<std::uint32_t>(edges_.size());
+  edges_.push_back(DepEdge{from, to, latency, distance});
+  out_[from].push_back(idx);
+  in_[to].push_back(idx);
+  if (distance > 0) ++carried_edge_count_;
+  max_latency_ = std::max(max_latency_, latency);
+}
+
+const NodeInfo& DepGraph::node(NodeId id) const {
+  AIS_CHECK(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+NodeInfo& DepGraph::node(NodeId id) {
+  AIS_CHECK(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+const DepEdge& DepGraph::edge(std::size_t idx) const {
+  AIS_CHECK(idx < edges_.size(), "edge index out of range");
+  return edges_[idx];
+}
+
+const std::vector<std::uint32_t>& DepGraph::out_edges(NodeId id) const {
+  AIS_CHECK(id < nodes_.size(), "node id out of range");
+  return out_[id];
+}
+
+const std::vector<std::uint32_t>& DepGraph::in_edges(NodeId id) const {
+  AIS_CHECK(id < nodes_.size(), "node id out of range");
+  return in_[id];
+}
+
+NodeId DepGraph::find(const std::string& name) const {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].name == name) return id;
+  }
+  return kInvalidNode;
+}
+
+}  // namespace ais

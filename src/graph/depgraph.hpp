@@ -1,0 +1,96 @@
+// Dependence graph: the paper's program representation.
+//
+// Nodes are instructions; directed edges carry a <latency, distance> label
+// (paper §5): an edge (x, y) with latency l and distance k means instance
+// y[i + k] may start no earlier than l cycles after x[i] completes.
+// distance == 0 is a loop-independent dependence; distance > 0 is
+// loop-carried.  For straight-line (trace) scheduling only distance-0 edges
+// exist and the graph restricted to them must be acyclic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ais {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Integral cycle count.  Signed so deadline arithmetic can go negative
+/// (a rank <= 0 signals infeasibility, per the Rank Algorithm).
+using Time = std::int64_t;
+
+struct DepEdge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  /// Cycles that must elapse between completion of `from` and start of `to`.
+  /// 0 means `to` may start the cycle `from` completes.
+  int latency = 0;
+  /// Iteration distance; 0 for loop-independent dependences.
+  int distance = 0;
+
+  bool carried() const { return distance > 0; }
+};
+
+struct NodeInfo {
+  std::string name;
+  /// Execution time in cycles (1 in the paper's exact model).
+  int exec_time = 1;
+  /// Functional-unit class index into the machine model (0 = default).
+  int fu_class = 0;
+  /// Basic-block index within the enclosing trace; kept on the node so the
+  /// legality checkers (Definitions 2.1-2.3) can recover subpermutations.
+  int block = 0;
+};
+
+class DepGraph {
+ public:
+  /// Adds a node and returns its id (ids are dense, starting at 0).
+  NodeId add_node(std::string name, int exec_time = 1, int fu_class = 0,
+                  int block = 0);
+
+  /// Adds a dependence edge.  Self-edges are only meaningful when carried.
+  void add_edge(NodeId from, NodeId to, int latency, int distance = 0);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  const NodeInfo& node(NodeId id) const;
+  NodeInfo& node(NodeId id);
+  const DepEdge& edge(std::size_t idx) const;
+
+  /// Indices into edges() of edges leaving / entering `id`.
+  const std::vector<std::uint32_t>& out_edges(NodeId id) const;
+  const std::vector<std::uint32_t>& in_edges(NodeId id) const;
+
+  const std::vector<DepEdge>& edges() const { return edges_; }
+
+  /// First node named `name`, or kInvalidNode.
+  NodeId find(const std::string& name) const;
+
+  /// True iff any edge has distance > 0.
+  bool has_carried_edges() const { return carried_edge_count_ > 0; }
+
+  /// Largest latency over all edges (0 for an edge-free graph).
+  int max_latency() const { return max_latency_; }
+
+  /// Largest execution time over all nodes (1 for an empty graph).
+  int max_exec_time() const { return max_exec_time_; }
+
+  /// Sum of execution times; the serial lower bound on any 1-FU makespan.
+  Time total_work() const { return total_work_; }
+
+ private:
+  std::vector<NodeInfo> nodes_;
+  std::vector<DepEdge> edges_;
+  std::vector<std::vector<std::uint32_t>> out_;
+  std::vector<std::vector<std::uint32_t>> in_;
+  std::size_t carried_edge_count_ = 0;
+  int max_latency_ = 0;
+  int max_exec_time_ = 1;
+  Time total_work_ = 0;
+};
+
+}  // namespace ais

@@ -1,0 +1,27 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+namespace ais {
+
+std::string to_dot(const DepGraph& g, const std::string& title) {
+  std::ostringstream os;
+  os << "digraph \"" << title << "\" {\n";
+  os << "  rankdir=TB;\n";
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    const NodeInfo& n = g.node(id);
+    os << "  n" << id << " [label=\"" << n.name;
+    if (n.exec_time != 1) os << " (" << n.exec_time << "c)";
+    os << "\"];\n";
+  }
+  for (const DepEdge& e : g.edges()) {
+    os << "  n" << e.from << " -> n" << e.to << " [label=\"<" << e.latency
+       << "," << e.distance << ">\"";
+    if (e.carried()) os << ", style=dashed";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ais

@@ -1,0 +1,15 @@
+// Graphviz DOT export for debugging and documentation.
+#pragma once
+
+#include <string>
+
+#include "graph/depgraph.hpp"
+
+namespace ais {
+
+/// Renders the whole graph.  Loop-carried edges are dashed and annotated
+/// with their <latency, distance> label; loop-independent edges show just
+/// the latency.
+std::string to_dot(const DepGraph& g, const std::string& title = "depgraph");
+
+}  // namespace ais

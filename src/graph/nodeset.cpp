@@ -1,0 +1,42 @@
+#include "graph/nodeset.hpp"
+
+#include "support/assert.hpp"
+
+namespace ais {
+
+NodeSet::NodeSet(std::size_t domain_size) : bits_(domain_size) {}
+
+NodeSet::NodeSet(std::size_t domain_size, const std::vector<NodeId>& ids)
+    : bits_(domain_size) {
+  for (const NodeId id : ids) insert(id);
+}
+
+NodeSet NodeSet::all(std::size_t domain_size) {
+  NodeSet s(domain_size);
+  for (std::size_t i = 0; i < domain_size; ++i) s.insert(static_cast<NodeId>(i));
+  return s;
+}
+
+void NodeSet::insert(NodeId id) { bits_.set(id); }
+void NodeSet::erase(NodeId id) { bits_.reset(id); }
+
+NodeSet& NodeSet::operator|=(const NodeSet& other) {
+  bits_ |= other.bits_;
+  return *this;
+}
+
+std::vector<NodeId> NodeSet::ids() const {
+  std::vector<NodeId> out;
+  out.reserve(size());
+  bits_.for_each([&out](std::size_t i) { out.push_back(static_cast<NodeId>(i)); });
+  return out;
+}
+
+NodeSet set_union(const NodeSet& a, const NodeSet& b) {
+  AIS_CHECK(a.domain_size() == b.domain_size(), "node set domain mismatch");
+  NodeSet out = a;
+  out |= b;
+  return out;
+}
+
+}  // namespace ais

@@ -1,0 +1,49 @@
+// A subset of a DepGraph's nodes.
+//
+// Algorithm Lookahead repeatedly schedules subsets ("old" suffix nodes plus
+// the "new" block), so every scheduling routine takes a NodeSet view rather
+// than copying subgraphs.
+#pragma once
+
+#include <vector>
+
+#include "graph/depgraph.hpp"
+#include "support/bitset.hpp"
+
+namespace ais {
+
+class NodeSet {
+ public:
+  /// Empty set over a domain of `domain_size` node ids.
+  explicit NodeSet(std::size_t domain_size);
+
+  /// Set containing exactly `ids` (duplicates collapse).
+  NodeSet(std::size_t domain_size, const std::vector<NodeId>& ids);
+
+  /// The full domain [0, domain_size).
+  static NodeSet all(std::size_t domain_size);
+
+  void insert(NodeId id);
+  void erase(NodeId id);
+  bool contains(NodeId id) const { return bits_.test(id); }
+  std::size_t size() const { return bits_.count(); }
+  bool empty() const { return bits_.none(); }
+  std::size_t domain_size() const { return bits_.size(); }
+
+  NodeSet& operator|=(const NodeSet& other);
+
+  bool operator==(const NodeSet& other) const = default;
+
+  /// Member ids in ascending order.
+  std::vector<NodeId> ids() const;
+
+  const DynamicBitset& bits() const { return bits_; }
+
+ private:
+  DynamicBitset bits_;
+};
+
+/// Union of two sets over the same domain.
+NodeSet set_union(const NodeSet& a, const NodeSet& b);
+
+}  // namespace ais

@@ -1,0 +1,52 @@
+#include "graph/topo.hpp"
+
+#include "support/assert.hpp"
+
+namespace ais {
+
+std::optional<std::vector<NodeId>> topo_order(const DepGraph& g,
+                                              const NodeSet& active) {
+  AIS_CHECK(active.domain_size() == g.num_nodes(), "node set domain mismatch");
+  const std::vector<NodeId> members = active.ids();
+  std::vector<std::uint32_t> indegree(g.num_nodes(), 0);
+  for (const NodeId id : members) {
+    for (const auto eidx : g.in_edges(id)) {
+      const DepEdge& e = g.edge(eidx);
+      if (e.distance == 0 && active.contains(e.from)) ++indegree[id];
+    }
+  }
+
+  std::vector<NodeId> ready;
+  for (const NodeId id : members) {
+    if (indegree[id] == 0) ready.push_back(id);
+  }
+
+  std::vector<NodeId> order;
+  order.reserve(members.size());
+  // Process smallest-id-first for determinism (ready acts as a stack; we
+  // sort lazily only when determinism matters for tie-breaking elsewhere, so
+  // a plain FIFO via index is sufficient and stable).
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const NodeId id = ready[head];
+    order.push_back(id);
+    for (const auto eidx : g.out_edges(id)) {
+      const DepEdge& e = g.edge(eidx);
+      if (e.distance != 0 || !active.contains(e.to)) continue;
+      if (--indegree[e.to] == 0) ready.push_back(e.to);
+    }
+  }
+  if (order.size() != members.size()) return std::nullopt;  // cycle
+  return order;
+}
+
+std::vector<NodeId> topo_order_all(const DepGraph& g) {
+  auto order = topo_order(g, NodeSet::all(g.num_nodes()));
+  AIS_CHECK(order.has_value(), "loop-independent subgraph has a cycle");
+  return *order;
+}
+
+bool is_acyclic(const DepGraph& g, const NodeSet& active) {
+  return topo_order(g, active).has_value();
+}
+
+}  // namespace ais

@@ -1,0 +1,28 @@
+// Topological ordering over the loop-independent subgraph.
+//
+// All scheduling passes consider only distance-0 edges between the active
+// nodes; loop modules first rewrite carried edges into an acyclic graph
+// (paper §5.2), so acyclicity of the loop-independent subgraph is an
+// invariant we check rather than assume.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/depgraph.hpp"
+#include "graph/nodeset.hpp"
+
+namespace ais {
+
+/// Topological order of `active` nodes using distance-0 edges only.
+/// Returns std::nullopt if the induced subgraph has a cycle.
+std::optional<std::vector<NodeId>> topo_order(const DepGraph& g,
+                                              const NodeSet& active);
+
+/// Topological order over all nodes.  Hard error on a cycle.
+std::vector<NodeId> topo_order_all(const DepGraph& g);
+
+/// True iff the loop-independent subgraph induced by `active` is acyclic.
+bool is_acyclic(const DepGraph& g, const NodeSet& active);
+
+}  // namespace ais

@@ -1,0 +1,206 @@
+#include "ir/depbuild.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/assert.hpp"
+
+namespace ais {
+namespace {
+
+/// Dense register index across the three register files.
+int reg_key(const Reg& r) {
+  return static_cast<int>(r.cls) * 256 + static_cast<int>(r.idx);
+}
+
+/// One instruction occurrence in the (possibly doubled) analysis sequence.
+struct Occurrence {
+  const Instruction* inst;
+  int block;  // block index within the trace
+  int copy;   // 0 = current iteration, 1 = next iteration (loop analysis)
+  NodeId node;  // node id in the output graph (same for both copies)
+};
+
+/// Collects dependence edges with (from, to, distance) dedup keeping the
+/// maximum latency, then emits them into the graph.
+class EdgeSink {
+ public:
+  explicit EdgeSink(DepGraph& g) : g_(g) {}
+
+  void add(NodeId from, NodeId to, int latency, int distance) {
+    if (distance == 0 && from == to) return;  // degenerate; nothing to order
+    const auto key = std::make_tuple(from, to, distance);
+    auto [it, inserted] = best_.emplace(key, latency);
+    if (!inserted) it->second = std::max(it->second, latency);
+  }
+
+  void flush() {
+    for (const auto& [key, latency] : best_) {
+      const auto& [from, to, distance] = key;
+      g_.add_edge(from, to, latency, distance);
+    }
+  }
+
+ private:
+  DepGraph& g_;
+  std::map<std::tuple<NodeId, NodeId, int>, int> best_;
+};
+
+/// True when references a and b may touch the same memory and at least one
+/// writes.
+bool mem_conflict(const Instruction& a, const Instruction& b,
+                  bool disambiguate) {
+  if (!a.is_mem() || !b.is_mem()) return false;
+  if (a.is_load() && b.is_load()) return false;
+  if (!disambiguate) return true;
+  const std::string& ta = a.mem->tag;
+  const std::string& tb = b.mem->tag;
+  if (ta.empty() || tb.empty()) return true;  // unknown region aliases all
+  return ta == tb;
+}
+
+int producer_latency(const Instruction& inst, const MachineModel& machine) {
+  return machine.timing(op_class(inst.op)).latency;
+}
+
+/// Scans `seq` in order adding register, memory and control dependences.
+/// An edge between occurrences of different copies becomes distance 1.
+void scan(const std::vector<Occurrence>& seq, const MachineModel& machine,
+          const DepBuildOptions& opts, EdgeSink& sink) {
+  struct RegState {
+    int last_def = -1;                // index into seq
+    std::vector<int> uses_since_def;  // reads after last_def
+  };
+  std::map<int, RegState> regs;
+  std::vector<int> mem_refs;  // indices of prior loads/stores
+
+  auto emit = [&](int from_idx, int to_idx, int latency) {
+    const Occurrence& a = seq[static_cast<std::size_t>(from_idx)];
+    const Occurrence& b = seq[static_cast<std::size_t>(to_idx)];
+    const int distance = b.copy - a.copy;
+    AIS_CHECK(distance >= 0, "dependence cannot point backwards in copies");
+    // Copy-1 internal edges duplicate copy-0 internal edges; drop them.
+    if (a.copy == 1 && b.copy == 1) return;
+    sink.add(a.node, b.node, latency, distance);
+  };
+
+  for (int j = 0; j < static_cast<int>(seq.size()); ++j) {
+    const Instruction& inst = *seq[static_cast<std::size_t>(j)].inst;
+
+    // RAW: latest def of each used register.
+    for (const Reg& r : inst.uses) {
+      RegState& st = regs[reg_key(r)];
+      if (st.last_def >= 0) {
+        const Instruction& def =
+            *seq[static_cast<std::size_t>(st.last_def)].inst;
+        emit(st.last_def, j, producer_latency(def, machine));
+      }
+      st.uses_since_def.push_back(j);
+    }
+
+    // WAW + WAR for each defined register.
+    for (const Reg& r : inst.defs) {
+      RegState& st = regs[reg_key(r)];
+      if (st.last_def >= 0 && st.last_def != j) emit(st.last_def, j, 0);
+      for (const int u : st.uses_since_def) {
+        if (u != j) emit(u, j, 0);
+      }
+      st.last_def = j;
+      st.uses_since_def.clear();
+    }
+
+    // Memory ordering.
+    if (inst.is_mem()) {
+      for (const int prior : mem_refs) {
+        const Instruction& p = *seq[static_cast<std::size_t>(prior)].inst;
+        if (!mem_conflict(p, inst, opts.disambiguate_memory)) continue;
+        // store→load is a true dependence through memory and carries the
+        // store's forwarding latency; load→store / store→store order only.
+        const int latency =
+            (p.is_store() && inst.is_load()) ? producer_latency(p, machine) : 0;
+        emit(prior, j, latency);
+      }
+      mem_refs.push_back(j);
+    }
+  }
+
+  // Control dependences: within each (block, copy), everything precedes the
+  // final branch.
+  if (opts.control_deps) {
+    for (std::size_t j = 0; j < seq.size(); ++j) {
+      const Occurrence& br = seq[j];
+      if (!br.inst->is_branch()) continue;
+      for (std::size_t i = 0; i < j; ++i) {
+        const Occurrence& prev = seq[i];
+        if (prev.block == br.block && prev.copy == br.copy) {
+          emit(static_cast<int>(i), static_cast<int>(j), 0);
+        }
+      }
+    }
+  }
+}
+
+/// Validates block structure: at most one branch, and only at the end.
+void check_block(const BasicBlock& bb) {
+  for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+    if (bb.insts[i].is_branch()) {
+      AIS_CHECK(i + 1 == bb.insts.size(),
+                "branch must be the final instruction of block " + bb.label);
+    }
+  }
+}
+
+DepGraph build(const Trace& trace, const MachineModel& machine,
+               const DepBuildOptions& opts, bool loop_carried) {
+  DepGraph g;
+  std::vector<Occurrence> seq;
+
+  for (int b = 0; b < static_cast<int>(trace.blocks.size()); ++b) {
+    const BasicBlock& bb = trace.blocks[static_cast<std::size_t>(b)];
+    check_block(bb);
+    for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+      const Instruction& inst = bb.insts[i];
+      const OpTiming& t = machine.timing(op_class(inst.op));
+      const NodeId node = g.add_node(inst.to_string(), t.exec_time, t.fu_class,
+                                     /*block=*/b);
+      seq.push_back(Occurrence{&inst, b, /*copy=*/0, node});
+    }
+  }
+
+  if (loop_carried) {
+    // Second copy of the body; nodes reuse the copy-0 ids so copy-0→copy-1
+    // edges fold into distance-1 edges.
+    const std::size_t body_size = seq.size();
+    for (std::size_t k = 0; k < body_size; ++k) {
+      Occurrence occ = seq[k];
+      occ.copy = 1;
+      seq.push_back(occ);
+    }
+  }
+
+  EdgeSink sink(g);
+  scan(seq, machine, opts, sink);
+  sink.flush();
+  return g;
+}
+
+}  // namespace
+
+DepGraph build_block_graph(const BasicBlock& bb, const MachineModel& machine,
+                           const DepBuildOptions& opts) {
+  Trace t;
+  t.blocks.push_back(bb);
+  return build(t, machine, opts, /*loop_carried=*/false);
+}
+
+DepGraph build_trace_graph(const Trace& trace, const MachineModel& machine,
+                           const DepBuildOptions& opts) {
+  return build(trace, machine, opts, /*loop_carried=*/false);
+}
+
+DepGraph build_loop_graph(const Loop& loop, const MachineModel& machine,
+                          const DepBuildOptions& opts) {
+  return build(loop.body, machine, opts, /*loop_carried=*/true);
+}
+
+}  // namespace ais

@@ -1,0 +1,47 @@
+// Dependence analysis: IR -> DepGraph.
+//
+// Builds the <latency, distance>-labelled dependence graph (paper §2, §5)
+// from a basic block, a trace, or a loop body:
+//
+//  * true (RAW) register dependences carry the producer's latency from the
+//    machine model; anti (WAR) and output (WAW) dependences carry latency 0,
+//  * memory dependences are disambiguated by symbolic region tags
+//    (store→load true dependences carry the store latency),
+//  * control dependences force every instruction of a block to precede the
+//    block-ending branch (latency 0), exactly as in Fig. 3,
+//  * loop-carried dependences (distance 1) are found by analysing two
+//    concatenated copies of the body and folding copy-1 → copy-2 edges.
+//
+// Note on traces: register/memory dependences are computed across block
+// boundaries as well (the w→z edge of Fig. 2 is such an edge), but control
+// dependences never cross blocks — the lookahead hardware is responsible
+// for rolling back eagerly-executed instructions of a mispredicted block.
+#pragma once
+
+#include "graph/depgraph.hpp"
+#include "ir/instruction.hpp"
+#include "machine/machine_model.hpp"
+
+namespace ais {
+
+struct DepBuildOptions {
+  /// Add latency-0 edges from every instruction to the block-ending branch.
+  bool control_deps = true;
+  /// Treat distinct non-empty memory tags as provably disjoint regions.
+  bool disambiguate_memory = true;
+};
+
+/// Dependence graph of a single basic block (all nodes have block = 0).
+DepGraph build_block_graph(const BasicBlock& bb, const MachineModel& machine,
+                           const DepBuildOptions& opts = {});
+
+/// Dependence graph of a trace; node i of block b gets NodeInfo::block = b.
+DepGraph build_trace_graph(const Trace& trace, const MachineModel& machine,
+                           const DepBuildOptions& opts = {});
+
+/// Dependence graph of a loop body: the trace graph plus loop-carried
+/// (distance-1) edges between iterations.
+DepGraph build_loop_graph(const Loop& loop, const MachineModel& machine,
+                          const DepBuildOptions& opts = {});
+
+}  // namespace ais

@@ -1,0 +1,227 @@
+#include "ir/instruction.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace ais {
+
+std::string Reg::to_string() const {
+  const char prefix = cls == RegClass::kGpr ? 'r'
+                      : cls == RegClass::kFpr ? 'f'
+                                              : 'c';
+  return prefix + std::to_string(idx);
+}
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kLi: return "LI";
+    case Opcode::kMov: return "MOV";
+    case Opcode::kAdd: return "ADD";
+    case Opcode::kSub: return "SUB";
+    case Opcode::kAnd: return "AND";
+    case Opcode::kOr: return "OR";
+    case Opcode::kXor: return "XOR";
+    case Opcode::kShl: return "SHL";
+    case Opcode::kShr: return "SHR";
+    case Opcode::kMul: return "MUL";
+    case Opcode::kDiv: return "DIV";
+    case Opcode::kLoad: return "LD";
+    case Opcode::kLoadU: return "LDU";
+    case Opcode::kStore: return "ST";
+    case Opcode::kStoreU: return "STU";
+    case Opcode::kFAdd: return "FADD";
+    case Opcode::kFMul: return "FMUL";
+    case Opcode::kFDiv: return "FDIV";
+    case Opcode::kFMa: return "FMA";
+    case Opcode::kCmp: return "CMP";
+    case Opcode::kBt: return "BT";
+    case Opcode::kBf: return "BF";
+    case Opcode::kB: return "B";
+    case Opcode::kNop: return "NOP";
+  }
+  return "?";
+}
+
+OpClass op_class(Opcode op) {
+  switch (op) {
+    case Opcode::kLi:
+    case Opcode::kMov: return OpClass::kMove;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr: return OpClass::kIntAlu;
+    case Opcode::kMul: return OpClass::kIntMul;
+    case Opcode::kDiv: return OpClass::kIntDiv;
+    case Opcode::kLoad:
+    case Opcode::kLoadU: return OpClass::kLoad;
+    case Opcode::kStore:
+    case Opcode::kStoreU: return OpClass::kStore;
+    case Opcode::kFAdd: return OpClass::kFpAdd;
+    case Opcode::kFMul:
+    case Opcode::kFMa: return OpClass::kFpMul;
+    case Opcode::kFDiv: return OpClass::kFpDiv;
+    case Opcode::kCmp: return OpClass::kCompare;
+    case Opcode::kBt:
+    case Opcode::kBf:
+    case Opcode::kB: return OpClass::kBranch;
+    case Opcode::kNop: return OpClass::kNop;
+  }
+  return OpClass::kNop;
+}
+
+bool opcode_is_branch(Opcode op) {
+  return op == Opcode::kBt || op == Opcode::kBf || op == Opcode::kB;
+}
+
+namespace {
+
+std::string mem_to_string(const MemRef& m) {
+  std::ostringstream os;
+  if (!m.tag.empty()) os << m.tag;
+  os << '[' << m.base.to_string();
+  if (m.offset >= 0) {
+    os << '+' << m.offset;
+  } else {
+    os << m.offset;
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace
+
+std::string Instruction::to_string() const {
+  std::ostringstream os;
+  os << opcode_name(op);
+  if (is_store()) {
+    os << ' ' << mem_to_string(*mem) << ", " << uses[0].to_string();
+    return os.str();
+  }
+  if (is_load()) {
+    os << ' ' << defs[0].to_string() << ", " << mem_to_string(*mem);
+    return os.str();
+  }
+  if (is_branch()) {
+    os << ' ';
+    if (!uses.empty()) os << uses[0].to_string() << ", ";
+    os << target;
+    return os.str();
+  }
+  bool first = true;
+  for (const Reg& d : defs) {
+    os << (first ? " " : ", ") << d.to_string();
+    first = false;
+  }
+  for (const Reg& u : uses) {
+    os << (first ? " " : ", ") << u.to_string();
+    first = false;
+  }
+  // Immediate-consuming forms print their constant so the rendering parses
+  // back to the same instruction (aisc round-trips its own output).
+  const bool imm_form =
+      op == Opcode::kLi || op == Opcode::kCmp ||
+      (uses.size() == 1 && defs.size() == 1 &&
+       (op_class(op) == OpClass::kIntAlu || op_class(op) == OpClass::kIntMul ||
+        op_class(op) == OpClass::kIntDiv || op_class(op) == OpClass::kFpAdd ||
+        op_class(op) == OpClass::kFpMul || op_class(op) == OpClass::kFpDiv));
+  if (imm_form) {
+    os << (first ? " " : ", ") << imm;
+  }
+  return os.str();
+}
+
+Instruction Instruction::li(Reg d, std::int64_t imm) {
+  Instruction i;
+  i.op = Opcode::kLi;
+  i.defs = {d};
+  i.imm = imm;
+  return i;
+}
+
+Instruction Instruction::mov(Reg d, Reg s) {
+  Instruction i;
+  i.op = Opcode::kMov;
+  i.defs = {d};
+  i.uses = {s};
+  return i;
+}
+
+Instruction Instruction::alu(Opcode op, Reg d, Reg a, Reg b) {
+  Instruction i;
+  i.op = op;
+  i.defs = {d};
+  i.uses = {a, b};
+  return i;
+}
+
+Instruction Instruction::alu_imm(Opcode op, Reg d, Reg a, std::int64_t imm) {
+  Instruction i;
+  i.op = op;
+  i.defs = {d};
+  i.uses = {a};
+  i.imm = imm;
+  return i;
+}
+
+Instruction Instruction::load(Reg d, MemRef m, bool update) {
+  Instruction i;
+  i.op = update ? Opcode::kLoadU : Opcode::kLoad;
+  i.defs = {d};
+  i.uses = {m.base};
+  if (update) i.defs.push_back(m.base);
+  i.mem = std::move(m);
+  return i;
+}
+
+Instruction Instruction::store(MemRef m, Reg s, bool update) {
+  Instruction i;
+  i.op = update ? Opcode::kStoreU : Opcode::kStore;
+  i.uses = {s, m.base};
+  if (update) i.defs.push_back(m.base);
+  i.mem = std::move(m);
+  return i;
+}
+
+Instruction Instruction::fma(Reg d, Reg a, Reg b, Reg c) {
+  Instruction i;
+  i.op = Opcode::kFMa;
+  i.defs = {d};
+  i.uses = {a, b, c};
+  return i;
+}
+
+Instruction Instruction::cmp(Reg crd, Reg a, std::int64_t imm) {
+  AIS_CHECK(crd.cls == RegClass::kCr, "CMP destination must be a cr");
+  Instruction i;
+  i.op = Opcode::kCmp;
+  i.defs = {crd};
+  i.uses = {a};
+  i.imm = imm;
+  return i;
+}
+
+Instruction Instruction::branch(Opcode op, Reg crs, std::string target) {
+  AIS_CHECK(op == Opcode::kBt || op == Opcode::kBf,
+            "conditional branch opcode expected");
+  AIS_CHECK(crs.cls == RegClass::kCr, "branch condition must be a cr");
+  Instruction i;
+  i.op = op;
+  i.uses = {crs};
+  i.target = std::move(target);
+  return i;
+}
+
+Instruction Instruction::jump(std::string target) {
+  Instruction i;
+  i.op = Opcode::kB;
+  i.target = std::move(target);
+  return i;
+}
+
+Instruction Instruction::nop() { return Instruction{}; }
+
+}  // namespace ais

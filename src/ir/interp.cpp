@@ -1,0 +1,162 @@
+#include "ir/interp.hpp"
+
+#include "support/assert.hpp"
+#include "support/prng.hpp"
+
+namespace ais {
+namespace {
+
+/// Deterministic "uninitialized memory" contents.
+std::int64_t phantom_value(const std::string& tag, std::int64_t addr) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull ^ static_cast<std::uint64_t>(addr);
+  for (const char ch : tag) h = (h ^ static_cast<std::uint64_t>(ch)) * 31;
+  return static_cast<std::int64_t>(splitmix64(h));
+}
+
+std::uint64_t u(std::int64_t v) { return static_cast<std::uint64_t>(v); }
+std::int64_t s(std::uint64_t v) { return static_cast<std::int64_t>(v); }
+
+}  // namespace
+
+std::int64_t InterpState::get(Reg r) const {
+  switch (r.cls) {
+    case RegClass::kGpr: return gpr_[r.idx];
+    case RegClass::kFpr: return fpr_[r.idx];
+    case RegClass::kCr: return cr_[r.idx % cr_.size()];
+  }
+  return 0;
+}
+
+void InterpState::set(Reg r, std::int64_t v) {
+  switch (r.cls) {
+    case RegClass::kGpr: gpr_[r.idx] = v; return;
+    case RegClass::kFpr: fpr_[r.idx] = v; return;
+    case RegClass::kCr: cr_[r.idx % cr_.size()] = v; return;
+  }
+}
+
+std::int64_t InterpState::load(const std::string& tag,
+                               std::int64_t addr) const {
+  const auto it = memory_.find({tag, addr});
+  return it == memory_.end() ? phantom_value(tag, addr) : it->second;
+}
+
+void InterpState::store(const std::string& tag, std::int64_t addr,
+                        std::int64_t v) {
+  memory_[{tag, addr}] = v;
+}
+
+bool InterpState::equal_architectural(const InterpState& other,
+                                      std::uint8_t temp_base) const {
+  for (std::size_t i = 0; i < temp_base; ++i) {
+    if (gpr_[i] != other.gpr_[i] || fpr_[i] != other.fpr_[i]) return false;
+  }
+  return cr_ == other.cr_ && memory_ == other.memory_ &&
+         last_branch_taken_ == other.last_branch_taken_;
+}
+
+InterpState InterpState::random(std::uint64_t seed) {
+  Prng prng(seed);
+  InterpState state;
+  for (int i = 0; i < 256; ++i) {
+    state.gpr_[static_cast<std::size_t>(i)] =
+        prng.uniform(-1000, 1000);
+    state.fpr_[static_cast<std::size_t>(i)] =
+        prng.uniform(-1000, 1000);
+  }
+  for (auto& c : state.cr_) c = prng.uniform(0, 1);
+  return state;
+}
+
+void execute(const Instruction& inst, InterpState& state) {
+  auto src = [&](std::size_t i) { return state.get(inst.uses[i]); };
+
+  switch (inst.op) {
+    case Opcode::kLi:
+      state.set(inst.defs[0], inst.imm);
+      return;
+    case Opcode::kMov:
+      state.set(inst.defs[0], src(0));
+      return;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kFAdd:
+    case Opcode::kFMul:
+    case Opcode::kFDiv: {
+      const std::int64_t a = src(0);
+      const std::int64_t b = inst.uses.size() > 1 ? src(1) : inst.imm;
+      std::int64_t r = 0;
+      switch (inst.op) {
+        case Opcode::kAdd: r = s(u(a) + u(b)); break;
+        case Opcode::kSub: r = s(u(a) - u(b)); break;
+        case Opcode::kAnd: r = a & b; break;
+        case Opcode::kOr: r = a | b; break;
+        case Opcode::kXor: r = a ^ b; break;
+        case Opcode::kShl: r = s(u(a) << (u(b) & 63)); break;
+        case Opcode::kShr: r = s(u(a) >> (u(b) & 63)); break;
+        case Opcode::kMul: r = s(u(a) * u(b)); break;
+        case Opcode::kDiv: r = (b == 0) ? 0 : a / b; break;
+        // FP ops: distinct deterministic mixers (dataflow fidelity only).
+        case Opcode::kFAdd: r = s(u(a) + u(b) + 0x5f5eull); break;
+        case Opcode::kFMul: r = s(u(a) * (u(b) | 1) + 0xfabull); break;
+        case Opcode::kFDiv: r = (b == 0) ? 1 : s(u(a / b) ^ 0xd1ull); break;
+        default: break;
+      }
+      state.set(inst.defs[0], r);
+      return;
+    }
+    case Opcode::kFMa:
+      state.set(inst.defs[0], s(u(src(0)) * (u(src(1)) | 1) + u(src(2))));
+      return;
+    case Opcode::kLoad:
+    case Opcode::kLoadU: {
+      const MemRef& m = *inst.mem;
+      const std::int64_t addr = s(u(state.get(m.base)) + u(m.offset));
+      state.set(inst.defs[0], state.load(m.tag, addr));
+      if (inst.op == Opcode::kLoadU) state.set(m.base, addr);
+      return;
+    }
+    case Opcode::kStore:
+    case Opcode::kStoreU: {
+      const MemRef& m = *inst.mem;
+      const std::int64_t addr = s(u(state.get(m.base)) + u(m.offset));
+      state.store(m.tag, addr, src(0));
+      if (inst.op == Opcode::kStoreU) state.set(m.base, addr);
+      return;
+    }
+    case Opcode::kCmp:
+      state.set(inst.defs[0], src(0) == inst.imm ? 1 : 0);
+      return;
+    case Opcode::kBt:
+      state.set_last_branch_taken(src(0) != 0);
+      return;
+    case Opcode::kBf:
+      state.set_last_branch_taken(src(0) == 0);
+      return;
+    case Opcode::kB:
+      state.set_last_branch_taken(true);
+      return;
+    case Opcode::kNop:
+      return;
+  }
+  AIS_CHECK(false, "unhandled opcode in interpreter");
+}
+
+InterpState run_block(const BasicBlock& bb, InterpState state) {
+  for (const Instruction& inst : bb.insts) execute(inst, state);
+  return state;
+}
+
+InterpState run_trace(const Trace& trace, InterpState state) {
+  for (const BasicBlock& bb : trace.blocks) state = run_block(bb, state);
+  return state;
+}
+
+}  // namespace ais

@@ -1,0 +1,69 @@
+// A functional interpreter for the toy ISA.
+//
+// Purpose: *semantic verification of schedules*.  Instruction scheduling is
+// only correct if the reordered code computes the same final state as the
+// original; running both orders through this interpreter from the same
+// initial state is an end-to-end oracle over the dependence analyzer and
+// every scheduler (tests/test_interp.cpp).
+//
+// Semantics are deterministic and total: integer arithmetic wraps, division
+// by zero yields 0, floating ops are modelled as distinct integer mixers
+// (we care about dataflow equivalence, not IEEE), and loads from
+// never-written addresses return a fixed hash of the address so both runs
+// observe identical "uninitialized" memory.  Each memory tag is its own
+// address space (matching the disambiguation model: distinct tags are
+// provably disjoint regions); the empty tag is one shared default space.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ir/instruction.hpp"
+
+namespace ais {
+
+class InterpState {
+ public:
+  std::int64_t get(Reg r) const;
+  void set(Reg r, std::int64_t v);
+
+  std::int64_t load(const std::string& tag, std::int64_t addr) const;
+  void store(const std::string& tag, std::int64_t addr, std::int64_t v);
+
+  /// Whether the last conditional branch evaluated taken.
+  bool last_branch_taken() const { return last_branch_taken_; }
+  void set_last_branch_taken(bool taken) { last_branch_taken_ = taken; }
+
+  /// Deep equality (registers, memory, branch outcome).
+  bool operator==(const InterpState&) const = default;
+
+  /// Equality over the architectural state only: general/float registers
+  /// below `temp_base`, all condition registers, memory, branch outcome.
+  /// Used to compare register-renamed code, whose temporaries (>= temp_base)
+  /// are scratch.
+  bool equal_architectural(const InterpState& other,
+                           std::uint8_t temp_base) const;
+
+  /// Seeds registers with reproducible pseudo-random values.
+  static InterpState random(std::uint64_t seed);
+
+ private:
+  std::array<std::int64_t, 256> gpr_{};
+  std::array<std::int64_t, 256> fpr_{};
+  std::array<std::int64_t, 8> cr_{};
+  std::map<std::pair<std::string, std::int64_t>, std::int64_t> memory_;
+  bool last_branch_taken_ = false;
+};
+
+/// Executes one instruction.
+void execute(const Instruction& inst, InterpState& state);
+
+/// Executes a basic block front to back.
+InterpState run_block(const BasicBlock& bb, InterpState state);
+
+/// Executes the blocks of a trace in order (the fall-through path).
+InterpState run_trace(const Trace& trace, InterpState state);
+
+}  // namespace ais

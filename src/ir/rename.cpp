@@ -1,0 +1,125 @@
+#include "ir/rename.hpp"
+
+#include <array>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace ais {
+namespace {
+
+int reg_key(const Reg& r) {
+  return static_cast<int>(r.cls) * 256 + static_cast<int>(r.idx);
+}
+
+bool renameable(const Reg& r, const RenameOptions& opts) {
+  return r.cls != RegClass::kCr && r.idx < opts.temp_base;
+}
+
+}  // namespace
+
+namespace {
+
+/// Core renamer; `counters` carries the next free temp per register file so
+/// consecutive blocks of a trace draw from disjoint temps (block-crossing
+/// temp reuse would add false WAW edges between unrelated blocks).
+BasicBlock rename_block_impl(const BasicBlock& bb, const RenameOptions& opts,
+                             RenameStats* stats,
+                             std::array<int, 2>& next_temp) {
+  // Pass 1a: update-form loads/stores write back through their (tied) base
+  // register; renaming such a register would redirect the update.  Exempt
+  // every register that ever serves as an update-form base.
+  std::set<int> exempt;
+  for (const Instruction& inst : bb.insts) {
+    if (inst.mem.has_value() &&
+        (inst.op == Opcode::kLoadU || inst.op == Opcode::kStoreU)) {
+      exempt.insert(reg_key(inst.mem->base));
+    }
+  }
+
+  // Pass 1b: index of the last definition of each architectural register.
+  std::map<int, std::size_t> last_def;
+  for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+    for (const Reg& d : bb.insts[i].defs) {
+      if (renameable(d, opts) && exempt.count(reg_key(d)) == 0) {
+        last_def[reg_key(d)] = i;
+      }
+    }
+  }
+
+  // Pass 2: rewrite.  current[] maps an architectural register to the name
+  // holding its current value (itself, or a temp for non-final defs).
+  std::map<int, Reg> current;
+  RenameStats local;
+
+  auto rewrite_use = [&current](Reg& r) {
+    const auto it = current.find(reg_key(r));
+    if (it != current.end()) r = it->second;
+  };
+
+  BasicBlock out;
+  out.label = bb.label;
+  for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+    Instruction inst = bb.insts[i];
+    // Uses read the current name (including memory base registers).
+    for (Reg& u : inst.uses) rewrite_use(u);
+    if (inst.mem.has_value()) rewrite_use(inst.mem->base);
+
+    for (Reg& d : inst.defs) {
+      if (!renameable(d, opts)) continue;
+      const int key = reg_key(d);
+      if (exempt.count(key) != 0) continue;
+      if (last_def.at(key) == i) {
+        current.erase(key);  // the final def lands in the real register
+        continue;
+      }
+      auto& counter =
+          next_temp[d.cls == RegClass::kGpr ? 0 : 1];
+      if (counter > 255) {
+        local.pool_exhausted = true;
+        current.erase(key);
+        continue;
+      }
+      const Reg temp{d.cls, static_cast<std::uint8_t>(counter++)};
+      current[key] = temp;
+      d = temp;
+      ++local.defs_renamed;
+    }
+    out.insts.push_back(std::move(inst));
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace
+
+BasicBlock rename_block(const BasicBlock& bb, const RenameOptions& opts,
+                        RenameStats* stats) {
+  std::array<int, 2> counters = {opts.temp_base, opts.temp_base};
+  return rename_block_impl(bb, opts, stats, counters);
+}
+
+Trace rename_trace(const Trace& trace, const RenameOptions& opts,
+                   RenameStats* stats) {
+  Trace out;
+  RenameStats total;
+  std::array<int, 2> counters = {opts.temp_base, opts.temp_base};
+  for (const BasicBlock& bb : trace.blocks) {
+    // Temp chains are block-local, so once a register file's counter nears
+    // the top it is safe to wrap for the *next* block (within-block
+    // exhaustion is still reported via pool_exhausted).
+    for (auto& c : counters) {
+      if (c > 224) c = opts.temp_base;
+    }
+    RenameStats s;
+    out.blocks.push_back(rename_block_impl(bb, opts, &s, counters));
+    total.defs_renamed += s.defs_renamed;
+    total.pool_exhausted = total.pool_exhausted || s.pool_exhausted;
+  }
+  if (stats != nullptr) *stats = total;
+  return out;
+}
+
+}  // namespace ais

@@ -1,0 +1,40 @@
+// Local register renaming: breaks anti (WAR) and output (WAW) dependences
+// inside a block by giving every non-final definition of a register a fresh
+// temporary.
+//
+// The paper's related work (§6) notes that schedulers either carry
+// allocator-induced anti-dependences in the graph (Gibbons-Muchnick) or
+// assume they were avoided upstream; this pass realizes the latter.  The
+// block's register *interface* is preserved exactly: the last write to each
+// architectural register still lands in that register, and reads of
+// incoming values still read it — so cross-block dataflow, memory and
+// branch behaviour are untouched (verified by the interpreter oracle).
+#pragma once
+
+#include "ir/instruction.hpp"
+
+namespace ais {
+
+struct RenameOptions {
+  /// Temporaries are allocated upward from this index in each register
+  /// file; program registers are assumed to live below it.  Condition
+  /// registers are never renamed (the file is tiny and branch-coupled).
+  std::uint8_t temp_base = 128;
+};
+
+struct RenameStats {
+  /// Definitions moved to temporaries (= WAW chains broken).
+  int defs_renamed = 0;
+  /// Renaming stopped early because a register file ran out of temps.
+  bool pool_exhausted = false;
+};
+
+/// Renames one block.  Instruction count and order are unchanged.
+BasicBlock rename_block(const BasicBlock& bb, const RenameOptions& opts = {},
+                        RenameStats* stats = nullptr);
+
+/// Renames every block of a trace independently.
+Trace rename_trace(const Trace& trace, const RenameOptions& opts = {},
+                   RenameStats* stats = nullptr);
+
+}  // namespace ais

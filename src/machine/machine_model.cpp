@@ -1,0 +1,72 @@
+#include "machine/machine_model.hpp"
+
+#include "support/assert.hpp"
+
+namespace ais {
+
+const char* op_class_name(OpClass cls) {
+  switch (cls) {
+    case OpClass::kIntAlu: return "int-alu";
+    case OpClass::kIntMul: return "int-mul";
+    case OpClass::kIntDiv: return "int-div";
+    case OpClass::kLoad: return "load";
+    case OpClass::kStore: return "store";
+    case OpClass::kFpAdd: return "fp-add";
+    case OpClass::kFpMul: return "fp-mul";
+    case OpClass::kFpDiv: return "fp-div";
+    case OpClass::kCompare: return "compare";
+    case OpClass::kBranch: return "branch";
+    case OpClass::kMove: return "move";
+    case OpClass::kNop: return "nop";
+  }
+  return "?";
+}
+
+MachineModel::MachineModel(std::string name,
+                           std::vector<FuClassInfo> fu_classes,
+                           int issue_width, int default_window)
+    : name_(std::move(name)),
+      fu_classes_(std::move(fu_classes)),
+      issue_width_(issue_width),
+      default_window_(default_window) {
+  AIS_CHECK(!fu_classes_.empty(), "machine needs at least one FU class");
+  for (const auto& fu : fu_classes_) {
+    AIS_CHECK(fu.count >= 1, "FU class must have at least one unit");
+  }
+  AIS_CHECK(issue_width_ >= 1, "issue width must be positive");
+  AIS_CHECK(default_window_ >= 1, "window size must be positive");
+}
+
+int MachineModel::fu_count(int fu_class) const {
+  AIS_CHECK(fu_class >= 0 && fu_class < num_fu_classes(),
+            "fu_class out of range");
+  return fu_classes_[static_cast<std::size_t>(fu_class)].count;
+}
+
+int MachineModel::total_units() const {
+  int total = 0;
+  for (const auto& fu : fu_classes_) total += fu.count;
+  return total;
+}
+
+void MachineModel::set_timing(OpClass cls, OpTiming t) {
+  AIS_CHECK(t.fu_class >= 0 && t.fu_class < num_fu_classes(),
+            "timing references unknown FU class");
+  AIS_CHECK(t.exec_time >= 1, "exec_time must be positive");
+  AIS_CHECK(t.latency >= 0, "latency must be nonnegative");
+  timings_[static_cast<std::size_t>(cls)] = t;
+}
+
+const OpTiming& MachineModel::timing(OpClass cls) const {
+  return timings_[static_cast<std::size_t>(cls)];
+}
+
+bool MachineModel::is_restricted_case() const {
+  if (total_units() != 1 || issue_width_ != 1) return false;
+  for (const auto& t : timings_) {
+    if (t.exec_time != 1 || t.latency > 1) return false;
+  }
+  return true;
+}
+
+}  // namespace ais

@@ -1,0 +1,110 @@
+// Machine models: functional-unit classes, per-operation timings, issue
+// width and the default hardware lookahead window size.
+//
+// The paper's exact results assume the "restricted case": a single
+// functional unit, unit execution times and latencies in {0, 1}.  The
+// heuristic extensions of §4.2 target the "assigned processor model":
+// typed functional units, non-unit execution times and latencies > 1.
+// A MachineModel instance describes one such machine.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ais {
+
+/// Operation classes the timing table is keyed on.  The IR maps each opcode
+/// to one of these; workload generators may also use them directly.
+enum class OpClass : std::uint8_t {
+  kIntAlu,
+  kIntMul,
+  kIntDiv,
+  kLoad,
+  kStore,
+  kFpAdd,
+  kFpMul,
+  kFpDiv,
+  kCompare,
+  kBranch,
+  kMove,
+  kNop,
+};
+
+inline constexpr std::size_t kNumOpClasses = 12;
+
+const char* op_class_name(OpClass cls);
+
+/// Timing of one operation class on a particular machine.
+struct OpTiming {
+  /// Index into MachineModel::fu_classes of the unit type that executes it.
+  int fu_class = 0;
+  /// Cycles the instruction occupies its functional unit.
+  int exec_time = 1;
+  /// Cycles consumers must wait after completion before starting (the
+  /// paper's edge latency for true dependences).
+  int latency = 0;
+};
+
+struct FuClassInfo {
+  std::string name;
+  /// Number of identical units of this class.
+  int count = 1;
+};
+
+class MachineModel {
+ public:
+  MachineModel(std::string name, std::vector<FuClassInfo> fu_classes,
+               int issue_width, int default_window);
+
+  const std::string& name() const { return name_; }
+  const std::vector<FuClassInfo>& fu_classes() const { return fu_classes_; }
+  int num_fu_classes() const { return static_cast<int>(fu_classes_.size()); }
+
+  /// Units of a given class.
+  int fu_count(int fu_class) const;
+
+  /// Total units across classes.
+  int total_units() const;
+
+  /// Maximum instructions issued per cycle.
+  int issue_width() const { return issue_width_; }
+
+  /// Default hardware lookahead window size W (paper §2.3 notes W is
+  /// "usually very small, typically < 10").  Simulators accept overrides.
+  int default_window() const { return default_window_; }
+
+  void set_timing(OpClass cls, OpTiming t);
+  const OpTiming& timing(OpClass cls) const;
+
+  /// True iff this machine satisfies the paper's restricted (provably
+  /// optimal) case: one unit, unit exec times, latencies in {0, 1}.
+  bool is_restricted_case() const;
+
+ private:
+  std::string name_;
+  std::vector<FuClassInfo> fu_classes_;
+  int issue_width_;
+  int default_window_;
+  std::array<OpTiming, kNumOpClasses> timings_{};
+};
+
+/// --- Presets -------------------------------------------------------------
+
+/// Single FU, unit exec times, 0/1 latencies: the paper's exact model.
+MachineModel scalar01();
+
+/// RS/6000-flavoured single-issue machine with typed units and the Fig. 3
+/// latencies (load 1, compare 1, fixed-point multiply 4).
+MachineModel rs6000_like();
+
+/// Single FU but deeper pipeline: latencies up to 4 (heuristic regime of
+/// §4.2 "longer latencies").
+MachineModel deep_pipeline();
+
+/// 4-wide machine (2 integer, 1 memory, 1 FP unit): the "assigned processor
+/// model" / VLIW special case discussed in §6.
+MachineModel vliw4();
+
+}  // namespace ais

@@ -1,0 +1,270 @@
+#include "pipeline/modulo.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "graph/critpath.hpp"
+#include "graph/nodeset.hpp"
+#include "support/assert.hpp"
+
+namespace ais {
+namespace {
+
+/// True iff the II-adjusted constraint graph has a positive cycle
+/// (Bellman-Ford longest-path relaxation fails to settle).
+bool has_positive_cycle(const DepGraph& g, int ii) {
+  std::vector<Time> dist(g.num_nodes(), 0);
+  for (std::size_t round = 0; round <= g.num_nodes(); ++round) {
+    bool relaxed = false;
+    for (const DepEdge& e : g.edges()) {
+      const Time w = g.node(e.from).exec_time + e.latency -
+                     static_cast<Time>(ii) * e.distance;
+      if (dist[e.from] + w > dist[e.to]) {
+        dist[e.to] = dist[e.from] + w;
+        relaxed = true;
+      }
+    }
+    if (!relaxed) return false;
+  }
+  return true;
+}
+
+/// Modulo reservation table: per FU class and slot-in-II, the occupancy.
+class ReservationTable {
+ public:
+  ReservationTable(const MachineModel& machine, int ii)
+      : machine_(machine),
+        ii_(ii),
+        class_use_(static_cast<std::size_t>(machine.num_fu_classes()),
+                   std::vector<int>(static_cast<std::size_t>(ii), 0)),
+        issue_use_(static_cast<std::size_t>(ii), 0) {}
+
+  /// A node starting at `t` occupies its class for exec_time consecutive
+  /// slots (mod II) and one issue slot at t mod II.
+  bool fits(const NodeInfo& n, Time t) const {
+    const int base = static_cast<int>(((t % ii_) + ii_) % ii_);
+    if (issue_use_[static_cast<std::size_t>(base)] >=
+        machine_.issue_width()) {
+      return false;
+    }
+    for (int k = 0; k < n.exec_time; ++k) {
+      const int slot = (base + k) % ii_;
+      if (class_use_[static_cast<std::size_t>(n.fu_class)]
+                    [static_cast<std::size_t>(slot)] >=
+          machine_.fu_count(n.fu_class)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void add(const NodeInfo& n, Time t) { bump(n, t, +1); }
+  void remove(const NodeInfo& n, Time t) { bump(n, t, -1); }
+
+ private:
+  void bump(const NodeInfo& n, Time t, int delta) {
+    const int base = static_cast<int>(((t % ii_) + ii_) % ii_);
+    issue_use_[static_cast<std::size_t>(base)] += delta;
+    for (int k = 0; k < n.exec_time; ++k) {
+      const int slot = (base + k) % ii_;
+      class_use_[static_cast<std::size_t>(n.fu_class)]
+                [static_cast<std::size_t>(slot)] += delta;
+    }
+  }
+
+  const MachineModel& machine_;
+  int ii_;
+  std::vector<std::vector<int>> class_use_;
+  std::vector<int> issue_use_;
+};
+
+/// One iterative-modulo-scheduling attempt at a fixed II.
+bool try_ii(const DepGraph& g, const MachineModel& machine, int ii,
+            int budget, std::vector<Time>* out_start) {
+  const std::size_t n = g.num_nodes();
+  // Height-based priority: critical path over the loop-independent
+  // subgraph, descending.
+  const auto height = critical_path_lengths(g, NodeSet::all(n));
+  std::vector<NodeId> priority(n);
+  for (NodeId id = 0; id < n; ++id) priority[id] = id;
+  std::sort(priority.begin(), priority.end(), [&height](NodeId a, NodeId b) {
+    return std::tie(height[b], a) < std::tie(height[a], b);
+  });
+
+  std::vector<Time> start(n, -1);
+  std::vector<Time> never_before(n, 0);  // monotone restart floor (Rau)
+  ReservationTable table(machine, ii);
+
+  // Work stack seeded in priority order (stack => LIFO re-schedule of
+  // evicted ops, as in iterative modulo scheduling).
+  std::vector<NodeId> work(priority.rbegin(), priority.rend());
+
+  int ops = 0;
+  while (!work.empty()) {
+    if (++ops > budget) return false;
+    const NodeId u = work.back();
+    work.pop_back();
+
+    // Earliest start from *scheduled* predecessors.
+    Time est = never_before[u];
+    for (const auto eidx : g.in_edges(u)) {
+      const DepEdge& e = g.edge(eidx);
+      if (e.from == u || start[e.from] < 0) continue;
+      est = std::max(est, start[e.from] + g.node(e.from).exec_time +
+                              e.latency - static_cast<Time>(ii) * e.distance);
+    }
+    est = std::max<Time>(est, 0);
+
+    // First resource-free slot in [est, est + ii).
+    Time chosen = -1;
+    for (Time t = est; t < est + ii; ++t) {
+      if (table.fits(g.node(u), t)) {
+        chosen = t;
+        break;
+      }
+    }
+    if (chosen < 0) chosen = est;  // force placement; evict the conflicts
+
+    // Evict potential resource conflicts at the chosen slot until u fits.
+    if (!table.fits(g.node(u), chosen)) {
+      for (NodeId v = 0; v < n && !table.fits(g.node(u), chosen); ++v) {
+        if (v == u || start[v] < 0) continue;
+        const bool same_class = g.node(v).fu_class == g.node(u).fu_class;
+        const bool same_issue = ((start[v] % ii) + ii) % ii ==
+                                ((chosen % ii) + ii) % ii;
+        if (!same_class && !same_issue) continue;
+        table.remove(g.node(v), start[v]);
+        start[v] = -1;
+        work.push_back(v);
+      }
+      if (!table.fits(g.node(u), chosen)) return false;
+    }
+
+    start[u] = chosen;
+    never_before[u] = chosen + 1;
+    table.add(g.node(u), chosen);
+
+    // Evict successors whose dependence constraint is now violated (they
+    // will be re-scheduled later from the stack).
+    for (const auto eidx : g.out_edges(u)) {
+      const DepEdge& e = g.edge(eidx);
+      if (e.to == u || start[e.to] < 0) continue;
+      const Time need = chosen + g.node(u).exec_time + e.latency -
+                        static_cast<Time>(ii) * e.distance;
+      if (start[e.to] < need) {
+        table.remove(g.node(e.to), start[e.to]);
+        start[e.to] = -1;
+        work.push_back(e.to);
+      }
+    }
+  }
+
+  // Normalize so the earliest start is stage 0.
+  Time min_start = *std::min_element(start.begin(), start.end());
+  const Time base = (min_start / ii) * ii - (min_start % ii < 0 ? ii : 0);
+  for (Time& t : start) t -= base;
+
+  // Final verification: every constraint holds.
+  for (const DepEdge& e : g.edges()) {
+    if (start[e.to] < start[e.from] + g.node(e.from).exec_time + e.latency -
+                          static_cast<Time>(ii) * e.distance) {
+      return false;
+    }
+  }
+  *out_start = std::move(start);
+  return true;
+}
+
+}  // namespace
+
+int ModuloSchedule::num_stages() const {
+  int stages = 1;
+  for (std::size_t id = 0; id < start.size(); ++id) {
+    stages = std::max(stages, stage(static_cast<NodeId>(id)) + 1);
+  }
+  return stages;
+}
+
+int resource_mii(const DepGraph& g, const MachineModel& machine) {
+  std::vector<Time> class_work(
+      static_cast<std::size_t>(machine.num_fu_classes()), 0);
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    class_work[static_cast<std::size_t>(g.node(id).fu_class)] +=
+        g.node(id).exec_time;
+  }
+  Time mii = (static_cast<Time>(g.num_nodes()) + machine.issue_width() - 1) /
+             machine.issue_width();
+  for (int c = 0; c < machine.num_fu_classes(); ++c) {
+    const Time units = machine.fu_count(c);
+    mii = std::max(mii, (class_work[static_cast<std::size_t>(c)] + units - 1) /
+                            units);
+  }
+  return static_cast<int>(std::max<Time>(mii, 1));
+}
+
+int recurrence_mii(const DepGraph& g) {
+  // Upper bound: any cycle's latency sum with distance >= 1.
+  int hi = 1;
+  for (const DepEdge& e : g.edges()) hi += g.node(e.from).exec_time + e.latency;
+  int lo = 1;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (has_positive_cycle(g, mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+ModuloSchedule modulo_schedule(const DepGraph& g, const MachineModel& machine,
+                               const ModuloScheduleOptions& opts) {
+  ModuloSchedule result;
+  if (g.num_nodes() == 0) return result;
+  const int mii = std::max(resource_mii(g, machine), recurrence_mii(g));
+  const int budget =
+      opts.budget_factor * static_cast<int>(g.num_nodes()) + 16;
+
+  for (int ii = mii; ii <= mii + opts.max_ii_slack; ++ii) {
+    std::vector<Time> start;
+    if (!try_ii(g, machine, ii, budget, &start)) continue;
+    result.found = true;
+    result.ii = ii;
+    result.start = std::move(start);
+    result.kernel_order.resize(g.num_nodes());
+    for (NodeId id = 0; id < g.num_nodes(); ++id) {
+      result.kernel_order[id] = id;
+    }
+    std::sort(result.kernel_order.begin(), result.kernel_order.end(),
+              [&result](NodeId a, NodeId b) {
+                return std::make_tuple(result.slot(a), result.stage(a), a) <
+                       std::make_tuple(result.slot(b), result.stage(b), b);
+              });
+    return result;
+  }
+  return result;
+}
+
+DepGraph kernel_graph(const DepGraph& g, const ModuloSchedule& schedule,
+                      std::vector<NodeId>* kernel_to_original) {
+  AIS_CHECK(schedule.found, "kernel graph needs a successful schedule");
+  DepGraph out;
+  std::vector<NodeId> new_id(g.num_nodes(), kInvalidNode);
+  for (const NodeId id : schedule.kernel_order) {
+    const NodeInfo& n = g.node(id);
+    new_id[id] = out.add_node(n.name, n.exec_time, n.fu_class, n.block);
+  }
+  for (const DepEdge& e : g.edges()) {
+    const int d = schedule.stage(e.to) - schedule.stage(e.from) + e.distance;
+    AIS_CHECK(d >= 0, "kernel-space distance must be nonnegative");
+    if (d == 0 && new_id[e.from] == new_id[e.to]) continue;
+    out.add_edge(new_id[e.from], new_id[e.to], e.latency, d);
+  }
+  if (kernel_to_original != nullptr) {
+    *kernel_to_original = schedule.kernel_order;
+  }
+  return out;
+}
+
+}  // namespace ais

@@ -1,0 +1,71 @@
+// Software pipelining: iterative modulo scheduling (Rau-style, simplified).
+//
+// The paper positions anticipatory instruction scheduling as a *post-pass*
+// to software pipelining (§2.4): the Fig. 3 loop was already
+// software-pipelined (the store belongs to the previous iteration) and AIS
+// then picks the kernel order that sustains the initiation interval on the
+// lookahead machine.  This module supplies the missing front half:
+//
+//   * MII bounds: resource MII (unit occupancy per FU class, issue width)
+//     and recurrence MII (smallest II with no positive cycle in the
+//     II-adjusted constraint graph, via Bellman-Ford),
+//   * iterative modulo scheduling with a modulo reservation table and
+//     eviction-based backtracking,
+//   * the *kernel graph*: the scheduled loop re-expressed as a new
+//     single-block loop whose <latency, distance> edges are in kernel
+//     (stage-adjusted) iteration space — ready for §5.2.3 post-scheduling
+//     and for the loop simulator.
+#pragma once
+
+#include <vector>
+
+#include "graph/depgraph.hpp"
+#include "machine/machine_model.hpp"
+
+namespace ais {
+
+struct ModuloScheduleOptions {
+  /// Highest II tried is MII + max_ii_slack.
+  int max_ii_slack = 48;
+  /// Scheduling operations budget per II attempt, as a multiple of n.
+  int budget_factor = 16;
+};
+
+struct ModuloSchedule {
+  bool found = false;
+  /// Initiation interval achieved.
+  int ii = 0;
+  /// Absolute start time per node; stage = start / ii, slot = start % ii.
+  std::vector<Time> start;
+  /// Kernel emission order: nodes by (slot, stage, id).
+  std::vector<NodeId> kernel_order;
+
+  int stage(NodeId id) const { return static_cast<int>(start[id] / ii); }
+  int slot(NodeId id) const { return static_cast<int>(start[id] % ii); }
+  /// Number of pipeline stages (depth of the prolog/epilog).
+  int num_stages() const;
+};
+
+/// ceil(per-class occupancy / units), also bounded by issue width.
+int resource_mii(const DepGraph& g, const MachineModel& machine);
+
+/// Smallest II such that the constraint graph (edge weight
+/// exec(u) + latency - II * distance) has no positive cycle.
+int recurrence_mii(const DepGraph& g);
+
+/// Schedules the loop graph `g`; returns found = false if no schedule
+/// exists within the II / budget limits.
+ModuloSchedule modulo_schedule(const DepGraph& g, const MachineModel& machine,
+                               const ModuloScheduleOptions& opts = {});
+
+/// Rebuilds `g` in kernel iteration space: node k of the result is
+/// schedule.kernel_order[k]'s instruction, and each original edge
+/// (u, v, lat, dist) becomes (u, v, lat, stage(v) - stage(u) + dist).
+/// The result is a valid loop graph (acyclic loop-independent subgraph)
+/// whose per-iteration work equals the kernel; feeding its natural order to
+/// the loop simulator measures the pipeline's real steady state, and
+/// §5.2.3 over it realizes "AIS as a post-pass to software pipelining".
+DepGraph kernel_graph(const DepGraph& g, const ModuloSchedule& schedule,
+                      std::vector<NodeId>* kernel_to_original = nullptr);
+
+}  // namespace ais

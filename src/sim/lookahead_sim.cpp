@@ -1,0 +1,123 @@
+#include "sim/lookahead_sim.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace ais {
+
+SimResult simulate_list(const DepGraph& g, const MachineModel& machine,
+                        const std::vector<NodeId>& list, int window) {
+  AIS_CHECK(window >= 1, "window must be positive");
+  const std::size_t n = list.size();
+
+  // Position of each node in the list; also validates uniqueness.
+  std::vector<std::size_t> pos(g.num_nodes(), static_cast<std::size_t>(-1));
+  for (std::size_t p = 0; p < n; ++p) {
+    AIS_CHECK(pos[list[p]] == static_cast<std::size_t>(-1),
+              "node listed twice");
+    pos[list[p]] = p;
+  }
+  // Compiled code lists producers before consumers; a violated order would
+  // deadlock the window (head waiting on an instruction behind it).
+  for (const NodeId id : list) {
+    for (const auto eidx : g.in_edges(id)) {
+      const DepEdge& e = g.edge(eidx);
+      if (e.distance != 0 || pos[e.from] == static_cast<std::size_t>(-1)) {
+        continue;
+      }
+      AIS_CHECK(pos[e.from] < pos[id],
+                "priority list is not topological: " + g.node(e.from).name +
+                    " must precede " + g.node(id).name);
+    }
+  }
+
+  // Class-major unit availability.
+  std::vector<int> unit_base(
+      static_cast<std::size_t>(machine.num_fu_classes()), 0);
+  int total_units = 0;
+  for (int c = 0; c < machine.num_fu_classes(); ++c) {
+    unit_base[static_cast<std::size_t>(c)] = total_units;
+    total_units += machine.fu_count(c);
+  }
+  std::vector<Time> unit_free(static_cast<std::size_t>(total_units), 0);
+
+  SimResult result;
+  result.issue_time.assign(g.num_nodes(), Time{-1});
+
+  std::vector<bool> issued(n, false);
+  std::size_t head = 0;  // first unissued position
+  std::size_t remaining = n;
+
+  const Time t_limit =
+      g.total_work() +
+      static_cast<Time>(n + 1) * (g.max_latency() + g.max_exec_time()) + 1;
+
+  Time t = 0;
+  while (remaining > 0) {
+    AIS_CHECK(t <= t_limit, "simulator failed to make progress");
+    int issued_this_cycle = 0;
+    bool progressed = true;
+    while (progressed && issued_this_cycle < machine.issue_width()) {
+      progressed = false;
+      const std::size_t limit =
+          std::min(n, head + static_cast<std::size_t>(window));
+      for (std::size_t p = head; p < limit; ++p) {
+        if (issued[p]) continue;
+        const NodeId id = list[p];
+        // Ready: every listed distance-0 predecessor has issued and its
+        // latency has elapsed.
+        bool ready = true;
+        for (const auto eidx : g.in_edges(id)) {
+          const DepEdge& e = g.edge(eidx);
+          if (e.distance != 0 || pos[e.from] == static_cast<std::size_t>(-1)) {
+            continue;
+          }
+          const Time it = result.issue_time[e.from];
+          if (it < 0 ||
+              it + g.node(e.from).exec_time + e.latency > t) {
+            ready = false;
+            break;
+          }
+        }
+        if (!ready) continue;
+
+        // A free unit of the node's class.
+        const NodeInfo& info = g.node(id);
+        const int base = unit_base[static_cast<std::size_t>(info.fu_class)];
+        int chosen = -1;
+        for (int k = 0; k < machine.fu_count(info.fu_class); ++k) {
+          if (unit_free[static_cast<std::size_t>(base + k)] <= t) {
+            chosen = base + k;
+            break;
+          }
+        }
+        if (chosen < 0) continue;
+
+        result.issue_time[id] = t;
+        unit_free[static_cast<std::size_t>(chosen)] = t + info.exec_time;
+        issued[p] = true;
+        --remaining;
+        ++issued_this_cycle;
+        while (head < n && issued[head]) ++head;  // slide the window
+        progressed = true;
+        break;  // rescan from the (possibly advanced) head
+      }
+    }
+    if (issued_this_cycle == 0 && remaining > 0) ++result.stall_cycles;
+    ++t;
+  }
+
+  for (const NodeId id : list) {
+    result.completion = std::max(
+        result.completion, result.issue_time[id] + g.node(id).exec_time);
+  }
+  return result;
+}
+
+Time simulated_completion(const DepGraph& g, const MachineModel& machine,
+                          const std::vector<NodeId>& list, int window) {
+  return simulate_list(g, machine, list, window).completion;
+}
+
+}  // namespace ais

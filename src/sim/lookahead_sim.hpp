@@ -1,0 +1,43 @@
+// Cycle-accurate simulator of the paper's hardware lookahead model (§2.3).
+//
+// The machine holds a window of W instructions that occur contiguously in
+// the program's dynamic instruction stream (the priority list L the compiler
+// emitted).  Each cycle it issues ready instructions from the window in list
+// order — never a later ready instruction before an earlier ready one with a
+// free unit (the Ordering Constraint) — and the window advances only when
+// its first instruction has issued.  W = 1 degenerates to strict in-order
+// issue; W >= |L| equals greedy list scheduling with full lookahead.
+//
+// This simulator is the paper's missing testbed: every benchmark measures
+// completion times by executing emitted code on it.
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "graph/depgraph.hpp"
+#include "graph/nodeset.hpp"
+#include "machine/machine_model.hpp"
+
+namespace ais {
+
+struct SimResult {
+  /// Completion time of the last instruction.
+  Time completion = 0;
+  /// Issue (start) cycle per node id; -1 for nodes not in the list.
+  std::vector<Time> issue_time;
+  /// Number of cycles in which nothing issued (pure stall cycles).
+  Time stall_cycles = 0;
+};
+
+/// Executes priority list `list` (each active node exactly once) with window
+/// size `window` on `machine`.  Dependences are the distance-0 edges of `g`
+/// between listed nodes.
+SimResult simulate_list(const DepGraph& g, const MachineModel& machine,
+                        const std::vector<NodeId>& list, int window);
+
+/// Convenience: completion time only.
+Time simulated_completion(const DepGraph& g, const MachineModel& machine,
+                          const std::vector<NodeId>& list, int window);
+
+}  // namespace ais

@@ -1,0 +1,121 @@
+#include "sim/loop_sim.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace ais {
+
+LoopSimResult simulate_loop(const DepGraph& g, const MachineModel& machine,
+                            const std::vector<NodeId>& per_iteration_list,
+                            int window, int iterations) {
+  AIS_CHECK(window >= 1, "window must be positive");
+  AIS_CHECK(iterations >= 1, "need at least one iteration");
+  const std::size_t body = per_iteration_list.size();
+  AIS_CHECK(body == g.num_nodes(),
+            "per-iteration list must cover every loop-body instruction");
+
+  std::vector<std::size_t> pos(g.num_nodes(), static_cast<std::size_t>(-1));
+  for (std::size_t p = 0; p < body; ++p) {
+    AIS_CHECK(pos[per_iteration_list[p]] == static_cast<std::size_t>(-1),
+              "node listed twice");
+    pos[per_iteration_list[p]] = p;
+  }
+
+  const std::size_t total = body * static_cast<std::size_t>(iterations);
+
+  std::vector<int> unit_base(
+      static_cast<std::size_t>(machine.num_fu_classes()), 0);
+  int total_units = 0;
+  for (int c = 0; c < machine.num_fu_classes(); ++c) {
+    unit_base[static_cast<std::size_t>(c)] = total_units;
+    total_units += machine.fu_count(c);
+  }
+  std::vector<Time> unit_free(static_cast<std::size_t>(total_units), 0);
+
+  std::vector<Time> issue(total, Time{-1});
+  std::size_t head = 0;
+  std::size_t remaining = total;
+
+  const Time t_limit =
+      (g.total_work() +
+       static_cast<Time>(body + 1) * (g.max_latency() + g.max_exec_time()) +
+       1) *
+      iterations;
+
+  auto instance_ready = [&](std::size_t q, Time t) {
+    const int iter = static_cast<int>(q / body);
+    const NodeId id = per_iteration_list[q % body];
+    for (const auto eidx : g.in_edges(id)) {
+      const DepEdge& e = g.edge(eidx);
+      const int src_iter = iter - e.distance;
+      if (src_iter < 0) continue;  // satisfied by pre-loop state
+      const std::size_t src_q =
+          static_cast<std::size_t>(src_iter) * body + pos[e.from];
+      const Time it = issue[src_q];
+      if (it < 0 || it + g.node(e.from).exec_time + e.latency > t) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  Time t = 0;
+  while (remaining > 0) {
+    AIS_CHECK(t <= t_limit, "loop simulator failed to make progress");
+    int issued_this_cycle = 0;
+    bool progressed = true;
+    while (progressed && issued_this_cycle < machine.issue_width()) {
+      progressed = false;
+      const std::size_t limit =
+          std::min(total, head + static_cast<std::size_t>(window));
+      for (std::size_t q = head; q < limit; ++q) {
+        if (issue[q] >= 0) continue;
+        if (!instance_ready(q, t)) continue;
+        const NodeInfo& info = g.node(per_iteration_list[q % body]);
+        const int base = unit_base[static_cast<std::size_t>(info.fu_class)];
+        int chosen = -1;
+        for (int k = 0; k < machine.fu_count(info.fu_class); ++k) {
+          if (unit_free[static_cast<std::size_t>(base + k)] <= t) {
+            chosen = base + k;
+            break;
+          }
+        }
+        if (chosen < 0) continue;
+        issue[q] = t;
+        unit_free[static_cast<std::size_t>(chosen)] = t + info.exec_time;
+        --remaining;
+        ++issued_this_cycle;
+        while (head < total && issue[head] >= 0) ++head;
+        progressed = true;
+        break;
+      }
+    }
+    ++t;
+  }
+
+  LoopSimResult result;
+  result.iteration_finish.assign(static_cast<std::size_t>(iterations), 0);
+  for (std::size_t q = 0; q < total; ++q) {
+    const Time finish =
+        issue[q] + g.node(per_iteration_list[q % body]).exec_time;
+    auto& slot = result.iteration_finish[q / body];
+    slot = std::max(slot, finish);
+    result.completion = std::max(result.completion, finish);
+  }
+  return result;
+}
+
+double steady_state_period(const DepGraph& g, const MachineModel& machine,
+                           const std::vector<NodeId>& per_iteration_list,
+                           int window, int iterations) {
+  AIS_CHECK(iterations >= 8, "steady-state measurement needs >= 8 iterations");
+  const LoopSimResult r =
+      simulate_loop(g, machine, per_iteration_list, window, iterations);
+  const std::size_t hi = static_cast<std::size_t>(iterations) - 1;
+  const std::size_t lo = hi / 2;
+  return static_cast<double>(r.iteration_finish[hi] - r.iteration_finish[lo]) /
+         static_cast<double>(hi - lo);
+}
+
+}  // namespace ais

@@ -1,0 +1,14 @@
+#include "support/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ais {
+
+void panic(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "%s:%d: %s\n", file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ais

@@ -1,0 +1,30 @@
+// Always-on checked assertions for the AIS library.
+//
+// Scheduling code is full of internal invariants (topological orders,
+// deadline monotonicity, slot exclusivity).  We keep these checks enabled in
+// all build types: the library is a compile-time tool, not an inner loop, and
+// a wrong schedule is far more expensive than the branch.
+#pragma once
+
+#include <string>
+
+namespace ais {
+
+/// Aborts the process after printing `msg` with source location context.
+/// Used by AIS_CHECK; never returns.
+[[noreturn]] void panic(const char* file, int line, const std::string& msg);
+
+}  // namespace ais
+
+/// Always-enabled invariant check.  `msg` is a std::string expression
+/// evaluated only on failure.
+#define AIS_CHECK(cond, msg)                            \
+  do {                                                  \
+    if (!(cond)) [[unlikely]] {                         \
+      ::ais::panic(__FILE__, __LINE__,                  \
+                   std::string("AIS_CHECK(" #cond ") failed: ") + (msg)); \
+    }                                                   \
+  } while (0)
+
+/// Shorthand for checks whose condition is self-explanatory.
+#define AIS_REQUIRE(cond) AIS_CHECK(cond, "requirement violated")

@@ -1,0 +1,67 @@
+#include "support/bitset.hpp"
+
+#include "support/assert.hpp"
+
+namespace ais {
+
+DynamicBitset::DynamicBitset(std::size_t nbits)
+    : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+void DynamicBitset::set(std::size_t i) {
+  AIS_CHECK(i < nbits_, "bit index out of range");
+  words_[i / 64] |= 1ull << (i % 64);
+}
+
+void DynamicBitset::reset(std::size_t i) {
+  AIS_CHECK(i < nbits_, "bit index out of range");
+  words_[i / 64] &= ~(1ull << (i % 64));
+}
+
+bool DynamicBitset::test(std::size_t i) const {
+  AIS_CHECK(i < nbits_, "bit index out of range");
+  return (words_[i / 64] >> (i % 64)) & 1u;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  AIS_CHECK(nbits_ == other.nbits_, "bitset size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  AIS_CHECK(nbits_ == other.nbits_, "bitset size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  return *this;
+}
+
+std::size_t DynamicBitset::count() const {
+  std::size_t total = 0;
+  for (const auto word : words_) {
+    total += static_cast<std::size_t>(__builtin_popcountll(word));
+  }
+  return total;
+}
+
+bool DynamicBitset::none() const {
+  for (const auto word : words_) {
+    if (word != 0) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::intersects(const DynamicBitset& other) const {
+  AIS_CHECK(nbits_ == other.nbits_, "bitset size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if ((words_[w] & other.words_[w]) != 0) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> DynamicBitset::to_indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for_each([&out](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+}  // namespace ais

@@ -1,0 +1,62 @@
+// Dynamic bitset used for descendant-closure sets in dependence graphs.
+//
+// std::vector<bool> lacks word-level OR which dominates transitive-closure
+// time; this is a minimal fixed-capacity-after-construction bitset with the
+// operations the graph layer needs.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace ais {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t nbits);
+
+  std::size_t size() const { return nbits_; }
+
+  void set(std::size_t i);
+  void reset(std::size_t i);
+  bool test(std::size_t i) const;
+
+  /// Word-parallel union; both operands must have the same size.
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  /// Word-parallel intersection; both operands must have the same size.
+  DynamicBitset& operator&=(const DynamicBitset& other);
+
+  bool operator==(const DynamicBitset& other) const = default;
+
+  /// Number of set bits.
+  std::size_t count() const;
+
+  /// True iff no bit is set.
+  bool none() const;
+
+  /// True iff (*this & other) is nonempty.  Sizes must match.
+  bool intersects(const DynamicBitset& other) const;
+
+  /// Calls fn(i) for every set bit i in increasing order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Indices of set bits, ascending.
+  std::vector<std::size_t> to_indices() const;
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ais

@@ -1,0 +1,55 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+
+#include "support/assert.hpp"
+#include "support/str.hpp"
+
+namespace ais {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    AIS_CHECK(starts_with(arg, "--"), "unexpected positional argument: " + arg);
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+std::int64_t CliArgs::get_int(const std::string& name,
+                              std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string CliArgs::get_string(const std::string& name,
+                                const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+}  // namespace ais

@@ -1,0 +1,28 @@
+// Tiny command-line flag parser for bench binaries and examples.
+//
+// Supports `--name value` and `--name=value`; unknown flags are a hard error
+// so typos in experiment scripts do not silently fall back to defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ais {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+  bool has(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace ais

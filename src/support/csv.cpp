@@ -1,0 +1,34 @@
+#include "support/csv.hpp"
+
+#include "support/assert.hpp"
+#include "support/str.hpp"
+
+namespace ais {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), arity_(header.size()) {
+  AIS_CHECK(out_.is_open(), "cannot open CSV output: " + path);
+  add_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  AIS_CHECK(cells.size() == arity_, "CSV row arity mismatch");
+  std::vector<std::string> escaped;
+  escaped.reserve(cells.size());
+  for (const auto& cell : cells) escaped.push_back(escape(cell));
+  out_ << join(escaped, ",") << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace ais

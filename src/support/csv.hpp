@@ -1,0 +1,28 @@
+// Minimal CSV emitter for machine-readable benchmark output.
+//
+// Benches print ASCII tables to stdout for humans and, when given an output
+// path, mirror the same rows as CSV so plots can be regenerated offline.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ais {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.  A failure to open
+  /// is a hard error (benches should not silently drop data).
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace ais

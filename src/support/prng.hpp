@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All random workloads in the benchmark harness are seeded explicitly so
+// every experiment in EXPERIMENTS.md is reproducible bit-for-bit.  We use
+// xoshiro256** (Blackman & Vigna) seeded through SplitMix64, which is the
+// recommended seeding procedure and avoids correlated low-entropy seeds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace ais {
+
+/// SplitMix64 step; used for seeding and as a cheap standalone mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator.  Satisfies UniformRandomBitGenerator so it can be
+/// plugged into <random> distributions when needed.
+class Prng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()();
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Uniformly selects an index in [0, n).  Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Splits off an independently-seeded child generator; useful to give each
+  /// trial of a sweep its own stream without coupling to iteration order.
+  Prng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ais

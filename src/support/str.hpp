@@ -1,0 +1,28 @@
+// Small string helpers shared by the table/CSV writers and the asm parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ais {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits `s` on runs of whitespace, dropping empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing whitespace.
+std::string trim(std::string_view s);
+
+/// True iff `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Fixed-precision double formatting ("%.*f").
+std::string fmt_double(double v, int precision = 2);
+
+}  // namespace ais

@@ -1,0 +1,34 @@
+// Aligned ASCII table printer used by every bench binary.
+//
+// Bench binaries print the rows/series the paper's figures imply; a uniform
+// renderer keeps bench_output.txt diffable across runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ais {
+
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: renders each cell via to_string/fmt where needed.
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with column alignment and a header rule.
+  std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ais

@@ -1,0 +1,166 @@
+#include "workloads/kernels.hpp"
+
+#include "ir/asm_parser.hpp"
+
+namespace ais {
+namespace {
+
+Loop loop_from_asm(const std::string& text) {
+  Loop loop;
+  loop.body.blocks.push_back(parse_block(text));
+  return loop;
+}
+
+}  // namespace
+
+Loop partial_product_kernel() {
+  return loop_from_asm(R"(
+    block CL.18:
+      LDU r6, x[r7+4]
+      STU y[r5+4], r0
+      CMP c1, r6, 0
+      MUL r0, r6, r0
+      BT  c1, CL.1
+  )");
+}
+
+Loop daxpy_kernel() {
+  return loop_from_asm(R"(
+    block daxpy:
+      LDU f1, x[r7+8]
+      LDU f2, y[r8+8]
+      FMA f3, f0, f1, f2
+      STU y[r9+8], f3
+      ADD r4, r4, 1
+      CMP c1, r4
+      BF  c1, daxpy
+  )");
+}
+
+Loop dot_kernel() {
+  return loop_from_asm(R"(
+    block dot:
+      LDU f1, x[r7+8]
+      LDU f2, y[r8+8]
+      FMA f0, f1, f2, f0
+      ADD r4, r4, 1
+      CMP c1, r4
+      BF  c1, dot
+  )");
+}
+
+Loop fir_kernel() {
+  return loop_from_asm(R"(
+    block fir:
+      LD  f1, x[r7+0]
+      LDU f2, x[r7+8]
+      FMUL f3, f0, f1
+      FMUL f4, f5, f2
+      FADD f6, f3, f4
+      STU out[r9+8], f6
+      CMP c1, r7
+      BF  c1, fir
+  )");
+}
+
+Loop horner_kernel() {
+  return loop_from_asm(R"(
+    block horner:
+      LDU f2, coef[r7+8]
+      FMA f0, f0, f1, f2
+      SUB r4, r4, 1
+      CMP c1, r4
+      BF  c1, horner
+  )");
+}
+
+Loop sum_until_zero_kernel() {
+  return loop_from_asm(R"(
+    block sum:
+      LDU r6, v[r7+4]
+      ADD r3, r3, r6
+      CMP c1, r6, 0
+      BF  c1, sum
+  )");
+}
+
+Loop matmul_inner_kernel() {
+  return loop_from_asm(R"(
+    block mm:
+      LDU f1, a[r7+8]
+      ADD r8, r8, r10
+      LD  f2, b[r8+0]
+      FMA f0, f1, f2, f0
+      SUB r4, r4, 1
+      CMP c1, r4, 0
+      BF  c1, mm
+  )");
+}
+
+Loop stencil3_kernel() {
+  return loop_from_asm(R"(
+    block st3:
+      LD  f1, in[r7+0]
+      LD  f2, in[r7+8]
+      LD  f3, in[r7+16]
+      FMUL f4, f1, f10
+      FMA  f5, f2, f11, f4
+      FMA  f6, f3, f12, f5
+      STU out[r9+8], f6
+      ADD r7, r7, 8
+      CMP c1, r7, 0
+      BF  c1, st3
+  )");
+}
+
+Loop prefix_sum_kernel() {
+  // out[i] = out[i-1] + in[i]: the recurrence runs through the out region
+  // (store then load of the previous element next iteration).
+  return loop_from_asm(R"(
+    block ps:
+      LDU r6, in[r7+8]
+      LD  r8, out[r9+0]
+      ADD r10, r8, r6
+      STU out[r9+8], r10
+      CMP c1, r6, 0
+      BF  c1, ps
+  )");
+}
+
+Trace sample_trace() {
+  const Program prog = parse_program(R"(
+    block head:
+      LDU r6, a[r7+4]
+      LDU r8, b[r9+4]
+      MUL r10, r6, r8
+      CMP c1, r6, 0
+      BT  c1, tail
+    block mid:
+      ADD r11, r10, r6
+      LD  r12, c[r11+0]
+      SHL r13, r12, 2
+      CMP c2, r13, 0
+      BT  c2, tail
+    block tail:
+      ADD r14, r13, r11
+      ST  d[r7+0], r14
+      ADD r7, r7, 4
+  )");
+  return Trace{prog.blocks};
+}
+
+std::vector<NamedLoop> all_loop_kernels() {
+  std::vector<NamedLoop> loops;
+  loops.push_back({"partial-product", partial_product_kernel()});
+  loops.push_back({"daxpy", daxpy_kernel()});
+  loops.push_back({"dot", dot_kernel()});
+  loops.push_back({"fir", fir_kernel()});
+  loops.push_back({"horner", horner_kernel()});
+  loops.push_back({"sum-until-zero", sum_until_zero_kernel()});
+  loops.push_back({"matmul-inner", matmul_inner_kernel()});
+  loops.push_back({"stencil3", stencil3_kernel()});
+  loops.push_back({"prefix-sum", prefix_sum_kernel()});
+  return loops;
+}
+
+}  // namespace ais

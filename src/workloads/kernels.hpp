@@ -1,0 +1,51 @@
+// Loop and trace kernels in the toy IR, mirroring the workloads the paper's
+// introduction motivates (RS/6000-style compiled inner loops).
+#pragma once
+
+#include "ir/instruction.hpp"
+
+namespace ais {
+
+/// The paper's Figure 3 partial-product loop, exactly as printed at label
+/// CL.18 (software-pipelined: the store belongs to the previous iteration):
+///   LDU r6, x[r7+4]; STU y[r5+4], r0; CMP c1, r6; MUL r0, r6, r0; BT c1.
+Loop partial_product_kernel();
+
+/// daxpy: y[i] = a * x[i] + y[i]  (a in f0).
+Loop daxpy_kernel();
+
+/// dot product: s += x[i] * y[i]  (accumulator in f0 -> carried FMA chain).
+Loop dot_kernel();
+
+/// 2-tap FIR: out[i] = c0 * x[i] + c1 * x[i+1].
+Loop fir_kernel();
+
+/// Horner polynomial evaluation: p = p * x + c[i]  (carried through f0).
+Loop horner_kernel();
+
+/// Running int sum with a flag test: s += v[i]; exit when v[i] == 0.
+Loop sum_until_zero_kernel();
+
+/// Matrix-multiply inner loop: acc += a[k] * b[k] with two strided loads
+/// (b's stride lives in a register add).
+Loop matmul_inner_kernel();
+
+/// 3-point stencil: out[i] = c0*in[i-1] + c1*in[i] + c2*in[i+1].
+Loop stencil3_kernel();
+
+/// Prefix sum with store-to-load feeding: out[i] = out[i-1] + in[i]
+/// (the carried dependence flows through memory, not a register).
+Loop prefix_sum_kernel();
+
+/// A three-block straight-line trace (compare-and-branch blocks feeding one
+/// another through registers), used by the trace-scheduling examples.
+Trace sample_trace();
+
+/// All loop kernels with their names (for bench sweeps).
+struct NamedLoop {
+  const char* name;
+  Loop loop;
+};
+std::vector<NamedLoop> all_loop_kernels();
+
+}  // namespace ais

@@ -1,0 +1,93 @@
+#include "workloads/paper_graphs.hpp"
+
+namespace ais {
+namespace {
+
+/// Adds BB1 of Figures 1/2; returns ids in declaration order
+/// x, e, w, b, r, a (ids 0..5), all in `block`.
+void add_bb1(DepGraph& g, int block) {
+  const NodeId x = g.add_node("x", 1, 0, block);
+  const NodeId e = g.add_node("e", 1, 0, block);
+  const NodeId w = g.add_node("w", 1, 0, block);
+  const NodeId b = g.add_node("b", 1, 0, block);
+  const NodeId r = g.add_node("r", 1, 0, block);
+  const NodeId a = g.add_node("a", 1, 0, block);
+  g.add_edge(x, w, 1);
+  g.add_edge(x, b, 1);
+  g.add_edge(x, r, 1);
+  g.add_edge(e, w, 1);
+  g.add_edge(e, b, 1);
+  g.add_edge(w, a, 1);
+  g.add_edge(b, a, 1);
+}
+
+DepGraph make_fig2(int zq_latency) {
+  DepGraph g = fig1_bb1();
+  const NodeId w = g.find("w");
+  const NodeId z = g.add_node("z", 1, 0, 1);
+  const NodeId q = g.add_node("q", 1, 0, 1);
+  const NodeId p = g.add_node("p", 1, 0, 1);
+  const NodeId v = g.add_node("v", 1, 0, 1);
+  const NodeId gg = g.add_node("g", 1, 0, 1);
+  g.add_edge(z, q, zq_latency);
+  g.add_edge(z, v, 1);
+  g.add_edge(q, p, 0);
+  g.add_edge(p, gg, 1);
+  g.add_edge(w, z, 1);  // the cross-block edge of Figure 2
+  return g;
+}
+
+}  // namespace
+
+DepGraph fig1_bb1() {
+  DepGraph g;
+  add_bb1(g, 0);
+  return g;
+}
+
+DepGraph fig2_trace() { return make_fig2(/*zq_latency=*/1); }
+
+DepGraph fig2_trace_latency0() { return make_fig2(/*zq_latency=*/0); }
+
+DepGraph fig3_loop() {
+  DepGraph g;
+  const NodeId l4 = g.add_node("L4", 1, 0, 0);
+  const NodeId st = g.add_node("ST", 1, 0, 0);
+  const NodeId c4 = g.add_node("C4", 1, 0, 0);
+  const NodeId m = g.add_node("M", 1, 0, 0);
+  const NodeId bt = g.add_node("BT", 1, 0, 0);
+  // Loop-independent data dependences (LOAD and COMPARE latency 1).
+  g.add_edge(l4, c4, 1, 0);
+  g.add_edge(l4, m, 1, 0);
+  g.add_edge(c4, bt, 1, 0);
+  // Anti dependence: ST reads gr0 that M overwrites.
+  g.add_edge(st, m, 0, 0);
+  // Control dependences: everything precedes the branch.
+  g.add_edge(l4, bt, 0, 0);
+  g.add_edge(st, bt, 0, 0);
+  g.add_edge(m, bt, 0, 0);
+  // Loop-carried: the software-pipelined store consumes the previous
+  // iteration's MULTIPLY (latency 4); base-register updates and the gr0
+  // accumulation are carried self-dependences.
+  g.add_edge(m, st, 4, 1);
+  g.add_edge(l4, l4, 1, 1);
+  g.add_edge(st, st, 1, 1);
+  g.add_edge(m, m, 4, 1);
+  return g;
+}
+
+DepGraph fig8_loop() {
+  DepGraph g;
+  const NodeId n1 = g.add_node("1", 1, 0, 0);
+  const NodeId n2 = g.add_node("2", 1, 0, 0);
+  const NodeId n3 = g.add_node("3", 1, 0, 0);
+  g.add_edge(n1, n3, 1, 0);
+  g.add_edge(n2, n3, 1, 0);
+  // The asymmetry lives only in the carried latencies; the §5.2.1 surrogate
+  // erases it, which is exactly the paper's counterexample.
+  g.add_edge(n3, n1, 1, 1);
+  g.add_edge(n3, n2, 0, 1);
+  return g;
+}
+
+}  // namespace ais

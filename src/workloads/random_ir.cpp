@@ -1,0 +1,105 @@
+#include "workloads/random_ir.hpp"
+
+#include "support/assert.hpp"
+
+namespace ais {
+namespace {
+
+Reg pick_gpr(Prng& prng, const RandomIrParams& p) {
+  return gpr(static_cast<std::uint8_t>(prng.uniform(0, p.num_gprs - 1)));
+}
+
+Reg pick_fpr(Prng& prng, const RandomIrParams& p) {
+  return fpr(static_cast<std::uint8_t>(prng.uniform(0, p.num_fprs - 1)));
+}
+
+std::string pick_tag(Prng& prng, const RandomIrParams& p) {
+  if (prng.chance(0.1)) return "";  // untagged: may alias anything
+  return "t" + std::to_string(prng.uniform(0, p.num_tags - 1));
+}
+
+Instruction random_inst(Prng& prng, const RandomIrParams& p) {
+  if (prng.chance(p.mem_frac)) {
+    MemRef m{pick_gpr(prng, p), static_cast<int>(prng.uniform(0, 3)) * 8,
+             pick_tag(prng, p)};
+    const bool update = prng.chance(0.3);
+    if (prng.chance(0.5)) {
+      return Instruction::load(pick_gpr(prng, p), m, update);
+    }
+    return Instruction::store(m, pick_gpr(prng, p), update);
+  }
+  switch (prng.uniform(0, 7)) {
+    case 0:
+      return Instruction::li(pick_gpr(prng, p), prng.uniform(-99, 99));
+    case 1:
+      return Instruction::mov(pick_gpr(prng, p), pick_gpr(prng, p));
+    case 2: {
+      static constexpr Opcode kOps[] = {Opcode::kAdd, Opcode::kSub,
+                                        Opcode::kXor, Opcode::kAnd,
+                                        Opcode::kOr};
+      return Instruction::alu(kOps[prng.index(std::size(kOps))],
+                              pick_gpr(prng, p), pick_gpr(prng, p),
+                              pick_gpr(prng, p));
+    }
+    case 3:
+      return Instruction::alu_imm(prng.chance(0.5) ? Opcode::kShl
+                                                   : Opcode::kShr,
+                                  pick_gpr(prng, p), pick_gpr(prng, p),
+                                  prng.uniform(1, 7));
+    case 4:
+      return Instruction::alu(Opcode::kMul, pick_gpr(prng, p),
+                              pick_gpr(prng, p), pick_gpr(prng, p));
+    case 5:
+      return Instruction::alu(prng.chance(0.5) ? Opcode::kFAdd
+                                               : Opcode::kFMul,
+                              pick_fpr(prng, p), pick_fpr(prng, p),
+                              pick_fpr(prng, p));
+    case 6:
+      return Instruction::fma(pick_fpr(prng, p), pick_fpr(prng, p),
+                              pick_fpr(prng, p), pick_fpr(prng, p));
+    default:
+      return Instruction::cmp(cr(static_cast<std::uint8_t>(prng.uniform(0, 3))),
+                              pick_gpr(prng, p), prng.uniform(-3, 3));
+  }
+}
+
+}  // namespace
+
+BasicBlock random_ir_block(Prng& prng, const RandomIrParams& params,
+                           const std::string& label) {
+  AIS_CHECK(params.num_insts >= 1, "block needs at least one instruction");
+  BasicBlock bb;
+  bb.label = label;
+  const int body = params.num_insts - (params.end_with_branch ? 2 : 0);
+  for (int i = 0; i < std::max(1, body); ++i) {
+    bb.insts.push_back(random_inst(prng, params));
+  }
+  if (params.end_with_branch) {
+    const Reg c = cr(static_cast<std::uint8_t>(prng.uniform(0, 3)));
+    bb.insts.push_back(
+        Instruction::cmp(c, pick_gpr(prng, params), prng.uniform(-3, 3)));
+    bb.insts.push_back(Instruction::branch(
+        prng.chance(0.5) ? Opcode::kBt : Opcode::kBf, c, "L" + label));
+  }
+  return bb;
+}
+
+Trace random_ir_trace(Prng& prng, const RandomIrParams& params,
+                      int num_blocks) {
+  Trace trace;
+  for (int b = 0; b < num_blocks; ++b) {
+    RandomIrParams p = params;
+    p.end_with_branch = params.end_with_branch && (b + 1 < num_blocks);
+    trace.blocks.push_back(
+        random_ir_block(prng, p, "bb" + std::to_string(b)));
+  }
+  return trace;
+}
+
+Loop random_ir_loop(Prng& prng, const RandomIrParams& params) {
+  Loop loop;
+  loop.body.blocks.push_back(random_ir_block(prng, params, "loop"));
+  return loop;
+}
+
+}  // namespace ais

@@ -1,0 +1,38 @@
+// Random *instruction-level* workloads (vs. random_graphs' graph-level
+// ones): real toy-ISA programs with registers, memory and branches, used by
+// the semantic-preservation oracle (tests/test_interp.cpp) and the
+// register-pressure studies.
+#pragma once
+
+#include "ir/instruction.hpp"
+#include "support/prng.hpp"
+
+namespace ais {
+
+struct RandomIrParams {
+  int num_insts = 10;
+  /// Size of the register pools; small pools create dense RAW/WAR/WAW webs.
+  int num_gprs = 6;
+  int num_fprs = 4;
+  /// Distinct memory region tags (a small chance of untagged access that
+  /// aliases everything is always mixed in).
+  int num_tags = 2;
+  /// Fraction of instructions that touch memory.
+  double mem_frac = 0.3;
+  /// End the block with CMP + conditional branch.
+  bool end_with_branch = true;
+};
+
+/// One random basic block.
+BasicBlock random_ir_block(Prng& prng, const RandomIrParams& params,
+                           const std::string& label = "entry");
+
+/// A trace of random blocks (registers flow across blocks naturally since
+/// the pools are shared).
+Trace random_ir_trace(Prng& prng, const RandomIrParams& params,
+                      int num_blocks);
+
+/// A single-block loop (the block's register reuse creates carried deps).
+Loop random_ir_loop(Prng& prng, const RandomIrParams& params);
+
+}  // namespace ais

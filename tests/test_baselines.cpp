@@ -1,0 +1,199 @@
+// Tests for the baseline schedulers and the brute-force oracles.
+#include <gtest/gtest.h>
+
+#include "baselines/block_schedulers.hpp"
+#include "baselines/bruteforce.hpp"
+#include "core/lookahead.hpp"
+#include "core/rank.hpp"
+#include "graph/critpath.hpp"
+#include "machine/machine_model.hpp"
+#include "sim/lookahead_sim.hpp"
+#include "workloads/paper_graphs.hpp"
+#include "workloads/random_graphs.hpp"
+
+namespace ais {
+namespace {
+
+TEST(Baselines, AllProduceTopologicalBlockOrders) {
+  Prng prng(0xba5e);
+  const BlockScheduler kinds[] = {
+      BlockScheduler::kSourceOrder,    BlockScheduler::kCriticalPathList,
+      BlockScheduler::kGibbonsMuchnick, BlockScheduler::kWarren,
+      BlockScheduler::kRank,           BlockScheduler::kRankDelayed};
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomBlockParams params;
+    params.num_nodes = static_cast<int>(prng.uniform(4, 12));
+    params.edge_prob = 0.35;
+    const DepGraph g = random_block(prng, params);
+    const NodeSet all = NodeSet::all(g.num_nodes());
+    for (const BlockScheduler kind : kinds) {
+      const auto order = schedule_block(g, scalar01(), all, kind);
+      ASSERT_EQ(order.size(), g.num_nodes()) << block_scheduler_name(kind);
+      std::vector<std::size_t> pos(g.num_nodes());
+      for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+      for (const DepEdge& e : g.edges()) {
+        EXPECT_LT(pos[e.from], pos[e.to]) << block_scheduler_name(kind);
+      }
+    }
+  }
+}
+
+TEST(Baselines, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (const auto kind :
+       {BlockScheduler::kSourceOrder, BlockScheduler::kCriticalPathList,
+        BlockScheduler::kGibbonsMuchnick, BlockScheduler::kWarren,
+        BlockScheduler::kRank, BlockScheduler::kRankDelayed}) {
+    names.insert(block_scheduler_name(kind));
+  }
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(Baselines, RankDelayedMovesIdleLate) {
+  const DepGraph g = fig1_bb1();
+  const NodeSet all = NodeSet::all(g.num_nodes());
+  const auto delayed =
+      schedule_block(g, scalar01(), all, BlockScheduler::kRankDelayed);
+  // After delaying, a is the last instruction and the pre-idle prefix is
+  // maximal: simulated alone the order still takes 7 cycles but leaves its
+  // only stall right before a.
+  EXPECT_EQ(g.node(delayed.back()).name, "a");
+  const SimResult r = simulate_list(g, scalar01(), delayed, 1);
+  EXPECT_EQ(r.completion, 7);
+}
+
+TEST(Baselines, PerBlockTraceCoversAllBlocks) {
+  const DepGraph g = fig2_trace();
+  const auto list =
+      schedule_trace_per_block(g, scalar01(), BlockScheduler::kCriticalPathList);
+  ASSERT_EQ(list.size(), g.num_nodes());
+  // Block 0 nodes first, then block 1.
+  for (std::size_t i = 1; i < list.size(); ++i) {
+    EXPECT_LE(g.node(list[i - 1]).block, g.node(list[i]).block);
+  }
+}
+
+TEST(BruteForce, MatchesHandComputedOptimum) {
+  const DepGraph g = fig1_bb1();
+  EXPECT_EQ(optimal_block_makespan(g, NodeSet::all(g.num_nodes())), 7);
+}
+
+TEST(BruteForce, ChainWithLatencies) {
+  DepGraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const NodeId c = g.add_node("c");
+  g.add_edge(a, b, 2);
+  g.add_edge(b, c, 2);
+  EXPECT_EQ(optimal_block_makespan(g, NodeSet::all(3)), 7);  // 1+2+1+2+1
+}
+
+TEST(BruteForce, IndependentNodesAreWorkBound) {
+  DepGraph g;
+  for (int i = 0; i < 6; ++i) g.add_node("n" + std::to_string(i));
+  EXPECT_EQ(optimal_block_makespan(g, NodeSet::all(6)), 6);
+}
+
+TEST(BruteForce, DeliberateIdlingCanBeOptimal) {
+  // a -> c (lat 2), b independent.  Greedy "a b c" gives 4; so does
+  // "b a c"... make idling matter: a -> c lat 1, a -> d lat 1, b long chain?
+  // Simplest: chain a->b lat 3 with one filler: optimal must interleave.
+  DepGraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  g.add_node("f");  // independent filler
+  g.add_edge(a, b, 3);
+  EXPECT_EQ(optimal_block_makespan(g, NodeSet::all(3)), 5);  // a f . . b
+}
+
+TEST(BruteForce, NonUnitExecTimes) {
+  DepGraph g;
+  const NodeId big = g.add_node("big", 3);
+  const NodeId dep = g.add_node("dep", 1);
+  g.add_node("free", 1);
+  g.add_edge(big, dep, 0);
+  EXPECT_EQ(optimal_block_makespan(g, NodeSet::all(3)), 5);
+}
+
+TEST(BruteForce, TraceOptimumAtLeastBlockLowerBound) {
+  Prng prng(0x0907);
+  for (int trial = 0; trial < 6; ++trial) {
+    RandomTraceParams params;
+    params.num_blocks = 2;
+    params.block.num_nodes = 5;
+    params.block.edge_prob = 0.4;
+    params.cross_edges = 1;
+    const DepGraph g = random_trace(prng, params);
+    const Time opt = optimal_trace_completion(g, scalar01(), 3);
+    ASSERT_GE(opt, 0);
+    EXPECT_GE(opt, static_cast<Time>(g.num_nodes()));
+    EXPECT_GE(opt, critical_path(g, NodeSet::all(g.num_nodes())));
+  }
+}
+
+TEST(BruteForce, CapReturnsMinusOne) {
+  Prng prng(0xca9);
+  RandomTraceParams params;
+  params.num_blocks = 2;
+  params.block.num_nodes = 9;
+  params.block.edge_prob = 0.05;  // almost no edges: ~9! orders per block
+  params.cross_edges = 0;
+  const DepGraph g = random_trace(prng, params);
+  EXPECT_EQ(optimal_trace_completion(g, scalar01(), 2, /*cap=*/1000), -1);
+}
+
+TEST(BruteForce, LoopOptimumMatchesFig8) {
+  const DepGraph g = fig8_loop();
+  const double best = optimal_loop_period(g, scalar01(), 1);
+  EXPECT_DOUBLE_EQ(best, 4.0);
+}
+
+// The headline claim (§4.1): Algorithm Lookahead's emitted code, executed
+// on the lookahead machine, against the exhaustive optimum over all
+// per-block orders — restricted case.
+//
+// Note the scope: the exhaustive optimum ranges over *all* legal schedules,
+// including those that displace an already-scheduled block's instruction
+// past its standalone makespan; Procedure Merge deliberately forbids
+// displacement (Fig. 7 caps old deadlines at T_old), so on rare instances
+// the procedure gives up one cycle to the unrestricted optimum.  We assert
+// a never-worse-than-opt+1 bound and a high exact-match rate; bench_e09
+// reports the measured rates.
+class LookaheadOptimality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LookaheadOptimality, TracksExhaustiveTraceOptimum) {
+  Prng prng(GetParam());
+  const MachineModel machine = scalar01();
+  int exact = 0;
+  const int trials = 6;
+  for (int trial = 0; trial < trials; ++trial) {
+    RandomTraceParams params;
+    params.num_blocks = 2;
+    params.block.num_nodes = static_cast<int>(prng.uniform(3, 6));
+    params.block.edge_prob = 0.4;
+    params.cross_edges = static_cast<int>(prng.uniform(0, 3));
+    const DepGraph g = random_trace(prng, params);
+    const int window = static_cast<int>(prng.uniform(2, 5));
+
+    const Time opt = optimal_trace_completion(g, machine, window);
+    ASSERT_GE(opt, 0);
+
+    const RankScheduler scheduler(g, machine);
+    LookaheadOptions opts;
+    opts.window = window;
+    const LookaheadResult res = schedule_trace(scheduler, opts);
+    const Time got =
+        simulated_completion(g, machine, res.priority_list(), window);
+    EXPECT_GE(got, opt);
+    EXPECT_LE(got, opt + 1) << "seed=" << GetParam() << " trial=" << trial
+                            << " W=" << window;
+    exact += (got == opt);
+  }
+  EXPECT_GE(exact, trials - 2) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LookaheadOptimality,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ais

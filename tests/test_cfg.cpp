@@ -1,0 +1,164 @@
+// Tests for the CFG substrate, trace selection, and the whole-program
+// compiler driver.
+#include <gtest/gtest.h>
+
+#include "cfg/cfg.hpp"
+#include "cfg/trace_select.hpp"
+#include "driver/function_compiler.hpp"
+#include "ir/asm_parser.hpp"
+#include "ir/interp.hpp"
+#include "machine/machine_model.hpp"
+
+namespace ais {
+namespace {
+
+/// Diamond with a loop-back: entry -> (then|else) -> join -> exit-or-back.
+Program diamond_program() {
+  return parse_program(R"(
+    block entry:
+      LDU r6, a[r7+4]
+      CMP c1, r6, 0
+      BT  c1, else_side
+    block then_side:
+      ADD r1, r6, r6
+      MUL r2, r1, r6
+      B   join
+    block else_side:
+      SUB r1, r6, r6
+      SHL r2, r1, 1
+    block join:
+      ADD r3, r2, r1
+      ST  out[r9+0], r3
+      CMP c2, r3, 0
+      BF  c2, entry
+    block exit:
+      MOV r4, r3
+  )");
+}
+
+TEST(Cfg, EdgesFromBranchesAndFallthrough) {
+  const Cfg cfg(diamond_program());
+  ASSERT_EQ(cfg.num_blocks(), 5u);
+  const BlockId entry = cfg.find_label("entry");
+  const BlockId then_side = cfg.find_label("then_side");
+  const BlockId else_side = cfg.find_label("else_side");
+  const BlockId join = cfg.find_label("join");
+  const BlockId exit = cfg.find_label("exit");
+  ASSERT_NE(join, kNoBlock);
+
+  // entry: conditional -> {else (taken), then (fallthrough)}.
+  const auto entry_out = cfg.out_edges(entry);
+  ASSERT_EQ(entry_out.size(), 2u);
+  // then: unconditional B join only.
+  const auto then_out = cfg.out_edges(then_side);
+  ASSERT_EQ(then_out.size(), 1u);
+  EXPECT_EQ(then_out[0].to, join);
+  // else: pure fallthrough to join.
+  const auto else_out = cfg.out_edges(else_side);
+  ASSERT_EQ(else_out.size(), 1u);
+  EXPECT_EQ(else_out[0].to, join);
+  // join: conditional BF entry (back edge) + fallthrough exit.
+  const auto join_out = cfg.out_edges(join);
+  ASSERT_EQ(join_out.size(), 2u);
+  EXPECT_EQ(cfg.out_edges(exit).size(), 0u);
+}
+
+TEST(Cfg, DefaultProbabilitiesSplitEvenly) {
+  const Cfg cfg(diamond_program(), /*entry_weight=*/100);
+  const BlockId entry = cfg.find_label("entry");
+  for (const CfgEdge& e : cfg.out_edges(entry)) {
+    EXPECT_DOUBLE_EQ(e.weight, 50.0);
+  }
+  // join receives both sides: 50 + 50.
+  EXPECT_DOUBLE_EQ(cfg.block_weight(cfg.find_label("join")), 100.0);
+}
+
+TEST(Cfg, ProfileChangesWeights) {
+  Cfg cfg(diamond_program(), 100);
+  const BlockId entry = cfg.find_label("entry");
+  cfg.set_branch_probability(entry, 0.9);  // branch to else 90% of the time
+  EXPECT_DOUBLE_EQ(cfg.block_weight(cfg.find_label("else_side")), 90.0);
+  EXPECT_DOUBLE_EQ(cfg.block_weight(cfg.find_label("then_side")), 10.0);
+}
+
+TEST(Cfg, UnknownLabelYieldsNoEdge) {
+  const Program prog = parse_program(R"(
+    block a:
+      CMP c1, r1, 0
+      BT  c1, nowhere
+    block b:
+      NOP
+  )");
+  const Cfg cfg(prog);
+  // Only the fall-through edge exists.
+  ASSERT_EQ(cfg.out_edges(0).size(), 1u);
+  EXPECT_FALSE(cfg.out_edges(0)[0].taken);
+}
+
+TEST(TraceSelect, FollowsTheHotPath) {
+  Cfg cfg(diamond_program(), 100);
+  cfg.set_branch_probability(cfg.find_label("entry"), 0.1);  // then is hot
+  const auto traces = select_traces(cfg);
+  ASSERT_FALSE(traces.empty());
+  // Hottest trace: entry -> then -> join (+ possibly exit).
+  const auto& hot = traces[0];
+  ASSERT_GE(hot.blocks.size(), 3u);
+  EXPECT_EQ(hot.blocks[0], cfg.find_label("entry"));
+  EXPECT_EQ(hot.blocks[1], cfg.find_label("then_side"));
+  EXPECT_EQ(hot.blocks[2], cfg.find_label("join"));
+}
+
+TEST(TraceSelect, EveryBlockInExactlyOneTrace) {
+  Cfg cfg(diamond_program(), 100);
+  const auto traces = select_traces(cfg);
+  std::vector<int> seen(cfg.num_blocks(), 0);
+  for (const auto& t : traces) {
+    for (const BlockId b : t.blocks) ++seen[static_cast<std::size_t>(b)];
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(TraceSelect, MutualMostLikelyStopsAtMergePoints) {
+  // If the else side is hot, the trace through else must not also claim
+  // then_side (join's best predecessor is else).
+  Cfg cfg(diamond_program(), 100);
+  cfg.set_branch_probability(cfg.find_label("entry"), 0.95);
+  const auto traces = select_traces(cfg);
+  const auto& hot = traces[0];
+  for (const BlockId b : hot.blocks) {
+    EXPECT_NE(b, cfg.find_label("then_side"));
+  }
+}
+
+TEST(FunctionCompiler, PreservesLayoutLabelsAndSemantics) {
+  const Program prog = diamond_program();
+  Cfg cfg(prog, 100);
+  cfg.set_branch_probability(cfg.find_label("entry"), 0.2);
+  const MachineModel machine = rs6000_like();
+  const CompiledProgram compiled = compile_program(cfg, machine, 4);
+
+  ASSERT_EQ(compiled.program.blocks.size(), prog.blocks.size());
+  for (std::size_t b = 0; b < prog.blocks.size(); ++b) {
+    EXPECT_EQ(compiled.program.blocks[b].label, prog.blocks[b].label);
+    EXPECT_EQ(compiled.program.blocks[b].insts.size(),
+              prog.blocks[b].insts.size());
+    // Per-block semantics: identical final state from identical input.
+    const InterpState init = InterpState::random(b + 1);
+    EXPECT_TRUE(run_block(compiled.program.blocks[b], init) ==
+                run_block(prog.blocks[b], init))
+        << prog.blocks[b].label;
+  }
+  EXPECT_LE(compiled.hot_trace_cycles_after, compiled.hot_trace_cycles_before);
+}
+
+TEST(FunctionCompiler, HotTraceDiagnosticsPopulated) {
+  Cfg cfg(diamond_program(), 100);
+  const CompiledProgram compiled = compile_program(cfg, deep_pipeline());
+  EXPECT_GT(compiled.hot_trace_cycles_before, 0);
+  EXPECT_GT(compiled.hot_trace_cycles_after, 0);
+  EXPECT_GT(compiled.window, 0);
+  EXPECT_FALSE(compiled.traces.empty());
+}
+
+}  // namespace
+}  // namespace ais

@@ -1,0 +1,134 @@
+// Tests for the facade (driver): IR in, reordered IR out, across machines.
+#include <gtest/gtest.h>
+
+#include "driver/anticipatory.hpp"
+#include "ir/asm_parser.hpp"
+#include "ir/interp.hpp"
+#include "machine/machine_model.hpp"
+#include "sim/loop_sim.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/random_ir.hpp"
+
+namespace ais {
+namespace {
+
+TEST(DriverTrace, PreservesBlockShapeAndLabels) {
+  const Trace trace = sample_trace();
+  const ScheduledTrace s = schedule(trace, rs6000_like(), 4);
+  ASSERT_EQ(s.blocks.size(), trace.blocks.size());
+  for (std::size_t b = 0; b < trace.blocks.size(); ++b) {
+    EXPECT_EQ(s.blocks[b].label, trace.blocks[b].label);
+    EXPECT_EQ(s.blocks[b].insts.size(), trace.blocks[b].insts.size());
+  }
+  EXPECT_EQ(s.window, 4);
+  EXPECT_GT(s.simulated_cycles(rs6000_like()), 0);
+}
+
+TEST(DriverTrace, ZeroWindowUsesMachineDefault) {
+  const ScheduledTrace s = schedule(sample_trace(), deep_pipeline());
+  EXPECT_EQ(s.window, deep_pipeline().default_window());
+}
+
+TEST(DriverTrace, BranchesStayLast) {
+  Prng prng(0xd21);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomIrParams params;
+    params.num_insts = static_cast<int>(prng.uniform(4, 12));
+    const Trace trace = random_ir_trace(prng, params, 3);
+    const ScheduledTrace s = schedule(trace, scalar01(), 4);
+    for (std::size_t b = 0; b < s.blocks.size(); ++b) {
+      const auto& insts = s.blocks[b].insts;
+      for (std::size_t i = 0; i < insts.size(); ++i) {
+        if (insts[i].is_branch()) {
+          EXPECT_EQ(i, insts.size() - 1);
+        }
+      }
+    }
+  }
+}
+
+TEST(DriverTrace, SchedulingIsIdempotent) {
+  // Scheduling already-scheduled code must not change cycle counts.
+  const Trace trace = sample_trace();
+  const MachineModel machine = deep_pipeline();
+  const ScheduledTrace once = schedule(trace, machine, 2);
+  const ScheduledTrace twice = schedule(Trace{once.blocks}, machine, 2);
+  EXPECT_EQ(once.simulated_cycles(machine), twice.simulated_cycles(machine));
+}
+
+TEST(DriverLoop, SingleBlockUsesCandidateSearch) {
+  const ScheduledLoop s =
+      schedule(partial_product_kernel(), rs6000_like(), 1);
+  ASSERT_EQ(s.blocks.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.cycles_per_iteration, 6.0);  // the paper's schedule 2
+  // MUL precedes CMP in the anticipatory order.
+  int mul_pos = -1;
+  int cmp_pos = -1;
+  for (std::size_t i = 0; i < s.blocks[0].insts.size(); ++i) {
+    if (s.blocks[0].insts[i].op == Opcode::kMul) mul_pos = static_cast<int>(i);
+    if (s.blocks[0].insts[i].op == Opcode::kCmp) cmp_pos = static_cast<int>(i);
+  }
+  EXPECT_LT(mul_pos, cmp_pos);
+}
+
+TEST(DriverLoop, MultiBlockBodyUsesWrapAround) {
+  const Program prog = parse_program(R"(
+    block head:
+      LDU r6, x[r7+4]
+      MUL r1, r6, r6
+      CMP c1, r6, 0
+      BT  c1, out
+    block tail:
+      ADD r2, r1, r6
+      STU y[r5+4], r2
+      B   head
+  )");
+  Loop loop;
+  loop.body = Trace{prog.blocks};
+  const ScheduledLoop s = schedule(loop, rs6000_like(), 2);
+  ASSERT_EQ(s.blocks.size(), 2u);
+  EXPECT_GT(s.cycles_per_iteration, 0.0);
+  EXPECT_EQ(s.blocks[0].insts.size(), 4u);
+  EXPECT_EQ(s.blocks[1].insts.size(), 3u);
+}
+
+TEST(DriverLoop, SemanticsPreservedOverIterations) {
+  Prng prng(0xd22);
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomIrParams params;
+    params.num_insts = static_cast<int>(prng.uniform(4, 9));
+    const Loop loop = random_ir_loop(prng, params);
+    const ScheduledLoop s = schedule(loop, deep_pipeline(), 2);
+
+    InterpState expected = InterpState::random(trial);
+    InterpState got = expected;
+    for (int k = 0; k < 3; ++k) {
+      expected = run_block(loop.body.blocks[0], expected);
+      got = run_block(s.blocks[0], got);
+    }
+    EXPECT_TRUE(got == expected) << "trial " << trial;
+  }
+}
+
+TEST(DriverLoop, NeverSlowerThanSourceOrder) {
+  Prng prng(0xd23);
+  const MachineModel machine = rs6000_like();
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomIrParams params;
+    params.num_insts = static_cast<int>(prng.uniform(4, 9));
+    const Loop loop = random_ir_loop(prng, params);
+    const int window = static_cast<int>(prng.uniform(1, 5));
+    const ScheduledLoop s = schedule(loop, machine, window);
+
+    std::vector<NodeId> source_order;
+    for (NodeId id = 0; id < s.graph.num_nodes(); ++id) {
+      source_order.push_back(id);
+    }
+    const double source =
+        steady_state_period(s.graph, machine, source_order, window);
+    EXPECT_LE(s.cycles_per_iteration, source + 1e-9) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace ais

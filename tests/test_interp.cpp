@@ -1,0 +1,215 @@
+// Interpreter unit tests plus the semantic-preservation oracle: every
+// scheduler's reordered code must compute exactly the same final state as
+// the original program, from random initial states.
+#include <gtest/gtest.h>
+
+#include "baselines/block_schedulers.hpp"
+#include "driver/anticipatory.hpp"
+#include "ir/asm_parser.hpp"
+#include "ir/depbuild.hpp"
+#include "ir/interp.hpp"
+#include "machine/machine_model.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/random_ir.hpp"
+
+namespace ais {
+namespace {
+
+TEST(Interp, ArithmeticAndImmediates) {
+  InterpState s;
+  execute(Instruction::li(gpr(1), 40), s);
+  execute(Instruction::li(gpr(2), 2), s);
+  execute(Instruction::alu(Opcode::kAdd, gpr(3), gpr(1), gpr(2)), s);
+  EXPECT_EQ(s.get(gpr(3)), 42);
+  execute(Instruction::alu(Opcode::kSub, gpr(4), gpr(3), gpr(2)), s);
+  EXPECT_EQ(s.get(gpr(4)), 40);
+  execute(Instruction::alu(Opcode::kMul, gpr(5), gpr(2), gpr(2)), s);
+  EXPECT_EQ(s.get(gpr(5)), 4);
+  execute(Instruction::alu_imm(Opcode::kShl, gpr(6), gpr(2), 3), s);
+  EXPECT_EQ(s.get(gpr(6)), 16);
+  execute(Instruction::mov(gpr(7), gpr(6)), s);
+  EXPECT_EQ(s.get(gpr(7)), 16);
+}
+
+TEST(Interp, DivisionByZeroIsTotal) {
+  InterpState s;
+  execute(Instruction::li(gpr(1), 7), s);
+  execute(Instruction::li(gpr(2), 0), s);
+  execute(Instruction::alu(Opcode::kDiv, gpr(3), gpr(1), gpr(2)), s);
+  EXPECT_EQ(s.get(gpr(3)), 0);
+}
+
+TEST(Interp, MemoryRoundTripAndTagSpaces) {
+  InterpState s;
+  execute(Instruction::li(gpr(1), 100), s);
+  execute(Instruction::li(gpr(2), 42), s);
+  execute(Instruction::store({gpr(1), 8, "x"}, gpr(2)), s);
+  execute(Instruction::load(gpr(3), {gpr(1), 8, "x"}), s);
+  EXPECT_EQ(s.get(gpr(3)), 42);
+  // Same address, different tag: a distinct region.
+  execute(Instruction::load(gpr(4), {gpr(1), 8, "y"}), s);
+  EXPECT_NE(s.get(gpr(4)), 42);
+  // Uninitialized loads are deterministic.
+  execute(Instruction::load(gpr(5), {gpr(1), 8, "y"}), s);
+  EXPECT_EQ(s.get(gpr(5)), s.get(gpr(4)));
+}
+
+TEST(Interp, UpdateFormsAdvanceTheBase) {
+  InterpState s;
+  execute(Instruction::li(gpr(7), 100), s);
+  execute(Instruction::li(gpr(6), 5), s);
+  execute(Instruction::store({gpr(7), 4, "y"}, gpr(6), /*update=*/true), s);
+  EXPECT_EQ(s.get(gpr(7)), 104);
+  execute(Instruction::li(gpr(7), 100), s);
+  execute(Instruction::load(gpr(1), {gpr(7), 4, "y"}, /*update=*/true), s);
+  EXPECT_EQ(s.get(gpr(1)), 5);
+  EXPECT_EQ(s.get(gpr(7)), 104);
+}
+
+TEST(Interp, CompareAndBranch) {
+  InterpState s;
+  execute(Instruction::li(gpr(1), 0), s);
+  execute(Instruction::cmp(cr(1), gpr(1), 0), s);
+  EXPECT_EQ(s.get(cr(1)), 1);
+  execute(Instruction::branch(Opcode::kBt, cr(1), "L"), s);
+  EXPECT_TRUE(s.last_branch_taken());
+  execute(Instruction::li(gpr(1), 3), s);
+  execute(Instruction::cmp(cr(1), gpr(1), 0), s);
+  execute(Instruction::branch(Opcode::kBt, cr(1), "L"), s);
+  EXPECT_FALSE(s.last_branch_taken());
+}
+
+TEST(Interp, Fig3KernelComputesPartialProducts) {
+  // Run three iterations of the paper's CL.18 loop body by hand and check
+  // the y stores: y[i] = y[i-1] * x[i] with the software-pipelined store.
+  const BasicBlock body = partial_product_kernel().body.blocks[0];
+  InterpState s;
+  s.set(gpr(7), 1000);  // &x[0]
+  s.set(gpr(5), 2000);  // &y[-1] (store writes y[i-1])
+  s.set(gpr(0), 3);     // y[0] already computed
+  // Seed x[1..3].
+  s.store("x", 1004, 5);
+  s.store("x", 1008, 7);
+  s.store("x", 1012, 0);
+  for (int iter = 0; iter < 3; ++iter) s = run_block(body, s);
+  EXPECT_EQ(s.load("y", 2004), 3);       // y[0]
+  EXPECT_EQ(s.load("y", 2008), 15);      // 3 * 5
+  EXPECT_EQ(s.load("y", 2012), 105);     // 15 * 7
+  EXPECT_TRUE(s.last_branch_taken());    // x[3] == 0 exits
+}
+
+TEST(Interp, RandomStatesDifferAcrossSeedsAndMatchWithinSeed) {
+  EXPECT_EQ(InterpState::random(5), InterpState::random(5));
+  EXPECT_FALSE(InterpState::random(5) == InterpState::random(6));
+}
+
+// --- The oracle: scheduling never changes program semantics --------------
+
+struct OracleParam {
+  const char* name;
+  MachineModel (*machine)();
+  std::uint64_t seed;
+};
+
+class SchedulingSemantics : public ::testing::TestWithParam<OracleParam> {};
+
+TEST_P(SchedulingSemantics, ReorderedTraceComputesIdenticalState) {
+  Prng prng(GetParam().seed);
+  const MachineModel machine = GetParam().machine();
+  for (int trial = 0; trial < 15; ++trial) {
+    RandomIrParams params;
+    params.num_insts = static_cast<int>(prng.uniform(4, 14));
+    params.num_gprs = static_cast<int>(prng.uniform(3, 8));
+    params.mem_frac = prng.uniform01() * 0.5;
+    const Trace trace =
+        random_ir_trace(prng, params, static_cast<int>(prng.uniform(1, 4)));
+
+    const InterpState init = InterpState::random(prng());
+    const InterpState expected = run_trace(trace, init);
+
+    // Anticipatory (facade).
+    const int window = static_cast<int>(prng.uniform(1, 7));
+    const ScheduledTrace anticipatory = schedule(trace, machine, window);
+    EXPECT_TRUE(run_trace(Trace{anticipatory.blocks}, init) == expected)
+        << "anticipatory trial " << trial;
+
+    // Every baseline, reassembled the same way.
+    const DepGraph g = build_trace_graph(trace, machine);
+    std::vector<const Instruction*> flat;
+    for (const auto& bb : trace.blocks) {
+      for (const auto& inst : bb.insts) flat.push_back(&inst);
+    }
+    for (const BlockScheduler kind :
+         {BlockScheduler::kCriticalPathList, BlockScheduler::kGibbonsMuchnick,
+          BlockScheduler::kWarren, BlockScheduler::kRank,
+          BlockScheduler::kRankDelayed}) {
+      Trace reordered;
+      NodeId next = 0;
+      for (const auto& bb : trace.blocks) {
+        NodeSet block(g.num_nodes());
+        for (std::size_t i = 0; i < bb.insts.size(); ++i) block.insert(next++);
+        BasicBlock out;
+        out.label = bb.label;
+        for (const NodeId id : schedule_block(g, machine, block, kind)) {
+          out.insts.push_back(*flat[id]);
+        }
+        reordered.blocks.push_back(std::move(out));
+      }
+      EXPECT_TRUE(run_trace(reordered, init) == expected)
+          << block_scheduler_name(kind) << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, SchedulingSemantics,
+    ::testing::Values(OracleParam{"scalar01", scalar01, 0x5e31},
+                      OracleParam{"rs6000", rs6000_like, 0x5e32},
+                      OracleParam{"deep", deep_pipeline, 0x5e33},
+                      OracleParam{"vliw4", vliw4, 0x5e34}),
+    [](const ::testing::TestParamInfo<OracleParam>& info) {
+      return info.param.name;
+    });
+
+TEST(SchedulingSemantics, LoopBodiesPreserveSemanticsOverIterations) {
+  Prng prng(0x100e);
+  const MachineModel machine = rs6000_like();
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomIrParams params;
+    params.num_insts = static_cast<int>(prng.uniform(4, 9));
+    params.num_gprs = 5;
+    params.mem_frac = 0.3;
+    const Loop loop = random_ir_loop(prng, params);
+
+    const InterpState init = InterpState::random(prng());
+    InterpState expected = init;
+    for (int k = 0; k < 4; ++k) {
+      expected = run_block(loop.body.blocks[0], expected);
+    }
+
+    const ScheduledLoop scheduled = schedule(loop, machine, 2);
+    InterpState got = init;
+    for (int k = 0; k < 4; ++k) {
+      got = run_block(scheduled.blocks[0], got);
+    }
+    EXPECT_TRUE(got == expected) << "trial " << trial;
+  }
+}
+
+TEST(SchedulingSemantics, PaperKernelsPreserveSemantics) {
+  const MachineModel machine = rs6000_like();
+  for (const auto& [name, loop] : all_loop_kernels()) {
+    const InterpState init = InterpState::random(0xabc);
+    InterpState expected = init;
+    InterpState got = init;
+    const ScheduledLoop scheduled = schedule(loop, machine, 2);
+    for (int k = 0; k < 3; ++k) {
+      expected = run_block(loop.body.blocks[0], expected);
+      got = run_block(scheduled.blocks[0], got);
+    }
+    EXPECT_TRUE(got == expected) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ais

@@ -1,0 +1,252 @@
+// Tests for loop scheduling (§5): single-block candidates and the
+// multi-block wrap-around, against the paper's Figures 3 and 8.
+#include <gtest/gtest.h>
+
+#include "core/loop_single.hpp"
+#include "core/loop_trace.hpp"
+#include "ir/depbuild.hpp"
+#include "machine/machine_model.hpp"
+#include "sim/loop_sim.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/paper_graphs.hpp"
+#include "workloads/random_graphs.hpp"
+
+namespace ais {
+namespace {
+
+std::vector<std::string> names_of(const DepGraph& g,
+                                  const std::vector<NodeId>& ids) {
+  std::vector<std::string> out;
+  for (const NodeId id : ids) out.push_back(g.node(id).name);
+  return out;
+}
+
+/// Evaluator: steady-state cycles/iteration at the given window.
+auto period_evaluator(const DepGraph& g, const MachineModel& machine,
+                      int window) {
+  return [&g, &machine, window](const std::vector<NodeId>& order) {
+    return steady_state_period(g, machine, order, window);
+  };
+}
+
+TEST(LoopSingle, Fig3MultiplyPivotYieldsScheduleTwo) {
+  const DepGraph g = fig3_loop();
+  const MachineModel machine = scalar01();
+  // Paper: "Schedule 2 is obtained when the MULTIPLY instruction is
+  // selected as a candidate for the source node in step 1."
+  const LoopCandidate cand =
+      build_loop_candidate(g, machine, g.find("M"), /*source_form=*/true, {});
+  EXPECT_EQ(names_of(g, cand.order),
+            (std::vector<std::string>{"L4", "ST", "M", "C4", "BT"}));
+}
+
+TEST(LoopSingle, Fig3GeneralCasePicksSteadyStateOptimal) {
+  const DepGraph g = fig3_loop();
+  const MachineModel machine = scalar01();
+  LoopSingleOptions opts;
+  opts.prune = LoopSingleOptions::Prune::kNever;
+  const LoopCandidate best = schedule_single_block_loop(
+      g, machine, period_evaluator(g, machine, 1), opts);
+  EXPECT_DOUBLE_EQ(steady_state_period(g, machine, best.order, 1), 6.0);
+  EXPECT_EQ(names_of(g, best.order),
+            (std::vector<std::string>{"L4", "ST", "M", "C4", "BT"}));
+}
+
+TEST(LoopSingle, Fig3CandidateSetCoversBothSchedules) {
+  const DepGraph g = fig3_loop();
+  const MachineModel machine = scalar01();
+  LoopSingleOptions opts;
+  opts.prune = LoopSingleOptions::Prune::kNever;
+  const auto candidates = loop_single_candidates(g, machine, opts);
+  EXPECT_GE(candidates.size(), 4u);
+  bool found_sched1 = false;
+  bool found_sched2 = false;
+  for (const auto& cand : candidates) {
+    const auto names = names_of(g, cand.order);
+    if (names == std::vector<std::string>{"L4", "ST", "C4", "M", "BT"}) {
+      found_sched1 = true;
+    }
+    if (names == std::vector<std::string>{"L4", "ST", "M", "C4", "BT"}) {
+      found_sched2 = true;
+    }
+  }
+  EXPECT_TRUE(found_sched1) << "block-optimal candidate missing";
+  EXPECT_TRUE(found_sched2) << "steady-state-optimal candidate missing";
+}
+
+TEST(LoopSingle, Fig8SinkFormBreaksTheSymmetry) {
+  const DepGraph g = fig8_loop();
+  const MachineModel machine = scalar01();
+  // §5.2.2 with pivot 3 (the source of both carried edges).
+  const LoopCandidate cand = build_loop_candidate(
+      g, machine, g.find("3"), /*source_form=*/false, {});
+  EXPECT_EQ(names_of(g, cand.order), (std::vector<std::string>{"2", "1", "3"}));
+}
+
+TEST(LoopSingle, Fig8GeneralCaseFindsS2) {
+  const DepGraph g = fig8_loop();
+  const MachineModel machine = scalar01();
+  const LoopCandidate best = schedule_single_block_loop(
+      g, machine, period_evaluator(g, machine, 1), {});
+  EXPECT_DOUBLE_EQ(steady_state_period(g, machine, best.order, 1), 4.0);
+}
+
+TEST(LoopSingle, NoCarriedEdgesFallsBackToBlockSchedule) {
+  DepGraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  g.add_edge(a, b, 1);
+  const auto candidates = loop_single_candidates(g, scalar01(), {});
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].order, (std::vector<NodeId>{a, b}));
+  EXPECT_EQ(candidates[0].pivot, kInvalidNode);
+}
+
+TEST(LoopSingle, OrdersAreAlwaysValidPermutations) {
+  Prng prng(0x100c);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomLoopParams params;
+    params.block.num_nodes = static_cast<int>(prng.uniform(4, 9));
+    params.block.edge_prob = 0.3;
+    params.carried_edges = static_cast<int>(prng.uniform(1, 4));
+    const DepGraph g = random_loop(prng, params);
+    LoopSingleOptions opts;
+    opts.prune = LoopSingleOptions::Prune::kNever;
+    for (const auto& cand : loop_single_candidates(g, scalar01(), opts)) {
+      ASSERT_EQ(cand.order.size(), g.num_nodes());
+      // Valid: the loop simulator checks coverage and in-block topology
+      // is implied by construction; verify distance-0 edges respected.
+      std::vector<std::size_t> pos(g.num_nodes());
+      for (std::size_t i = 0; i < cand.order.size(); ++i) {
+        pos[cand.order[i]] = i;
+      }
+      for (const DepEdge& e : g.edges()) {
+        if (e.distance == 0) {
+          EXPECT_LT(pos[e.from], pos[e.to]);
+        }
+      }
+    }
+  }
+}
+
+TEST(LoopSingle, GeneralCaseNeverWorseThanBlockOptimalOrder) {
+  // The candidate set includes steady-state-aware orders; the selected one
+  // must be at least as good as scheduling the block in isolation.
+  Prng prng(0x6006);
+  const MachineModel machine = scalar01();
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomLoopParams params;
+    params.block.num_nodes = static_cast<int>(prng.uniform(4, 8));
+    params.block.edge_prob = 0.35;
+    params.carried_edges = 2;
+    const DepGraph g = random_loop(prng, params);
+    const int window = 2;
+    LoopSingleOptions opts;
+    opts.prune = LoopSingleOptions::Prune::kNever;
+    const LoopCandidate best = schedule_single_block_loop(
+        g, machine, period_evaluator(g, machine, window), opts);
+
+    // Block-optimal order: rank schedule of the loop-independent subgraph.
+    DepGraph li;
+    for (NodeId id = 0; id < g.num_nodes(); ++id) {
+      const NodeInfo& n = g.node(id);
+      li.add_node(n.name, n.exec_time, n.fu_class, n.block);
+    }
+    for (const DepEdge& e : g.edges()) {
+      if (e.distance == 0) li.add_edge(e.from, e.to, e.latency, 0);
+    }
+    const RankScheduler scheduler(li, machine);
+    const RankResult r = scheduler.run(
+        NodeSet::all(li.num_nodes()),
+        uniform_deadlines(li, huge_deadline(li, NodeSet::all(li.num_nodes()))),
+        {});
+    const double best_period =
+        steady_state_period(g, machine, best.order, window);
+    const double block_period = steady_state_period(
+        g, machine, r.schedule.permutation(), window);
+    EXPECT_LE(best_period, block_period + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(LoopTrace, RequiresAtLeastTwoBlocks) {
+  const DepGraph g = fig3_loop();
+  LookaheadOptions opts;
+  opts.window = 2;
+  EXPECT_DEATH(schedule_loop_trace(g, scalar01(), opts), ">= 2 blocks");
+}
+
+TEST(LoopTrace, TwoBlockLoopEmitsAllBlocksOnce) {
+  // Two-block loop: block 0 computes, block 1 stores + branches back;
+  // carried edges from block 1 to block 0's next instance.
+  DepGraph g;
+  const NodeId a = g.add_node("a", 1, 0, 0);
+  const NodeId b = g.add_node("b", 1, 0, 0);
+  const NodeId c = g.add_node("c", 1, 0, 1);
+  const NodeId d = g.add_node("d", 1, 0, 1);
+  g.add_edge(a, b, 1, 0);
+  g.add_edge(b, c, 1, 0);
+  g.add_edge(c, d, 0, 0);
+  g.add_edge(d, a, 1, 1);  // wrap-around carried dependence
+  LookaheadOptions opts;
+  opts.window = 3;
+  const LookaheadResult res = schedule_loop_trace(g, scalar01(), opts);
+  ASSERT_EQ(res.per_block.size(), 2u);
+  EXPECT_EQ(res.per_block[0].size(), 2u);
+  EXPECT_EQ(res.per_block[1].size(), 2u);
+  EXPECT_EQ(res.order.size(), 4u);
+  // Steady state must satisfy the carried chain.
+  const double p =
+      steady_state_period(g, scalar01(), res.priority_list(), opts.window);
+  EXPECT_GE(p, 4.0);
+}
+
+TEST(LoopTrace, RandomLoopsProduceLegalPerBlockOrders) {
+  Prng prng(0x17ac);
+  for (int trial = 0; trial < 6; ++trial) {
+    // Build a random 2-3 block trace and add carried edges back to block 0.
+    RandomTraceParams params;
+    params.num_blocks = static_cast<int>(prng.uniform(2, 4));
+    params.block.num_nodes = 5;
+    params.block.edge_prob = 0.3;
+    params.cross_edges = 1;
+    DepGraph g = random_trace(prng, params);
+    // A couple of carried edges into block 0.
+    std::vector<NodeId> block0;
+    for (NodeId id = 0; id < g.num_nodes(); ++id) {
+      if (g.node(id).block == 0) block0.push_back(id);
+    }
+    for (int k = 0; k < 2; ++k) {
+      g.add_edge(static_cast<NodeId>(prng.index(g.num_nodes())),
+                 block0[prng.index(block0.size())], 1, 1);
+    }
+    LookaheadOptions opts;
+    opts.window = 3;
+    const LookaheadResult res = schedule_loop_trace(g, scalar01(), opts);
+    EXPECT_EQ(res.order.size(), g.num_nodes());
+    std::vector<std::size_t> pos(g.num_nodes());
+    const auto list = res.priority_list();
+    ASSERT_EQ(list.size(), g.num_nodes());
+    for (std::size_t i = 0; i < list.size(); ++i) pos[list[i]] = i;
+    for (const DepEdge& e : g.edges()) {
+      if (e.distance == 0 && g.node(e.from).block == g.node(e.to).block) {
+        EXPECT_LT(pos[e.from], pos[e.to]);
+      }
+    }
+  }
+}
+
+TEST(LoopKernels, AnticipatoryBeatsOrMatchesBlockOptimalOnFig3Ir) {
+  // End-to-end: Figure 3 from instructions, on the RS/6000-like machine.
+  const DepGraph g = build_loop_graph(partial_product_kernel(), rs6000_like());
+  const MachineModel machine = rs6000_like();
+  LoopSingleOptions opts;
+  opts.prune = LoopSingleOptions::Prune::kNever;
+  const LoopCandidate best = schedule_single_block_loop(
+      g, machine, period_evaluator(g, machine, 1), opts);
+  const double period = steady_state_period(g, machine, best.order, 1);
+  EXPECT_LE(period, 6.0);
+  EXPECT_GE(period, 5.0);  // bounded below by the M->M recurrence
+}
+
+}  // namespace
+}  // namespace ais

@@ -1,0 +1,63 @@
+// Unit tests for machine models and presets.
+#include <gtest/gtest.h>
+
+#include "machine/machine_model.hpp"
+
+namespace ais {
+namespace {
+
+TEST(MachineModel, ScalarPresetIsRestrictedCase) {
+  const MachineModel m = scalar01();
+  EXPECT_TRUE(m.is_restricted_case());
+  EXPECT_EQ(m.total_units(), 1);
+  EXPECT_EQ(m.issue_width(), 1);
+  EXPECT_EQ(m.timing(OpClass::kLoad).latency, 1);
+  EXPECT_EQ(m.timing(OpClass::kIntAlu).latency, 0);
+  for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+    EXPECT_EQ(m.timing(static_cast<OpClass>(c)).exec_time, 1);
+  }
+}
+
+TEST(MachineModel, Rs6000MatchesFig3Latencies) {
+  const MachineModel m = rs6000_like();
+  EXPECT_FALSE(m.is_restricted_case());
+  EXPECT_EQ(m.timing(OpClass::kLoad).latency, 1);
+  EXPECT_EQ(m.timing(OpClass::kCompare).latency, 1);
+  EXPECT_EQ(m.timing(OpClass::kIntMul).latency, 4);
+  EXPECT_EQ(m.num_fu_classes(), 3);
+  EXPECT_EQ(m.issue_width(), 1);
+}
+
+TEST(MachineModel, DeepPipelineIsSingleUnitButNotRestricted) {
+  const MachineModel m = deep_pipeline();
+  EXPECT_EQ(m.total_units(), 1);
+  EXPECT_FALSE(m.is_restricted_case());  // latencies up to 4
+}
+
+TEST(MachineModel, Vliw4UnitsAndWidth) {
+  const MachineModel m = vliw4();
+  EXPECT_EQ(m.total_units(), 4);
+  EXPECT_EQ(m.issue_width(), 4);
+  EXPECT_EQ(m.fu_count(0), 2);
+  EXPECT_EQ(m.fu_count(1), 1);
+  EXPECT_FALSE(m.is_restricted_case());
+}
+
+TEST(MachineModel, OpClassNamesAreDistinct) {
+  std::set<std::string> names;
+  for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+    names.insert(op_class_name(static_cast<OpClass>(c)));
+  }
+  EXPECT_EQ(names.size(), kNumOpClasses);
+}
+
+TEST(MachineModel, DefaultWindowIsSmall) {
+  // §2.3: "W is usually very small (typically < 10)".
+  EXPECT_LT(scalar01().default_window(), 10);
+  EXPECT_LT(rs6000_like().default_window(), 10);
+  EXPECT_LT(deep_pipeline().default_window(), 10);
+  EXPECT_LT(vliw4().default_window(), 10);
+}
+
+}  // namespace
+}  // namespace ais

@@ -1,0 +1,221 @@
+// Tests for Procedure Merge (Fig. 7) and Procedure Chop (Fig. 6).
+#include <gtest/gtest.h>
+
+#include "core/chop.hpp"
+#include "core/merge.hpp"
+#include "core/move_idle.hpp"
+#include "core/rank.hpp"
+#include "machine/machine_model.hpp"
+#include "workloads/paper_graphs.hpp"
+#include "workloads/random_graphs.hpp"
+
+namespace ais {
+namespace {
+
+NodeSet block_set(const DepGraph& g, int block) {
+  NodeSet s(g.num_nodes());
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    if (g.node(id).block == block) s.insert(id);
+  }
+  return s;
+}
+
+TEST(Merge, Fig2MergedScheduleAndDeadlines) {
+  const DepGraph g = fig2_trace();
+  const RankScheduler scheduler(g, scalar01());
+  const NodeSet bb1 = block_set(g, 0);
+  const NodeSet bb2 = block_set(g, 1);
+
+  // As in the paper's walkthrough: BB1 deadlines are its standalone
+  // completion time 7; merge BB2 into it.
+  DeadlineMap d = uniform_deadlines(g, 100);
+  for (const NodeId id : bb1.ids()) d[id] = 7;
+
+  const MergeResult m =
+      merge_blocks(scheduler, bb1, bb2, d, /*t_old=*/7, /*huge=*/100, {});
+  EXPECT_EQ(m.makespan, 11);
+  // Old nodes keep deadlines <= 7; new nodes got the merged bound 11.
+  for (const NodeId id : bb1.ids()) EXPECT_LE(m.deadlines[id], 7);
+  for (const NodeId id : bb2.ids()) EXPECT_EQ(m.deadlines[id], 11);
+  // Old nodes are never displaced past their caps.
+  for (const NodeId id : bb1.ids()) {
+    EXPECT_LE(m.schedule.completion(id), 7);
+  }
+  EXPECT_EQ(validate_schedule(m.schedule, scalar01()), "");
+}
+
+TEST(Merge, RetainsPreassignedTighterDeadline) {
+  const DepGraph g = fig2_trace();
+  const RankScheduler scheduler(g, scalar01());
+  const NodeSet bb1 = block_set(g, 0);
+  const NodeSet bb2 = block_set(g, 1);
+  DeadlineMap d = uniform_deadlines(g, 100);
+  d[g.find("x")] = 1;  // "the algorithm has already determined" d(x)=1
+  const MergeResult m =
+      merge_blocks(scheduler, bb1, bb2, d, /*t_old=*/7, /*huge=*/100, {});
+  EXPECT_EQ(m.deadlines[g.find("x")], 1);
+  EXPECT_EQ(m.schedule.completion(g.find("x")), 1);
+  EXPECT_EQ(m.makespan, 11);
+}
+
+TEST(Merge, EmptyOldIsPlainBlockSchedule) {
+  const DepGraph g = fig1_bb1();
+  const RankScheduler scheduler(g, scalar01());
+  const NodeSet none(g.num_nodes());
+  const NodeSet all = NodeSet::all(g.num_nodes());
+  const MergeResult m =
+      merge_blocks(scheduler, none, all, uniform_deadlines(g, 100), 0, 100, {});
+  EXPECT_EQ(m.makespan, 7);
+  for (const NodeId id : all.ids()) EXPECT_EQ(m.deadlines[id], 7);
+}
+
+TEST(Merge, RelaxesNewDeadlinesWhenLowerBoundInfeasible) {
+  // old = {a} with deadline 1 (it must occupy slot 0); new = chain u->v
+  // with latency 1.  The unconstrained bound is 3 (u a v), but with a
+  // pinned at slot 0 the best is u a v anyway... build a case where the
+  // lower bound is genuinely infeasible: old = {a1, a2} pinned to slots
+  // 0..1, new = u->v latency 1 starting after.
+  DepGraph g;
+  const NodeId a1 = g.add_node("a1", 1, 0, 0);
+  const NodeId a2 = g.add_node("a2", 1, 0, 0);
+  const NodeId u = g.add_node("u", 1, 0, 1);
+  const NodeId v = g.add_node("v", 1, 0, 1);
+  g.add_edge(a1, a2, 1);
+  g.add_edge(u, v, 1);
+  const RankScheduler scheduler(g, scalar01());
+  NodeSet old_set(g.num_nodes(), {a1, a2});
+  NodeSet new_set(g.num_nodes(), {u, v});
+  DeadlineMap d = uniform_deadlines(g, 100);
+  d[a1] = 1;
+  d[a2] = 3;
+  // Unconstrained optimum is 4 (a1 u a2 v); that stays feasible here.
+  const MergeResult m =
+      merge_blocks(scheduler, old_set, new_set, d, /*t_old=*/3, 100, {});
+  EXPECT_TRUE(m.makespan >= 4);
+  EXPECT_EQ(validate_schedule(m.schedule, scalar01()), "");
+  EXPECT_LE(m.schedule.completion(a1), 1);
+  EXPECT_LE(m.schedule.completion(a2), 3);
+}
+
+TEST(Merge, NewNodesOnlyFillIdleSlotsProperty) {
+  Prng prng(0x3324);
+  for (int trial = 0; trial < 12; ++trial) {
+    RandomTraceParams params;
+    params.num_blocks = 2;
+    params.block.num_nodes = static_cast<int>(prng.uniform(4, 10));
+    params.block.edge_prob = 0.35;
+    params.cross_edges = 2;
+    const DepGraph g = random_trace(prng, params);
+    const RankScheduler scheduler(g, scalar01());
+    const NodeSet bb1 = block_set(g, 0);
+    const NodeSet bb2 = block_set(g, 1);
+
+    // Schedule BB1 alone; its makespan caps its nodes in the merge.
+    DeadlineMap d = uniform_deadlines(g, huge_deadline(g, NodeSet::all(g.num_nodes())));
+    const RankResult alone = scheduler.run(bb1, d, {});
+    ASSERT_TRUE(alone.feasible);
+    for (const NodeId id : bb1.ids()) d[id] = alone.makespan;
+
+    const MergeResult m = merge_blocks(scheduler, bb1, bb2, d,
+                                       alone.makespan,
+                                       huge_deadline(g, NodeSet::all(g.num_nodes())), {});
+    for (const NodeId id : bb1.ids()) {
+      EXPECT_LE(m.schedule.completion(id), alone.makespan)
+          << "old node displaced beyond its standalone makespan";
+    }
+    EXPECT_EQ(validate_schedule(m.schedule, scalar01()), "");
+  }
+}
+
+TEST(Chop, EmitsPrefixUpToLastEligibleIdleSlot) {
+  // Schedule shape x e r w b . a with W = 1 (strict in-order hardware): the
+  // idle slot at 5 has one (>= W) node after it, so everything before is
+  // emitted.
+  const DepGraph g = fig1_bb1();
+  const RankScheduler scheduler(g, scalar01());
+  const NodeSet all = NodeSet::all(g.num_nodes());
+  DeadlineMap d = uniform_deadlines(g, 100);
+  RankResult r = scheduler.run(all, d, {});
+  for (const NodeId id : all.ids()) d[id] = r.makespan;
+  Schedule s = delay_idle_slots(scheduler, std::move(r.schedule), d, {});
+  ASSERT_EQ(s.idle_slots().size(), 1u);
+  ASSERT_EQ(s.idle_slots()[0].time, 5);
+
+  const ChopResult c = chop(s, d, /*window=*/1);
+  EXPECT_EQ(c.emitted.size(), 5u);
+  EXPECT_EQ(c.suffix.ids(), (std::vector<NodeId>{g.find("a")}));
+  EXPECT_EQ(c.suffix_makespan, 1);
+  // a's deadline was 7 and is rebased by t_j + 1 = 6.
+  EXPECT_EQ(d[g.find("a")], 1);
+}
+
+TEST(Chop, SlotStillReachableThroughWindowIsRetained) {
+  // Same schedule with W = 2: a future instruction one position past `a`
+  // could still fill the slot at t = 5 (inversion span 2 <= W), so nothing
+  // may be emitted.
+  const DepGraph g = fig1_bb1();
+  const RankScheduler scheduler(g, scalar01());
+  const NodeSet all = NodeSet::all(g.num_nodes());
+  DeadlineMap d = uniform_deadlines(g, 100);
+  RankResult r = scheduler.run(all, d, {});
+  for (const NodeId id : all.ids()) d[id] = r.makespan;
+  Schedule s = delay_idle_slots(scheduler, std::move(r.schedule), d, {});
+  const ChopResult c = chop(s, d, /*window=*/2);
+  EXPECT_TRUE(c.emitted.empty());
+  EXPECT_EQ(c.suffix.size(), 6u);
+}
+
+TEST(Chop, KeepsEverythingWithLargeWindow) {
+  const DepGraph g = fig1_bb1();
+  const RankScheduler scheduler(g, scalar01());
+  const NodeSet all = NodeSet::all(g.num_nodes());
+  DeadlineMap d = uniform_deadlines(g, 100);
+  RankResult r = scheduler.run(all, d, {});
+  const DeadlineMap before = d;
+  // W = 7 > 6 nodes: retain all.
+  const ChopResult c = chop(r.schedule, d, /*window=*/7);
+  EXPECT_TRUE(c.emitted.empty());
+  EXPECT_EQ(c.suffix.size(), 6u);
+  EXPECT_EQ(c.suffix_makespan, 7);
+  EXPECT_EQ(d, before);
+}
+
+TEST(Chop, KeepsEverythingWithoutIdleSlots) {
+  DepGraph g;
+  for (int i = 0; i < 5; ++i) g.add_node("n" + std::to_string(i));
+  const RankScheduler scheduler(g, scalar01());
+  DeadlineMap d = uniform_deadlines(g, 100);
+  RankResult r = scheduler.run(NodeSet::all(5), d, {});
+  ASSERT_TRUE(r.schedule.idle_slots().empty());
+  const ChopResult c = chop(r.schedule, d, 2);
+  EXPECT_TRUE(c.emitted.empty());
+  EXPECT_EQ(c.suffix.size(), 5u);
+}
+
+TEST(Chop, SuffixStartsAfterSplitAndPartitionsNodes) {
+  Prng prng(0xc40b);
+  for (int trial = 0; trial < 12; ++trial) {
+    RandomBlockParams params;
+    params.num_nodes = static_cast<int>(prng.uniform(6, 14));
+    params.edge_prob = 0.4;
+    const DepGraph g = random_block(prng, params);
+    const RankScheduler scheduler(g, scalar01());
+    const NodeSet all = NodeSet::all(g.num_nodes());
+    DeadlineMap d = uniform_deadlines(g, huge_deadline(g, all));
+    RankResult r = scheduler.run(all, d, {});
+    for (const NodeId id : all.ids()) d[id] = r.makespan;
+    const Time makespan = r.makespan;
+    const int window = static_cast<int>(prng.uniform(1, 5));
+    const ChopResult c = chop(r.schedule, d, window);
+    EXPECT_EQ(c.emitted.size() + c.suffix.size(), g.num_nodes());
+    if (!c.emitted.empty()) {
+      EXPECT_GE(static_cast<int>(c.suffix.size()), window);
+      EXPECT_LT(c.suffix_makespan, makespan);
+    } else {
+      EXPECT_EQ(c.suffix_makespan, makespan);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ais

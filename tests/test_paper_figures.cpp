@@ -1,0 +1,147 @@
+// Consolidated golden tests: every number the paper prints, end to end.
+//
+// Fig. 1: ranks 95/95/98/98/100/100, makespan 7, idle slot delayed 2 -> 5.
+// Fig. 2: merged ranks 90..100, the priority list, the makespan-11 legal
+//         schedule, and the latency-0 illegality counterexample at W = 2.
+// Fig. 3: schedule 1 = 5 cycles/block & 7 steady-state; schedule 2 = 6 & 6;
+//         §5.2.3 selects schedule 2 via the MULTIPLY pivot.
+// Fig. 8: 5n-1 vs 4n; the single-source surrogate is symmetric in nodes
+//         1 and 2 while the sink-form (duality) candidate finds 2-1-3.
+#include <gtest/gtest.h>
+
+#include "core/legality.hpp"
+#include "core/lookahead.hpp"
+#include "core/loop_single.hpp"
+#include "core/move_idle.hpp"
+#include "core/rank.hpp"
+#include "machine/machine_model.hpp"
+#include "sim/lookahead_sim.hpp"
+#include "sim/loop_sim.hpp"
+#include "workloads/paper_graphs.hpp"
+
+namespace ais {
+namespace {
+
+std::vector<std::string> names_of(const DepGraph& g,
+                                  const std::vector<NodeId>& ids) {
+  std::vector<std::string> out;
+  for (const NodeId id : ids) out.push_back(g.node(id).name);
+  return out;
+}
+
+TEST(PaperFigure1, EndToEnd) {
+  const DepGraph g = fig1_bb1();
+  const MachineModel machine = scalar01();
+  const RankScheduler scheduler(g, machine);
+  const NodeSet all = NodeSet::all(g.num_nodes());
+
+  // Paper's tie order lists e before x.
+  RankOptions opts;
+  opts.tie_break.assign(g.num_nodes(), 0);
+  opts.tie_break[g.find("e")] = -1;
+
+  DeadlineMap d = uniform_deadlines(g, 100);
+  RankResult r = scheduler.run(all, d, opts);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.makespan, 7);
+  EXPECT_EQ(r.rank[g.find("x")], 95);
+  EXPECT_EQ(r.rank[g.find("a")], 100);
+  ASSERT_EQ(r.schedule.idle_slots().size(), 1u);
+  EXPECT_EQ(r.schedule.idle_slots()[0].time, 2);
+
+  for (const NodeId id : all.ids()) d[id] = r.makespan;
+  const Schedule delayed =
+      delay_idle_slots(scheduler, std::move(r.schedule), d, opts);
+  EXPECT_EQ(delayed.makespan(), 7);
+  ASSERT_EQ(delayed.idle_slots().size(), 1u);
+  EXPECT_EQ(delayed.idle_slots()[0].time, 5);
+}
+
+TEST(PaperFigure2, EndToEnd) {
+  const DepGraph g = fig2_trace();
+  const MachineModel machine = scalar01();
+  const RankScheduler scheduler(g, machine);
+
+  // Whole-trace merged schedule under D = 100.
+  const RankResult merged =
+      scheduler.run(NodeSet::all(g.num_nodes()), uniform_deadlines(g, 100), {});
+  EXPECT_EQ(merged.makespan, 11);
+  EXPECT_TRUE(check_legal(scheduler, merged.schedule, 2, 2).legal);
+
+  // Algorithm Lookahead emits the per-block orders whose hardware execution
+  // at W = 2 completes in 11 cycles; z overtakes a inside the window.
+  LookaheadOptions opts;
+  opts.window = 2;
+  opts.huge = 100;
+  const LookaheadResult res = schedule_trace(scheduler, opts);
+  const SimResult sim = simulate_list(g, machine, res.priority_list(), 2);
+  EXPECT_EQ(sim.completion, 11);
+  EXPECT_LT(sim.issue_time[g.find("z")], sim.issue_time[g.find("a")]);
+
+  // The latency-0 variant's naive merged schedule is illegal for W = 2.
+  const DepGraph bad = fig2_trace_latency0();
+  const RankScheduler bad_scheduler(bad, machine);
+  const RankResult bad_merged = bad_scheduler.run(
+      NodeSet::all(bad.num_nodes()), uniform_deadlines(bad, 100), {});
+  EXPECT_FALSE(check_legal(bad_scheduler, bad_merged.schedule, 2, 2).legal);
+}
+
+TEST(PaperFigure3, EndToEnd) {
+  const DepGraph g = fig3_loop();
+  const MachineModel machine = scalar01();
+  const std::vector<NodeId> sched1 = {g.find("L4"), g.find("ST"), g.find("C4"),
+                                      g.find("M"), g.find("BT")};
+  const std::vector<NodeId> sched2 = {g.find("L4"), g.find("ST"), g.find("M"),
+                                      g.find("C4"), g.find("BT")};
+  EXPECT_EQ(simulate_loop(g, machine, sched1, 1, 1).completion, 5);
+  EXPECT_EQ(simulate_loop(g, machine, sched2, 1, 1).completion, 6);
+  EXPECT_DOUBLE_EQ(steady_state_period(g, machine, sched1, 1), 7.0);
+  EXPECT_DOUBLE_EQ(steady_state_period(g, machine, sched2, 1), 6.0);
+
+  LoopSingleOptions opts;
+  opts.prune = LoopSingleOptions::Prune::kNever;
+  const LoopCandidate best = schedule_single_block_loop(
+      g, machine,
+      [&](const std::vector<NodeId>& order) {
+        return steady_state_period(g, machine, order, 1);
+      },
+      opts);
+  EXPECT_EQ(names_of(g, best.order),
+            (std::vector<std::string>{"L4", "ST", "M", "C4", "BT"}));
+}
+
+TEST(PaperFigure8, EndToEnd) {
+  const DepGraph g = fig8_loop();
+  const MachineModel machine = scalar01();
+  const std::vector<NodeId> s1 = {g.find("1"), g.find("2"), g.find("3")};
+  const std::vector<NodeId> s2 = {g.find("2"), g.find("1"), g.find("3")};
+  for (const int n : {4, 9, 16}) {
+    EXPECT_EQ(simulate_loop(g, machine, s1, 1, n).completion, 5 * n - 1);
+    EXPECT_EQ(simulate_loop(g, machine, s2, 1, n).completion, 4 * n);
+  }
+
+  // Each source-form surrogate is symmetric in nodes 1 and 2 (the carried
+  // latencies collapse onto the dummy sink), so neither discovers the
+  // asymmetric optimum — both emit the tie-broken order 1 2 3.
+  const LoopCandidate src1 =
+      build_loop_candidate(g, machine, g.find("1"), /*source_form=*/true, {});
+  const LoopCandidate src2 =
+      build_loop_candidate(g, machine, g.find("2"), /*source_form=*/true, {});
+  EXPECT_EQ(names_of(g, src1.order), (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(names_of(g, src2.order), (std::vector<std::string>{"1", "2", "3"}));
+
+  const LoopCandidate sink =
+      build_loop_candidate(g, machine, g.find("3"), /*source_form=*/false, {});
+  EXPECT_EQ(names_of(g, sink.order), (std::vector<std::string>{"2", "1", "3"}));
+
+  const LoopCandidate best = schedule_single_block_loop(
+      g, machine,
+      [&](const std::vector<NodeId>& order) {
+        return steady_state_period(g, machine, order, 1);
+      },
+      {});
+  EXPECT_DOUBLE_EQ(steady_state_period(g, machine, best.order, 1), 4.0);
+}
+
+}  // namespace
+}  // namespace ais

@@ -1,0 +1,303 @@
+// Cross-module property sweeps: invariants that must hold for every module
+// combination, parameterized over machines, window sizes and seeds.
+#include <gtest/gtest.h>
+
+#include "baselines/block_schedulers.hpp"
+#include "core/lookahead.hpp"
+#include "core/merge.hpp"
+#include "core/rank.hpp"
+#include "graph/critpath.hpp"
+#include "graph/topo.hpp"
+#include "ir/depbuild.hpp"
+#include "machine/machine_model.hpp"
+#include "pipeline/modulo.hpp"
+#include "sim/lookahead_sim.hpp"
+#include "sim/loop_sim.hpp"
+#include "workloads/random_graphs.hpp"
+#include "workloads/random_ir.hpp"
+
+namespace ais {
+namespace {
+
+struct SweepParam {
+  const char* name;
+  MachineModel (*machine)();
+  std::uint64_t seed;
+};
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  return info.param.name;
+}
+
+class MachineSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(MachineSweep, SimulatedCompletionRespectsLowerBounds) {
+  Prng prng(GetParam().seed);
+  const MachineModel machine = GetParam().machine();
+  for (int trial = 0; trial < 10; ++trial) {
+    const DepGraph g = random_machine_trace(prng, machine, 3, 8, 0.3, 2);
+    const NodeSet all = NodeSet::all(g.num_nodes());
+    for (const int w : {1, 4, 32}) {
+      const auto list =
+          schedule_trace_per_block(g, machine, BlockScheduler::kSourceOrder);
+      const Time t = simulated_completion(g, machine, list, w);
+      EXPECT_GE(t, critical_path(g, all));
+      EXPECT_GE(t, (g.total_work() + machine.total_units() - 1) /
+                       machine.total_units());
+    }
+  }
+}
+
+TEST_P(MachineSweep, StallAccountingOnSingleIssueMachines) {
+  const MachineModel machine = GetParam().machine();
+  if (machine.issue_width() != 1) GTEST_SKIP();
+  Prng prng(GetParam().seed ^ 0x57);
+  for (int trial = 0; trial < 8; ++trial) {
+    const DepGraph g = random_machine_trace(prng, machine, 2, 8, 0.3, 1);
+    const auto list =
+        schedule_trace_per_block(g, machine, BlockScheduler::kRank);
+    const SimResult r = simulate_list(g, machine, list, 4);
+    // Single issue: every cycle either issues or stalls, so completion =
+    // (work measured in issue slots) + stalls + trailing latency of the
+    // last instruction's execution beyond its issue cycle.
+    Time issue_slots = 0;
+    for (NodeId id = 0; id < g.num_nodes(); ++id) issue_slots += 1;
+    EXPECT_GE(r.completion, issue_slots + r.stall_cycles);
+    EXPECT_LE(r.completion,
+              issue_slots + r.stall_cycles + g.max_exec_time() - 1);
+  }
+}
+
+TEST_P(MachineSweep, RankStrictlyDecreasesAlongDependences) {
+  Prng prng(GetParam().seed ^ 0x77);
+  const MachineModel machine = GetParam().machine();
+  for (int trial = 0; trial < 8; ++trial) {
+    const DepGraph g = random_machine_block(prng, machine, 16, 0.3);
+    const RankScheduler scheduler(g, machine);
+    const NodeSet all = NodeSet::all(g.num_nodes());
+    bool ok = true;
+    const auto rank = scheduler.compute_ranks(
+        all, uniform_deadlines(g, huge_deadline(g, all)), {}, &ok);
+    EXPECT_TRUE(ok);
+    for (const DepEdge& e : g.edges()) {
+      if (e.distance != 0) continue;
+      EXPECT_LT(rank[e.from], rank[e.to])
+          << g.node(e.from).name << " -> " << g.node(e.to).name;
+    }
+  }
+}
+
+TEST_P(MachineSweep, LookaheadOutputIsCompleteAndBlockPreserving) {
+  Prng prng(GetParam().seed ^ 0x1a);
+  const MachineModel machine = GetParam().machine();
+  for (int trial = 0; trial < 6; ++trial) {
+    const DepGraph g = random_machine_trace(prng, machine, 4, 6, 0.3, 2);
+    const RankScheduler scheduler(g, machine);
+    for (const int w : {1, 3, 8}) {
+      LookaheadOptions opts;
+      opts.window = w;
+      const LookaheadResult res = schedule_trace(scheduler, opts);
+      ASSERT_EQ(res.order.size(), g.num_nodes());
+      for (std::size_t b = 0; b < res.per_block.size(); ++b) {
+        for (const NodeId id : res.per_block[b]) {
+          EXPECT_EQ(g.node(id).block, static_cast<int>(b));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, MachineSweep,
+    ::testing::Values(SweepParam{"scalar01", scalar01, 0xa1},
+                      SweepParam{"rs6000", rs6000_like, 0xa2},
+                      SweepParam{"deep", deep_pipeline, 0xa3},
+                      SweepParam{"vliw4", vliw4, 0xa4}),
+    sweep_name);
+
+// ---- Loop-wide invariants ------------------------------------------------
+
+TEST(LoopProperties, SteadyStateNeverBeatsTheMiiBounds) {
+  // Any per-iteration order, any window: the steady-state period is bounded
+  // below by both the recurrence MII and the resource MII — a three-module
+  // agreement check (simulator vs pipeline-bounds vs generators).
+  Prng prng(0x5bb);
+  for (const auto make : {scalar01, deep_pipeline, vliw4}) {
+    const MachineModel machine = make();
+    for (int trial = 0; trial < 6; ++trial) {
+      const DepGraph g = random_machine_block(prng, machine, 7, 0.3);
+      DepGraph loop = g;  // add carried edges onto a copy
+      for (int k = 0; k < 2; ++k) {
+        loop.add_edge(static_cast<NodeId>(prng.index(loop.num_nodes())),
+                      static_cast<NodeId>(prng.index(loop.num_nodes())),
+                      static_cast<int>(prng.uniform(0, 3)), 1);
+      }
+      // Dynamic execution may interleave iterations unevenly, so the binding
+      // bounds are the *fractional* ones: ceil()-free resource occupancy,
+      // and (recurrence_mii - 1) since ceil(true cycle ratio) = rec implies
+      // the ratio exceeds rec - 1.  (The integral MIIs bound only repeating
+      // modulo schedules — see bench_swp_postpass.)
+      const double rec_floor = recurrence_mii(loop) - 1.0;
+      std::vector<double> class_work(
+          static_cast<std::size_t>(machine.num_fu_classes()), 0);
+      for (NodeId id = 0; id < loop.num_nodes(); ++id) {
+        class_work[static_cast<std::size_t>(loop.node(id).fu_class)] +=
+            loop.node(id).exec_time;
+      }
+      double res_frac = static_cast<double>(loop.num_nodes()) /
+                        machine.issue_width();
+      for (int c = 0; c < machine.num_fu_classes(); ++c) {
+        res_frac = std::max(res_frac, class_work[static_cast<std::size_t>(c)] /
+                                          machine.fu_count(c));
+      }
+      const auto order_opt = topo_order(loop, NodeSet::all(loop.num_nodes()));
+      ASSERT_TRUE(order_opt.has_value());
+      for (const int w : {1, 4, 16}) {
+        const double period =
+            steady_state_period(loop, machine, *order_opt, w);
+        EXPECT_GT(period + 1e-9, rec_floor) << machine.name() << " W=" << w;
+        EXPECT_GE(period + 1e-9, res_frac) << machine.name() << " W=" << w;
+      }
+    }
+  }
+}
+
+TEST(LoopProperties, ModuloScheduleIiUpperBoundsSimulatedKernel) {
+  Prng prng(0x5bc);
+  const MachineModel machine = deep_pipeline();
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomLoopParams params;
+    params.block.num_nodes = static_cast<int>(prng.uniform(4, 9));
+    params.block.edge_prob = 0.35;
+    params.block.max_latency = 3;
+    params.carried_edges = 2;
+    const DepGraph g = random_loop(prng, params);
+    const ModuloSchedule s = modulo_schedule(g, machine);
+    ASSERT_TRUE(s.found);
+    const DepGraph k = kernel_graph(g, s);
+    std::vector<NodeId> order;
+    for (NodeId id = 0; id < k.num_nodes(); ++id) order.push_back(id);
+    // A wide window realizes the modulo schedule's II (or better).
+    EXPECT_LE(steady_state_period(k, machine, order, 32),
+              static_cast<double>(s.ii) + 1e-9);
+  }
+}
+
+// ---- Merge / schedule invariants ----------------------------------------
+
+TEST(MergeProperties, MakespanAtLeastUnconstrainedBound) {
+  Prng prng(0x3e3);
+  const MachineModel machine = scalar01();
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomTraceParams params;
+    params.num_blocks = 2;
+    params.block.num_nodes = static_cast<int>(prng.uniform(4, 9));
+    params.block.edge_prob = 0.35;
+    params.cross_edges = 2;
+    const DepGraph g = random_trace(prng, params);
+    const RankScheduler scheduler(g, machine);
+    const auto blocks = blocks_of(g);
+    const Time huge = huge_deadline(g, NodeSet::all(g.num_nodes()));
+
+    DeadlineMap d = uniform_deadlines(g, huge);
+    const RankResult alone = scheduler.run(blocks[0], d, {});
+    for (const NodeId id : blocks[0].ids()) d[id] = alone.makespan;
+    const MergeResult m = merge_blocks(scheduler, blocks[0], blocks[1], d,
+                                       alone.makespan, huge, {});
+
+    DeadlineMap flat = uniform_deadlines(g, huge);
+    const RankResult unconstrained =
+        scheduler.run(set_union(blocks[0], blocks[1]), flat, {});
+    EXPECT_GE(m.makespan, unconstrained.makespan);
+    EXPECT_GE(m.makespan, alone.makespan);
+  }
+}
+
+TEST(ScheduleProperties, PermutationAndUSetsConsistent) {
+  Prng prng(0x5ce);
+  const MachineModel machine = scalar01();
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomBlockParams params;
+    params.num_nodes = static_cast<int>(prng.uniform(4, 12));
+    params.edge_prob = 0.4;
+    const DepGraph g = random_block(prng, params);
+    const RankScheduler scheduler(g, machine);
+    const NodeSet all = NodeSet::all(g.num_nodes());
+    const RankResult r =
+        scheduler.run(all, uniform_deadlines(g, huge_deadline(g, all)), {});
+
+    const auto perm = r.schedule.permutation();
+    ASSERT_EQ(perm.size(), g.num_nodes());
+    for (std::size_t i = 1; i < perm.size(); ++i) {
+      EXPECT_LT(r.schedule.start(perm[i - 1]), r.schedule.start(perm[i]));
+    }
+    // u sets partition the permutation, in order, and their count is one
+    // more than the number of interior idle gaps.
+    const auto sets = r.schedule.u_sets();
+    std::vector<NodeId> flattened;
+    for (const auto& u : sets) {
+      EXPECT_FALSE(u.empty());
+      flattened.insert(flattened.end(), u.begin(), u.end());
+    }
+    EXPECT_EQ(flattened, perm);
+  }
+}
+
+// ---- Dependence-builder invariants ---------------------------------------
+
+TEST(DepBuildProperties, TraceGraphsAreForwardAndLoopGraphsCarry) {
+  Prng prng(0xdeb);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomIrParams params;
+    params.num_insts = static_cast<int>(prng.uniform(4, 12));
+    const Trace trace = random_ir_trace(prng, params, 3);
+    const DepGraph g = build_trace_graph(trace, rs6000_like());
+    EXPECT_EQ(g.num_nodes(), trace.num_insts());
+    for (const DepEdge& e : g.edges()) {
+      EXPECT_EQ(e.distance, 0);
+      EXPECT_LE(g.node(e.from).block, g.node(e.to).block);
+      if (g.node(e.from).block == g.node(e.to).block) {
+        EXPECT_LT(e.from, e.to);  // program order within a block
+      }
+    }
+
+    Loop loop;
+    loop.body.blocks.push_back(trace.blocks[0]);
+    const DepGraph lg = build_loop_graph(loop, rs6000_like());
+    EXPECT_EQ(lg.num_nodes(), trace.blocks[0].insts.size());
+    for (const DepEdge& e : lg.edges()) {
+      EXPECT_LE(e.distance, 1);
+      if (e.distance == 0) {
+        EXPECT_LT(e.from, e.to);
+      }
+    }
+  }
+}
+
+TEST(DepBuildProperties, LoopIndependentEdgesAgreeWithTraceAnalysis) {
+  // The distance-0 edges of a loop graph must be exactly the edges of the
+  // same block analyzed as straight-line code.
+  Prng prng(0xdec);
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomIrParams params;
+    params.num_insts = static_cast<int>(prng.uniform(4, 10));
+    const BasicBlock bb = random_ir_block(prng, params);
+    const DepGraph straight = build_block_graph(bb, rs6000_like());
+    Loop loop;
+    loop.body.blocks.push_back(bb);
+    const DepGraph looped = build_loop_graph(loop, rs6000_like());
+
+    std::set<std::tuple<NodeId, NodeId, int>> straight_edges;
+    for (const DepEdge& e : straight.edges()) {
+      straight_edges.insert({e.from, e.to, e.latency});
+    }
+    std::set<std::tuple<NodeId, NodeId, int>> loop_li_edges;
+    for (const DepEdge& e : looped.edges()) {
+      if (e.distance == 0) loop_li_edges.insert({e.from, e.to, e.latency});
+    }
+    EXPECT_EQ(straight_edges, loop_li_edges);
+  }
+}
+
+}  // namespace
+}  // namespace ais

@@ -1,0 +1,241 @@
+// Tests for the Rank Algorithm: golden values from the paper, unit
+// behaviours, and the optimality property (= brute force) on random
+// instances of the restricted case.
+#include <gtest/gtest.h>
+
+#include "baselines/bruteforce.hpp"
+#include "core/rank.hpp"
+#include "graph/critpath.hpp"
+#include "machine/machine_model.hpp"
+#include "workloads/paper_graphs.hpp"
+#include "workloads/random_graphs.hpp"
+
+namespace ais {
+namespace {
+
+TEST(Rank, Fig1GoldenRanks) {
+  const DepGraph g = fig1_bb1();
+  const RankScheduler scheduler(g, scalar01());
+  const NodeSet all = NodeSet::all(g.num_nodes());
+  bool ok = false;
+  const auto rank =
+      scheduler.compute_ranks(all, uniform_deadlines(g, 100), {}, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(rank[g.find("x")], 95);
+  EXPECT_EQ(rank[g.find("e")], 95);
+  EXPECT_EQ(rank[g.find("w")], 98);
+  EXPECT_EQ(rank[g.find("b")], 98);
+  EXPECT_EQ(rank[g.find("r")], 100);
+  EXPECT_EQ(rank[g.find("a")], 100);
+}
+
+TEST(Rank, Fig2MergedGoldenRanks) {
+  const DepGraph g = fig2_trace();
+  const RankScheduler scheduler(g, scalar01());
+  const NodeSet all = NodeSet::all(g.num_nodes());
+  bool ok = false;
+  const auto rank =
+      scheduler.compute_ranks(all, uniform_deadlines(g, 100), {}, &ok);
+  EXPECT_TRUE(ok);
+  // "rank(g)=rank(v)=rank(a)=rank(r)=100, rank(p)=rank(b)=98, rank(q)=97,
+  //  rank(z)=95, rank(w)=93, rank(e)=91, rank(x)=90."
+  EXPECT_EQ(rank[g.find("g")], 100);
+  EXPECT_EQ(rank[g.find("v")], 100);
+  EXPECT_EQ(rank[g.find("a")], 100);
+  EXPECT_EQ(rank[g.find("r")], 100);
+  EXPECT_EQ(rank[g.find("p")], 98);
+  EXPECT_EQ(rank[g.find("b")], 98);
+  EXPECT_EQ(rank[g.find("q")], 97);
+  EXPECT_EQ(rank[g.find("z")], 95);
+  EXPECT_EQ(rank[g.find("w")], 93);
+  EXPECT_EQ(rank[g.find("e")], 91);
+  EXPECT_EQ(rank[g.find("x")], 90);
+}
+
+TEST(Rank, Fig2MergedScheduleMatchesPaper) {
+  const DepGraph g = fig2_trace();
+  const RankScheduler scheduler(g, scalar01());
+  const NodeSet all = NodeSet::all(g.num_nodes());
+  const RankResult r = scheduler.run(all, uniform_deadlines(g, 100), {});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.makespan, 11);
+  // Paper's schedule: x e r w b z a q p v g.
+  const char* expected[] = {"x", "e", "r", "w", "b", "z", "a", "q", "p", "v",
+                            "g"};
+  const auto perm = r.schedule.permutation();
+  ASSERT_EQ(perm.size(), 11u);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(g.node(perm[i]).name, expected[i]) << "position " << i;
+  }
+}
+
+TEST(Rank, GreedyFromListRespectsOrderingSemantics) {
+  const DepGraph g = fig1_bb1();
+  const RankScheduler scheduler(g, scalar01());
+  const NodeSet all = NodeSet::all(g.num_nodes());
+  // Source order x,e,w,b,r,a: at t=2 nothing is ready (w,b need e+1) except
+  // r; greedy must pick r even though w is earlier in the list.
+  const Schedule s = scheduler.greedy_from_list(
+      all, {g.find("x"), g.find("e"), g.find("w"), g.find("b"), g.find("r"),
+            g.find("a")});
+  EXPECT_EQ(s.start(g.find("r")), 2);
+  EXPECT_EQ(s.makespan(), 7);
+  EXPECT_EQ(validate_schedule(s, scalar01()), "");
+}
+
+TEST(Rank, InfeasibleDeadlineDetected) {
+  const DepGraph g = fig1_bb1();
+  const RankScheduler scheduler(g, scalar01());
+  const NodeSet all = NodeSet::all(g.num_nodes());
+  DeadlineMap d = uniform_deadlines(g, 100);
+  d[g.find("a")] = 3;  // a needs two latency-1 levels before it
+  const RankResult r = scheduler.run(all, d, {});
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Rank, MinimumTardinessMeetsTightButFeasibleDeadlines) {
+  const DepGraph g = fig1_bb1();
+  const RankScheduler scheduler(g, scalar01());
+  const NodeSet all = NodeSet::all(g.num_nodes());
+  DeadlineMap d = uniform_deadlines(g, 7);  // exactly the optimal makespan
+  const RankResult r = scheduler.run(all, d, {});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.makespan, 7);
+}
+
+TEST(Rank, SubsetScheduling) {
+  const DepGraph g = fig2_trace();
+  const RankScheduler scheduler(g, scalar01());
+  // Schedule only BB2 = {z, q, p, v, g}.
+  NodeSet bb2(g.num_nodes());
+  for (const char* name : {"z", "q", "p", "v", "g"}) {
+    bb2.insert(g.find(name));
+  }
+  const RankResult r =
+      scheduler.run(bb2, uniform_deadlines(g, 100), {});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.makespan, 6);  // z . q p v g
+}
+
+TEST(Rank, EmptyishSingleNode) {
+  DepGraph g;
+  g.add_node("only");
+  const RankScheduler scheduler(g, scalar01());
+  const RankResult r =
+      scheduler.run(NodeSet::all(1), uniform_deadlines(g, 100), {});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.makespan, 1);
+}
+
+TEST(Rank, TieBreakControlsEqualRanks) {
+  const DepGraph g = fig1_bb1();
+  const RankScheduler scheduler(g, scalar01());
+  const NodeSet all = NodeSet::all(g.num_nodes());
+  RankOptions opts;
+  opts.tie_break.assign(g.num_nodes(), 0);
+  opts.tie_break[g.find("e")] = -1;
+  const RankResult r = scheduler.run(all, uniform_deadlines(g, 100), opts);
+  EXPECT_EQ(r.schedule.start(g.find("e")), 0);
+  const RankResult r2 = scheduler.run(all, uniform_deadlines(g, 100), {});
+  EXPECT_EQ(r2.schedule.start(g.find("x")), 0);  // default: id order
+  EXPECT_EQ(r.makespan, r2.makespan);
+}
+
+TEST(Rank, MakespanNeverBelowCriticalPath) {
+  Prng prng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomBlockParams params;
+    params.num_nodes = 12;
+    params.edge_prob = 0.3;
+    const DepGraph g = random_block(prng, params);
+    const RankScheduler scheduler(g, scalar01());
+    const NodeSet all = NodeSet::all(g.num_nodes());
+    const RankResult r =
+        scheduler.run(all, uniform_deadlines(g, huge_deadline(g, all)), {});
+    EXPECT_TRUE(r.feasible);
+    EXPECT_GE(r.makespan, critical_path(g, all));
+    EXPECT_GE(r.makespan, static_cast<Time>(g.num_nodes()));
+    EXPECT_EQ(validate_schedule(r.schedule, scalar01()), "");
+  }
+}
+
+// ---- Property: Rank Algorithm is optimal in the restricted case ----------
+
+struct RestrictedCaseParam {
+  std::uint64_t seed;
+  int nodes;
+  double edge_prob;
+  double latency1_prob;
+};
+
+class RankOptimality : public ::testing::TestWithParam<RestrictedCaseParam> {};
+
+TEST_P(RankOptimality, MatchesBruteForce) {
+  const auto& p = GetParam();
+  Prng prng(p.seed);
+  for (int trial = 0; trial < 12; ++trial) {
+    RandomBlockParams params;
+    params.num_nodes = p.nodes;
+    params.edge_prob = p.edge_prob;
+    params.latency1_prob = p.latency1_prob;
+    const DepGraph g = random_block(prng, params);
+    const RankScheduler scheduler(g, scalar01());
+    const NodeSet all = NodeSet::all(g.num_nodes());
+    const RankResult r =
+        scheduler.run(all, uniform_deadlines(g, huge_deadline(g, all)), {});
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.makespan, optimal_block_makespan(g, all))
+        << "seed=" << p.seed << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RestrictedCase, RankOptimality,
+    ::testing::Values(RestrictedCaseParam{101, 6, 0.3, 0.5},
+                      RestrictedCaseParam{202, 8, 0.25, 0.5},
+                      RestrictedCaseParam{303, 8, 0.5, 0.8},
+                      RestrictedCaseParam{404, 10, 0.2, 0.3},
+                      RestrictedCaseParam{505, 10, 0.35, 1.0},
+                      RestrictedCaseParam{606, 12, 0.15, 0.6},
+                      RestrictedCaseParam{707, 7, 0.6, 0.9},
+                      RestrictedCaseParam{808, 9, 0.1, 0.2}));
+
+// ---- Heuristic regimes stay valid (not necessarily optimal) --------------
+
+struct MachineParam {
+  const char* name;
+  MachineModel (*make)();
+};
+
+class RankHeuristic : public ::testing::TestWithParam<MachineParam> {};
+
+TEST_P(RankHeuristic, ProducesValidSchedules) {
+  Prng prng(0xfeed);
+  const MachineModel machine = GetParam().make();
+  for (int trial = 0; trial < 10; ++trial) {
+    const DepGraph g = random_machine_block(prng, machine, 24, 0.2);
+    const RankScheduler scheduler(g, machine);
+    const NodeSet all = NodeSet::all(g.num_nodes());
+    for (const bool split : {false, true}) {
+      RankOptions opts;
+      opts.split_long_ops = split;
+      const RankResult r = scheduler.run(
+          all, uniform_deadlines(g, huge_deadline(g, all)), opts);
+      EXPECT_TRUE(r.feasible) << GetParam().name;
+      EXPECT_EQ(validate_schedule(r.schedule, machine), "")
+          << GetParam().name << " split=" << split;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, RankHeuristic,
+    ::testing::Values(MachineParam{"rs6000", rs6000_like},
+                      MachineParam{"deep", deep_pipeline},
+                      MachineParam{"vliw4", vliw4}),
+    [](const ::testing::TestParamInfo<MachineParam>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace ais

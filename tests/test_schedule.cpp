@@ -1,0 +1,124 @@
+// Unit tests for the Schedule type: placement, idle slots, u sets,
+// permutations, validation, rendering.
+#include <gtest/gtest.h>
+
+#include "core/schedule.hpp"
+#include "machine/machine_model.hpp"
+#include "workloads/paper_graphs.hpp"
+
+namespace ais {
+namespace {
+
+/// x e . w b r a  on a single unit (the Figure 1 rank schedule shape).
+Schedule fig1_like(const DepGraph& g) {
+  Schedule s(&g, NodeSet::all(g.num_nodes()), 1);
+  s.place(g.find("e"), 0, 0);
+  s.place(g.find("x"), 1, 0);
+  s.place(g.find("w"), 3, 0);
+  s.place(g.find("b"), 4, 0);
+  s.place(g.find("r"), 5, 0);
+  s.place(g.find("a"), 6, 0);
+  return s;
+}
+
+TEST(Schedule, PlacementAndQueries) {
+  const DepGraph g = fig1_bb1();
+  const Schedule s = fig1_like(g);
+  EXPECT_TRUE(s.complete());
+  EXPECT_EQ(s.makespan(), 7);
+  EXPECT_EQ(s.start(g.find("x")), 1);
+  EXPECT_EQ(s.completion(g.find("x")), 2);
+  EXPECT_EQ(s.unit_of(g.find("x")), 0);
+  EXPECT_EQ(s.node_at(0, 1), g.find("x"));
+  EXPECT_EQ(s.node_at(0, 2), kInvalidNode);
+}
+
+TEST(Schedule, IdleSlotsAndTail) {
+  const DepGraph g = fig1_bb1();
+  const Schedule s = fig1_like(g);
+  const auto slots = s.idle_slots();
+  ASSERT_EQ(slots.size(), 1u);
+  EXPECT_EQ(slots[0], (IdleSlot{0, 2}));
+  EXPECT_EQ(s.idle_times(0), (std::vector<Time>{2}));
+  // Tail node of the idle slot at t=2 completes at 2: that's x.
+  EXPECT_EQ(s.tail_node(0, 2), g.find("x"));
+  EXPECT_EQ(s.tail_node(0, 3), kInvalidNode);
+}
+
+TEST(Schedule, USets) {
+  const DepGraph g = fig1_bb1();
+  const Schedule s = fig1_like(g);
+  const auto sets = s.u_sets();
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0], (std::vector<NodeId>{g.find("e"), g.find("x")}));
+  EXPECT_EQ(sets[1].size(), 4u);
+}
+
+TEST(Schedule, PermutationOrdersByStart) {
+  const DepGraph g = fig1_bb1();
+  const Schedule s = fig1_like(g);
+  const auto perm = s.permutation();
+  EXPECT_EQ(perm.front(), g.find("e"));
+  EXPECT_EQ(perm.back(), g.find("a"));
+  EXPECT_EQ(perm.size(), 6u);
+}
+
+TEST(Schedule, RejectsOverlaps) {
+  const DepGraph g = fig1_bb1();
+  Schedule s(&g, NodeSet::all(g.num_nodes()), 1);
+  s.place(0, 0, 0);
+  EXPECT_DEATH(s.place(1, 0, 0), "busy");
+}
+
+TEST(Schedule, RejectsDoublePlacement) {
+  const DepGraph g = fig1_bb1();
+  Schedule s(&g, NodeSet::all(g.num_nodes()), 1);
+  s.place(0, 0, 0);
+  EXPECT_DEATH(s.place(0, 3, 0), "already placed");
+}
+
+TEST(Schedule, MultiUnitExecTimes) {
+  DepGraph g;
+  const NodeId a = g.add_node("a", 2, 0);
+  const NodeId b = g.add_node("b", 1, 0);
+  Schedule s(&g, NodeSet::all(2), 2);
+  s.place(a, 0, 0);
+  s.place(b, 1, 1);
+  EXPECT_EQ(s.makespan(), 2);
+  EXPECT_EQ(s.node_at(0, 1), a);  // still running its 2nd cycle
+  // Unit 1 idle at t=0, unit 0 never idle.
+  EXPECT_EQ(s.idle_times(1), (std::vector<Time>{0}));
+  EXPECT_TRUE(s.idle_times(0).empty());
+}
+
+TEST(ValidateSchedule, AcceptsLegalRejectsViolation) {
+  const DepGraph g = fig1_bb1();
+  const MachineModel m = scalar01();
+  const Schedule good = fig1_like(g);
+  EXPECT_EQ(validate_schedule(good, m), "");
+
+  Schedule bad(&g, NodeSet::all(g.num_nodes()), 1);
+  // w at t=1 violates x->w latency 1 (x completes at 1, w needs start >= 2).
+  bad.place(g.find("x"), 0, 0);
+  bad.place(g.find("w"), 1, 0);
+  bad.place(g.find("e"), 2, 0);
+  bad.place(g.find("b"), 4, 0);
+  bad.place(g.find("r"), 5, 0);
+  bad.place(g.find("a"), 6, 0);
+  EXPECT_NE(validate_schedule(bad, m), "");
+}
+
+TEST(ValidateSchedule, RejectsIncomplete) {
+  const DepGraph g = fig1_bb1();
+  Schedule s(&g, NodeSet::all(g.num_nodes()), 1);
+  s.place(0, 0, 0);
+  EXPECT_NE(validate_schedule(s, scalar01()), "");
+}
+
+TEST(FormatTimeline, RendersPaperStyle) {
+  const DepGraph g = fig1_bb1();
+  EXPECT_EQ(format_timeline(fig1_like(g)), "| e | x | . | w | b | r | a |");
+}
+
+}  // namespace
+}  // namespace ais

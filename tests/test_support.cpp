@@ -1,0 +1,172 @@
+// Unit tests for the support substrate: PRNG, bitset, strings, tables, CLI.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/bitset.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/prng.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+namespace ais {
+namespace {
+
+TEST(Prng, DeterministicForSameSeed) {
+  Prng a(42);
+  Prng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DiffersAcrossSeeds) {
+  Prng a(1);
+  Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Prng, UniformStaysInRange) {
+  Prng prng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = prng.uniform(-3, 12);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 12);
+  }
+}
+
+TEST(Prng, UniformCoversRange) {
+  Prng prng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(prng.uniform(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Prng, Uniform01InHalfOpenInterval) {
+  Prng prng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = prng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Prng, ChanceExtremes) {
+  Prng prng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(prng.chance(0.0));
+    EXPECT_TRUE(prng.chance(1.0));
+  }
+}
+
+TEST(Prng, ShufflePreservesElements) {
+  Prng prng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  prng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Prng, SplitProducesIndependentStream) {
+  Prng a(5);
+  Prng child = a.split();
+  EXPECT_NE(a(), child());
+}
+
+TEST(Bitset, SetTestReset) {
+  DynamicBitset bits(130);
+  EXPECT_TRUE(bits.none());
+  bits.set(0);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_EQ(bits.count(), 3u);
+  bits.reset(64);
+  EXPECT_FALSE(bits.test(64));
+  EXPECT_EQ(bits.count(), 2u);
+}
+
+TEST(Bitset, UnionAndIntersection) {
+  DynamicBitset a(70);
+  DynamicBitset b(70);
+  a.set(3);
+  a.set(65);
+  b.set(65);
+  b.set(4);
+  EXPECT_TRUE(a.intersects(b));
+  a |= b;
+  EXPECT_EQ(a.count(), 3u);
+  DynamicBitset c(70);
+  c.set(4);
+  a &= c;
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_TRUE(a.test(4));
+}
+
+TEST(Bitset, ForEachVisitsAscending) {
+  DynamicBitset bits(200);
+  bits.set(5);
+  bits.set(100);
+  bits.set(199);
+  EXPECT_EQ(bits.to_indices(), (std::vector<std::size_t>{5, 100, 199}));
+}
+
+TEST(Str, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(Str, SplitWsDropsEmpty) {
+  EXPECT_EQ(split_ws("  a \t b  "), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Str, JoinAndTrim) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(trim("  x \n"), "x");
+  EXPECT_TRUE(starts_with("block foo", "block "));
+  EXPECT_FALSE(starts_with("b", "block"));
+}
+
+TEST(Str, FmtDouble) { EXPECT_EQ(fmt_double(1.005, 1), "1.0"); }
+
+TEST(Table, RendersAligned) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Cli, ParsesFormsAndDefaults) {
+  const char* argv[] = {"prog", "--n", "12", "--p=0.5", "--flag"};
+  CliArgs args(5, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("n", 0), 12);
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.0), 0.5);
+  EXPECT_TRUE(args.get_bool("flag", false));
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_EQ(args.get_string("s", "dft"), "dft");
+  EXPECT_TRUE(args.has("p"));
+  EXPECT_FALSE(args.has("q"));
+}
+
+TEST(Csv, WritesEscapedRows) {
+  const std::string path = ::testing::TempDir() + "/ais_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.add_row({"x,y", "plain"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",plain");
+}
+
+}  // namespace
+}  // namespace ais
