@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_block.dir/bench_fig1_block.cpp.o"
+  "CMakeFiles/bench_fig1_block.dir/bench_fig1_block.cpp.o.d"
+  "bench_fig1_block"
+  "bench_fig1_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

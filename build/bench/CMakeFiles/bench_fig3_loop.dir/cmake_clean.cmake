@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_loop.dir/bench_fig3_loop.cpp.o"
+  "CMakeFiles/bench_fig3_loop.dir/bench_fig3_loop.cpp.o.d"
+  "bench_fig3_loop"
+  "bench_fig3_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

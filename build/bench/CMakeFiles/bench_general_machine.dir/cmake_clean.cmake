@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_general_machine.dir/bench_general_machine.cpp.o"
+  "CMakeFiles/bench_general_machine.dir/bench_general_machine.cpp.o.d"
+  "bench_general_machine"
+  "bench_general_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_general_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_deps.dir/bench_memory_deps.cpp.o"
+  "CMakeFiles/bench_memory_deps.dir/bench_memory_deps.cpp.o.d"
+  "bench_memory_deps"
+  "bench_memory_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

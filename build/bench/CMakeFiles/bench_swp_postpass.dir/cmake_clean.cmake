@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_swp_postpass.dir/bench_swp_postpass.cpp.o"
+  "CMakeFiles/bench_swp_postpass.dir/bench_swp_postpass.cpp.o.d"
+  "bench_swp_postpass"
+  "bench_swp_postpass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_swp_postpass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_length.dir/bench_trace_length.cpp.o"
+  "CMakeFiles/bench_trace_length.dir/bench_trace_length.cpp.o.d"
+  "bench_trace_length"
+  "bench_trace_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

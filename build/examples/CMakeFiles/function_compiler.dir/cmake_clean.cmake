@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/function_compiler.dir/function_compiler.cpp.o"
+  "CMakeFiles/function_compiler.dir/function_compiler.cpp.o.d"
+  "function_compiler"
+  "function_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/function_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_kernel.dir/loop_kernel.cpp.o"
+  "CMakeFiles/loop_kernel.dir/loop_kernel.cpp.o.d"
+  "loop_kernel"
+  "loop_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/ais_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/ais_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/ais_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ais_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ais_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ais_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ais_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ais_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ais_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ais_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ais_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

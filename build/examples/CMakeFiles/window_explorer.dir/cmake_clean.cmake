@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_explorer.dir/window_explorer.cpp.o"
+  "CMakeFiles/window_explorer.dir/window_explorer.cpp.o.d"
+  "window_explorer"
+  "window_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

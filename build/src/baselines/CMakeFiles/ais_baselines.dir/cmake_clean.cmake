@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ais_baselines.dir/block_schedulers.cpp.o"
+  "CMakeFiles/ais_baselines.dir/block_schedulers.cpp.o.d"
+  "CMakeFiles/ais_baselines.dir/bruteforce.cpp.o"
+  "CMakeFiles/ais_baselines.dir/bruteforce.cpp.o.d"
+  "libais_baselines.a"
+  "libais_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ais_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

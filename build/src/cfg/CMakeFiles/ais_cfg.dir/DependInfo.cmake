@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/cfg.cpp" "src/cfg/CMakeFiles/ais_cfg.dir/cfg.cpp.o" "gcc" "src/cfg/CMakeFiles/ais_cfg.dir/cfg.cpp.o.d"
+  "/root/repo/src/cfg/trace_select.cpp" "src/cfg/CMakeFiles/ais_cfg.dir/trace_select.cpp.o" "gcc" "src/cfg/CMakeFiles/ais_cfg.dir/trace_select.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ais_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ais_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ais_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ais_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

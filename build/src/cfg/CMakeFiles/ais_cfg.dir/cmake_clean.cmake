@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ais_cfg.dir/cfg.cpp.o"
+  "CMakeFiles/ais_cfg.dir/cfg.cpp.o.d"
+  "CMakeFiles/ais_cfg.dir/trace_select.cpp.o"
+  "CMakeFiles/ais_cfg.dir/trace_select.cpp.o.d"
+  "libais_cfg.a"
+  "libais_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ais_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chop.cpp" "src/core/CMakeFiles/ais_core.dir/chop.cpp.o" "gcc" "src/core/CMakeFiles/ais_core.dir/chop.cpp.o.d"
+  "/root/repo/src/core/deadlines.cpp" "src/core/CMakeFiles/ais_core.dir/deadlines.cpp.o" "gcc" "src/core/CMakeFiles/ais_core.dir/deadlines.cpp.o.d"
+  "/root/repo/src/core/legality.cpp" "src/core/CMakeFiles/ais_core.dir/legality.cpp.o" "gcc" "src/core/CMakeFiles/ais_core.dir/legality.cpp.o.d"
+  "/root/repo/src/core/lookahead.cpp" "src/core/CMakeFiles/ais_core.dir/lookahead.cpp.o" "gcc" "src/core/CMakeFiles/ais_core.dir/lookahead.cpp.o.d"
+  "/root/repo/src/core/loop_single.cpp" "src/core/CMakeFiles/ais_core.dir/loop_single.cpp.o" "gcc" "src/core/CMakeFiles/ais_core.dir/loop_single.cpp.o.d"
+  "/root/repo/src/core/loop_trace.cpp" "src/core/CMakeFiles/ais_core.dir/loop_trace.cpp.o" "gcc" "src/core/CMakeFiles/ais_core.dir/loop_trace.cpp.o.d"
+  "/root/repo/src/core/merge.cpp" "src/core/CMakeFiles/ais_core.dir/merge.cpp.o" "gcc" "src/core/CMakeFiles/ais_core.dir/merge.cpp.o.d"
+  "/root/repo/src/core/move_idle.cpp" "src/core/CMakeFiles/ais_core.dir/move_idle.cpp.o" "gcc" "src/core/CMakeFiles/ais_core.dir/move_idle.cpp.o.d"
+  "/root/repo/src/core/rank.cpp" "src/core/CMakeFiles/ais_core.dir/rank.cpp.o" "gcc" "src/core/CMakeFiles/ais_core.dir/rank.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/ais_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/ais_core.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ais_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ais_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ais_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

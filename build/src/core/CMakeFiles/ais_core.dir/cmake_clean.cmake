@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ais_core.dir/chop.cpp.o"
+  "CMakeFiles/ais_core.dir/chop.cpp.o.d"
+  "CMakeFiles/ais_core.dir/deadlines.cpp.o"
+  "CMakeFiles/ais_core.dir/deadlines.cpp.o.d"
+  "CMakeFiles/ais_core.dir/legality.cpp.o"
+  "CMakeFiles/ais_core.dir/legality.cpp.o.d"
+  "CMakeFiles/ais_core.dir/lookahead.cpp.o"
+  "CMakeFiles/ais_core.dir/lookahead.cpp.o.d"
+  "CMakeFiles/ais_core.dir/loop_single.cpp.o"
+  "CMakeFiles/ais_core.dir/loop_single.cpp.o.d"
+  "CMakeFiles/ais_core.dir/loop_trace.cpp.o"
+  "CMakeFiles/ais_core.dir/loop_trace.cpp.o.d"
+  "CMakeFiles/ais_core.dir/merge.cpp.o"
+  "CMakeFiles/ais_core.dir/merge.cpp.o.d"
+  "CMakeFiles/ais_core.dir/move_idle.cpp.o"
+  "CMakeFiles/ais_core.dir/move_idle.cpp.o.d"
+  "CMakeFiles/ais_core.dir/rank.cpp.o"
+  "CMakeFiles/ais_core.dir/rank.cpp.o.d"
+  "CMakeFiles/ais_core.dir/schedule.cpp.o"
+  "CMakeFiles/ais_core.dir/schedule.cpp.o.d"
+  "libais_core.a"
+  "libais_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ais_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

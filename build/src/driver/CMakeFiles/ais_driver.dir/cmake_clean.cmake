@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ais_driver.dir/anticipatory.cpp.o"
+  "CMakeFiles/ais_driver.dir/anticipatory.cpp.o.d"
+  "CMakeFiles/ais_driver.dir/function_compiler.cpp.o"
+  "CMakeFiles/ais_driver.dir/function_compiler.cpp.o.d"
+  "libais_driver.a"
+  "libais_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ais_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/closure.cpp" "src/graph/CMakeFiles/ais_graph.dir/closure.cpp.o" "gcc" "src/graph/CMakeFiles/ais_graph.dir/closure.cpp.o.d"
+  "/root/repo/src/graph/critpath.cpp" "src/graph/CMakeFiles/ais_graph.dir/critpath.cpp.o" "gcc" "src/graph/CMakeFiles/ais_graph.dir/critpath.cpp.o.d"
+  "/root/repo/src/graph/depgraph.cpp" "src/graph/CMakeFiles/ais_graph.dir/depgraph.cpp.o" "gcc" "src/graph/CMakeFiles/ais_graph.dir/depgraph.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/graph/CMakeFiles/ais_graph.dir/dot.cpp.o" "gcc" "src/graph/CMakeFiles/ais_graph.dir/dot.cpp.o.d"
+  "/root/repo/src/graph/nodeset.cpp" "src/graph/CMakeFiles/ais_graph.dir/nodeset.cpp.o" "gcc" "src/graph/CMakeFiles/ais_graph.dir/nodeset.cpp.o.d"
+  "/root/repo/src/graph/topo.cpp" "src/graph/CMakeFiles/ais_graph.dir/topo.cpp.o" "gcc" "src/graph/CMakeFiles/ais_graph.dir/topo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ais_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

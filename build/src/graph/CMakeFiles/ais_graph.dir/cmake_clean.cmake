@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ais_graph.dir/closure.cpp.o"
+  "CMakeFiles/ais_graph.dir/closure.cpp.o.d"
+  "CMakeFiles/ais_graph.dir/critpath.cpp.o"
+  "CMakeFiles/ais_graph.dir/critpath.cpp.o.d"
+  "CMakeFiles/ais_graph.dir/depgraph.cpp.o"
+  "CMakeFiles/ais_graph.dir/depgraph.cpp.o.d"
+  "CMakeFiles/ais_graph.dir/dot.cpp.o"
+  "CMakeFiles/ais_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/ais_graph.dir/nodeset.cpp.o"
+  "CMakeFiles/ais_graph.dir/nodeset.cpp.o.d"
+  "CMakeFiles/ais_graph.dir/topo.cpp.o"
+  "CMakeFiles/ais_graph.dir/topo.cpp.o.d"
+  "libais_graph.a"
+  "libais_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ais_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/asm_parser.cpp" "src/ir/CMakeFiles/ais_ir.dir/asm_parser.cpp.o" "gcc" "src/ir/CMakeFiles/ais_ir.dir/asm_parser.cpp.o.d"
+  "/root/repo/src/ir/depbuild.cpp" "src/ir/CMakeFiles/ais_ir.dir/depbuild.cpp.o" "gcc" "src/ir/CMakeFiles/ais_ir.dir/depbuild.cpp.o.d"
+  "/root/repo/src/ir/instruction.cpp" "src/ir/CMakeFiles/ais_ir.dir/instruction.cpp.o" "gcc" "src/ir/CMakeFiles/ais_ir.dir/instruction.cpp.o.d"
+  "/root/repo/src/ir/interp.cpp" "src/ir/CMakeFiles/ais_ir.dir/interp.cpp.o" "gcc" "src/ir/CMakeFiles/ais_ir.dir/interp.cpp.o.d"
+  "/root/repo/src/ir/rename.cpp" "src/ir/CMakeFiles/ais_ir.dir/rename.cpp.o" "gcc" "src/ir/CMakeFiles/ais_ir.dir/rename.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ais_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ais_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ais_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ais_ir.dir/asm_parser.cpp.o"
+  "CMakeFiles/ais_ir.dir/asm_parser.cpp.o.d"
+  "CMakeFiles/ais_ir.dir/depbuild.cpp.o"
+  "CMakeFiles/ais_ir.dir/depbuild.cpp.o.d"
+  "CMakeFiles/ais_ir.dir/instruction.cpp.o"
+  "CMakeFiles/ais_ir.dir/instruction.cpp.o.d"
+  "CMakeFiles/ais_ir.dir/interp.cpp.o"
+  "CMakeFiles/ais_ir.dir/interp.cpp.o.d"
+  "CMakeFiles/ais_ir.dir/rename.cpp.o"
+  "CMakeFiles/ais_ir.dir/rename.cpp.o.d"
+  "libais_ir.a"
+  "libais_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ais_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ais_machine.dir/machine_model.cpp.o"
+  "CMakeFiles/ais_machine.dir/machine_model.cpp.o.d"
+  "CMakeFiles/ais_machine.dir/presets.cpp.o"
+  "CMakeFiles/ais_machine.dir/presets.cpp.o.d"
+  "libais_machine.a"
+  "libais_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ais_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ais_pipeline.dir/modulo.cpp.o"
+  "CMakeFiles/ais_pipeline.dir/modulo.cpp.o.d"
+  "libais_pipeline.a"
+  "libais_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ais_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ais_sim.dir/lookahead_sim.cpp.o"
+  "CMakeFiles/ais_sim.dir/lookahead_sim.cpp.o.d"
+  "CMakeFiles/ais_sim.dir/loop_sim.cpp.o"
+  "CMakeFiles/ais_sim.dir/loop_sim.cpp.o.d"
+  "libais_sim.a"
+  "libais_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ais_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ais_support.dir/assert.cpp.o"
+  "CMakeFiles/ais_support.dir/assert.cpp.o.d"
+  "CMakeFiles/ais_support.dir/bitset.cpp.o"
+  "CMakeFiles/ais_support.dir/bitset.cpp.o.d"
+  "CMakeFiles/ais_support.dir/cli.cpp.o"
+  "CMakeFiles/ais_support.dir/cli.cpp.o.d"
+  "CMakeFiles/ais_support.dir/csv.cpp.o"
+  "CMakeFiles/ais_support.dir/csv.cpp.o.d"
+  "CMakeFiles/ais_support.dir/prng.cpp.o"
+  "CMakeFiles/ais_support.dir/prng.cpp.o.d"
+  "CMakeFiles/ais_support.dir/str.cpp.o"
+  "CMakeFiles/ais_support.dir/str.cpp.o.d"
+  "CMakeFiles/ais_support.dir/table.cpp.o"
+  "CMakeFiles/ais_support.dir/table.cpp.o.d"
+  "libais_support.a"
+  "libais_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ais_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

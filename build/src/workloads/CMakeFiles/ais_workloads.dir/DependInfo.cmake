@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/kernels.cpp" "src/workloads/CMakeFiles/ais_workloads.dir/kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/ais_workloads.dir/kernels.cpp.o.d"
+  "/root/repo/src/workloads/paper_graphs.cpp" "src/workloads/CMakeFiles/ais_workloads.dir/paper_graphs.cpp.o" "gcc" "src/workloads/CMakeFiles/ais_workloads.dir/paper_graphs.cpp.o.d"
+  "/root/repo/src/workloads/random_graphs.cpp" "src/workloads/CMakeFiles/ais_workloads.dir/random_graphs.cpp.o" "gcc" "src/workloads/CMakeFiles/ais_workloads.dir/random_graphs.cpp.o.d"
+  "/root/repo/src/workloads/random_ir.cpp" "src/workloads/CMakeFiles/ais_workloads.dir/random_ir.cpp.o" "gcc" "src/workloads/CMakeFiles/ais_workloads.dir/random_ir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ais_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ais_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ais_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ais_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ais_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

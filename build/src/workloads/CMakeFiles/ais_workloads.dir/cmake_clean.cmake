@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ais_workloads.dir/kernels.cpp.o"
+  "CMakeFiles/ais_workloads.dir/kernels.cpp.o.d"
+  "CMakeFiles/ais_workloads.dir/paper_graphs.cpp.o"
+  "CMakeFiles/ais_workloads.dir/paper_graphs.cpp.o.d"
+  "CMakeFiles/ais_workloads.dir/random_graphs.cpp.o"
+  "CMakeFiles/ais_workloads.dir/random_graphs.cpp.o.d"
+  "CMakeFiles/ais_workloads.dir/random_ir.cpp.o"
+  "CMakeFiles/ais_workloads.dir/random_ir.cpp.o.d"
+  "libais_workloads.a"
+  "libais_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ais_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lookahead.dir/test_lookahead.cpp.o"
+  "CMakeFiles/test_lookahead.dir/test_lookahead.cpp.o.d"
+  "test_lookahead"
+  "test_lookahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lookahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

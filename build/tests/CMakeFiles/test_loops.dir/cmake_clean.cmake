@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loops.dir/test_loops.cpp.o"
+  "CMakeFiles/test_loops.dir/test_loops.cpp.o.d"
+  "test_loops"
+  "test_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merge_chop.dir/test_merge_chop.cpp.o"
+  "CMakeFiles/test_merge_chop.dir/test_merge_chop.cpp.o.d"
+  "test_merge_chop"
+  "test_merge_chop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merge_chop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_move_idle.dir/test_move_idle.cpp.o"
+  "CMakeFiles/test_move_idle.dir/test_move_idle.cpp.o.d"
+  "test_move_idle"
+  "test_move_idle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_move_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

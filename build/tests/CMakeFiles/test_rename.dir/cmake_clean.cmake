@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rename.dir/test_rename.cpp.o"
+  "CMakeFiles/test_rename.dir/test_rename.cpp.o.d"
+  "test_rename"
+  "test_rename.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rename.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aisc.dir/aisc.cpp.o"
+  "CMakeFiles/aisc.dir/aisc.cpp.o.d"
+  "aisc"
+  "aisc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aisc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
