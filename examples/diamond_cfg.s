@@ -1,0 +1,20 @@
+# A diamond control-flow graph: entry branches around a slow path, both
+# sides join.  In cfg mode aisc selects traces by profile and reschedules
+# each trace; layout and labels must survive untouched.
+#
+#   aislint --in examples/diamond_cfg.s --mode cfg --machine deep --verify
+block entry:
+  LI  r1, 4
+  LD  r2, p[r1+0]
+  CMP c1, r2, 0
+  BT  c1, slow
+block fast:
+  ADD r3, r2, r1
+  SHL r4, r3, 2
+  B   join
+block slow:
+  MUL r3, r2, r2
+  ADD r4, r3, r1
+block join:
+  ST  p[r1+8], r4
+  ADD r5, r4, r2

@@ -1,0 +1,11 @@
+# Figure 3 of the paper: the vector-scale loop body whose anticipatory
+# schedule (Schedule 2) hoists the MUL between CMP and BT so a one-slot
+# lookahead window overlaps consecutive iterations.
+#
+#   aislint --in examples/fig3_loop.s --mode loop --machine rs6000 --verify
+block CL.18:
+  LDU r6, x[r7+4]
+  STU y[r5+4], r0
+  CMP c1, r6, 0
+  MUL r0, r6, r0
+  BT  c1, CL.18

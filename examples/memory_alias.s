@@ -1,0 +1,14 @@
+# Memory disambiguation by tag: stores to `a` and loads from `b` are
+# independent (distinct tags), while the untagged access aliases everything
+# and must stay ordered against both.
+#
+#   aislint --in examples/memory_alias.s --machine vliw4 --verify
+block body:
+  LI  r1, 16
+  LD  r2, a[r1+0]
+  LD  r3, b[r1+0]
+  ADD r4, r2, r3
+  ST  a[r1+4], r4
+  LD  r5, [r1+8]
+  MUL r6, r5, r4
+  ST  b[r1+4], r6

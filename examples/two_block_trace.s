@@ -1,0 +1,18 @@
+# A two-block trace in the style of the paper's straight-line examples:
+# block B1 computes an address and a guard, block B2 consumes the loaded
+# value.  Anticipatory scheduling may only reorder within each block; the
+# verifier checks that and every re-derived dependence.
+#
+#   aislint --in examples/two_block_trace.s --machine rs6000 --verify
+block B1:
+  LI  r1, 8
+  ADD r2, r1, r1
+  LD  r3, a[r2+0]
+  CMP c1, r3, 0
+  SHL r4, r3, 1
+  BT  c1, OUT
+block B2:
+  MUL r5, r4, r3
+  ADD r6, r5, r1
+  ST  a[r2+8], r6
+  SUB r7, r6, r4

@@ -1,5 +1,7 @@
 #include "core/legality.hpp"
 
+#include <algorithm>
+
 #include "support/assert.hpp"
 
 namespace ais {
@@ -28,20 +30,67 @@ std::vector<std::pair<std::size_t, std::size_t>> inversions(
   return out;
 }
 
+InversionSpan max_inversion_span(const DepGraph& g,
+                                 const std::vector<NodeId>& perm) {
+  int num_blocks = 0;
+  for (const NodeId id : perm) {
+    num_blocks = std::max(num_blocks, g.node(id).block + 1);
+  }
+  // earliest[b]: first position where block b occurs.  The widest inversion
+  // ending at j pairs it with the earliest earlier position of any strictly
+  // later block, so one forward pass suffices.
+  constexpr std::size_t kUnseen = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> earliest(static_cast<std::size_t>(num_blocks),
+                                    kUnseen);
+  InversionSpan worst;
+  for (std::size_t j = 0; j < perm.size(); ++j) {
+    const int b = g.node(perm[j]).block;
+    std::size_t first_later = kUnseen;
+    for (int later = b + 1; later < num_blocks; ++later) {
+      first_later =
+          std::min(first_later, earliest[static_cast<std::size_t>(later)]);
+    }
+    if (first_later != kUnseen && j - first_later + 1 > worst.span) {
+      worst = InversionSpan{first_later, j, j - first_later + 1};
+    }
+    std::size_t& seen = earliest[static_cast<std::size_t>(b)];
+    if (seen == kUnseen) seen = j;
+  }
+  return worst;
+}
+
+namespace {
+
+std::string inversion_message(const DepGraph& g,
+                              const std::vector<NodeId>& perm, std::size_t i,
+                              std::size_t j, int window) {
+  return "inversion (" + g.node(perm[i]).name + " @" + std::to_string(i) +
+         ", " + g.node(perm[j]).name + " @" + std::to_string(j) + ") spans " +
+         std::to_string(j - i + 1) + " > W = " + std::to_string(window);
+}
+
+}  // namespace
+
 bool window_constraint_ok(const DepGraph& g, const std::vector<NodeId>& perm,
                           int window, std::string* why) {
+#ifdef AIS_LEGALITY_ENUMERATE_INVERSIONS
   for (const auto& [i, j] : inversions(g, perm)) {
     if (static_cast<int>(j - i + 1) > window) {
-      if (why != nullptr) {
-        *why = "inversion (" + g.node(perm[i]).name + " @" +
-               std::to_string(i) + ", " + g.node(perm[j]).name + " @" +
-               std::to_string(j) + ") spans " + std::to_string(j - i + 1) +
-               " > W = " + std::to_string(window);
-      }
+      if (why != nullptr) *why = inversion_message(g, perm, i, j, window);
       return false;
     }
   }
   return true;
+#else
+  const InversionSpan worst = max_inversion_span(g, perm);
+  if (worst.span > static_cast<std::size_t>(window)) {
+    if (why != nullptr) {
+      *why = inversion_message(g, perm, worst.i, worst.j, window);
+    }
+    return false;
+  }
+  return true;
+#endif
 }
 
 LegalityReport check_legal(const RankScheduler& scheduler, const Schedule& s,

@@ -28,10 +28,26 @@ std::vector<std::vector<NodeId>> subpermutations(const DepGraph& g,
                                                  int num_blocks);
 
 /// All inversions (i, j) of `perm` (Definition 2.2), as index pairs.
+/// Materializes O(n^2) pairs — debugging aid only; the window check below
+/// uses the linear max-span pass instead.
 std::vector<std::pair<std::size_t, std::size_t>> inversions(
     const DepGraph& g, const std::vector<NodeId>& perm);
 
-/// Checks the Window Constraint for window size `window`.
+/// The widest inversion of `perm`: span == 0 means no inversion exists,
+/// otherwise (i, j) is an inversion maximizing span = j - i + 1.  Computed
+/// in one forward pass (O(n * num_blocks), no pair materialization); the
+/// Window Constraint holds for window W iff span <= W.
+struct InversionSpan {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t span = 0;
+};
+InversionSpan max_inversion_span(const DepGraph& g,
+                                 const std::vector<NodeId>& perm);
+
+/// Checks the Window Constraint for window size `window` via
+/// max_inversion_span.  Define AIS_LEGALITY_ENUMERATE_INVERSIONS to instead
+/// enumerate every inversion pair (slow; for debugging the fast path).
 bool window_constraint_ok(const DepGraph& g, const std::vector<NodeId>& perm,
                           int window, std::string* why = nullptr);
 

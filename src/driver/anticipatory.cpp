@@ -66,6 +66,30 @@ ScheduledTrace schedule(const Trace& trace, const MachineModel& machine,
   return out;
 }
 
+verify::Report verify_schedule(const Trace& original,
+                               const ScheduledTrace& scheduled,
+                               const MachineModel& machine,
+                               bool check_optimality) {
+  verify::VerifyOptions opts;
+  opts.window = scheduled.window;
+  opts.check_optimality = check_optimality;
+  verify::Report report = verify::check_emitted(
+      original, Trace{scheduled.blocks}, machine, opts);
+  report.merge(verify::check_planning(scheduled.graph, scheduled.detail.order,
+                                      scheduled.detail.per_block,
+                                      scheduled.window));
+  return report;
+}
+
+verify::Report verify_schedule(const Loop& original,
+                               const ScheduledLoop& scheduled,
+                               const MachineModel& machine) {
+  verify::VerifyOptions opts;
+  opts.window = scheduled.window;
+  return verify::check_emitted(original.body, Trace{scheduled.blocks}, machine,
+                               opts);
+}
+
 ScheduledLoop schedule(const Loop& loop, const MachineModel& machine,
                        int window, const DepBuildOptions& deps) {
   const int w = resolve_window(machine, window);

@@ -12,6 +12,7 @@
 #include "ir/depbuild.hpp"
 #include "ir/instruction.hpp"
 #include "machine/machine_model.hpp"
+#include "verify/verify.hpp"
 
 namespace ais {
 
@@ -46,5 +47,21 @@ ScheduledTrace schedule(const Trace& trace, const MachineModel& machine,
 /// §5.1 (Algorithm Lookahead + wrap-around clone) for multi-block bodies.
 ScheduledLoop schedule(const Loop& loop, const MachineModel& machine,
                        int window = 0, const DepBuildOptions& deps = {});
+
+/// Runs the independent static-analysis oracle (src/verify) over a
+/// scheduling result: emitted-code legality against dependences re-derived
+/// from `original`'s IR, plus the planning-order window constraint.
+/// `check_optimality` additionally certifies completion time on restricted
+/// machines (brute-force cross-check; keep inputs small).
+verify::Report verify_schedule(const Trace& original,
+                               const ScheduledTrace& scheduled,
+                               const MachineModel& machine,
+                               bool check_optimality = false);
+
+/// Loop variant: emitted-code legality of the reordered body (the window
+/// constraint and optimality certificate do not apply to steady state).
+verify::Report verify_schedule(const Loop& original,
+                               const ScheduledLoop& scheduled,
+                               const MachineModel& machine);
 
 }  // namespace ais

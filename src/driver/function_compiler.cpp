@@ -8,7 +8,7 @@
 namespace ais {
 
 CompiledProgram compile_program(const Cfg& cfg, const MachineModel& machine,
-                                int window) {
+                                int window, bool verify) {
   const int w = window == 0 ? machine.default_window() : window;
 
   CompiledProgram out;
@@ -23,6 +23,9 @@ CompiledProgram compile_program(const Cfg& cfg, const MachineModel& machine,
     const ScheduledTrace scheduled = schedule(trace, machine, w);
     AIS_CHECK(scheduled.blocks.size() == selected.blocks.size(),
               "scheduled trace block count mismatch");
+    if (verify) {
+      out.verification.merge(verify_schedule(trace, scheduled, machine));
+    }
     for (std::size_t i = 0; i < selected.blocks.size(); ++i) {
       out.program.blocks[static_cast<std::size_t>(selected.blocks[i])] =
           scheduled.blocks[i];

@@ -13,6 +13,7 @@
 #include "cfg/cfg.hpp"
 #include "cfg/trace_select.hpp"
 #include "driver/anticipatory.hpp"
+#include "verify/report.hpp"
 
 namespace ais {
 
@@ -27,12 +28,16 @@ struct CompiledProgram {
   Time hot_trace_cycles_before = 0;
   Time hot_trace_cycles_after = 0;
   int window = 0;
+  /// Oracle findings when compiled with `verify` set (empty otherwise).
+  verify::Report verification;
 };
 
 /// Compiles `cfg.program()` for `machine`: select traces by profile,
 /// schedule each trace anticipatorily, reassemble.  `window` = 0 uses the
-/// machine default.
+/// machine default.  With `verify` set, every scheduled trace is re-checked
+/// by the independent oracle and findings land in
+/// CompiledProgram::verification.
 CompiledProgram compile_program(const Cfg& cfg, const MachineModel& machine,
-                                int window = 0);
+                                int window = 0, bool verify = false);
 
 }  // namespace ais

@@ -1,0 +1,133 @@
+#include "verify/ir_deps.hpp"
+
+namespace ais::verify {
+namespace {
+
+/// Flat view of one instruction: pointer plus its block index.
+struct FlatInst {
+  const Instruction* inst;
+  int block;
+};
+
+std::vector<FlatInst> flatten(const Trace& trace) {
+  std::vector<FlatInst> flat;
+  for (int b = 0; b < static_cast<int>(trace.blocks.size()); ++b) {
+    for (const Instruction& inst :
+         trace.blocks[static_cast<std::size_t>(b)].insts) {
+      flat.push_back(FlatInst{&inst, b});
+    }
+  }
+  return flat;
+}
+
+bool writes(const Instruction& inst, const Reg& r) {
+  for (const Reg& d : inst.defs) {
+    if (d == r) return true;
+  }
+  return false;
+}
+
+bool reads(const Instruction& inst, const Reg& r) {
+  for (const Reg& u : inst.uses) {
+    if (u == r) return true;
+  }
+  return false;
+}
+
+/// True when no instruction strictly between `lo` and `hi` writes `r`.
+bool no_write_between(const std::vector<FlatInst>& flat, int lo, int hi,
+                      const Reg& r) {
+  for (int k = lo + 1; k < hi; ++k) {
+    if (writes(*flat[static_cast<std::size_t>(k)].inst, r)) return false;
+  }
+  return true;
+}
+
+/// Region-tag disambiguation, restated from first principles: references
+/// conflict when at least one writes and their regions may overlap.  An
+/// empty tag is an unknown region that may overlap anything; two distinct
+/// non-empty tags are disjoint by definition.
+bool may_alias(const MemRef& a, const MemRef& b, bool disambiguate) {
+  if (!disambiguate) return true;
+  if (a.tag.empty() || b.tag.empty()) return true;
+  return a.tag == b.tag;
+}
+
+int result_latency(const Instruction& inst, const MachineModel& machine) {
+  return machine.timing(op_class(inst.op)).latency;
+}
+
+}  // namespace
+
+const char* dep_kind_name(DepKind kind) {
+  switch (kind) {
+    case DepKind::kTrue: return "true";
+    case DepKind::kAnti: return "anti";
+    case DepKind::kOutput: return "output";
+    case DepKind::kMemory: return "memory";
+    case DepKind::kControl: return "control";
+  }
+  return "unknown";
+}
+
+std::vector<IrDep> derive_trace_deps(const Trace& trace,
+                                     const MachineModel& machine,
+                                     bool disambiguate_memory) {
+  const std::vector<FlatInst> flat = flatten(trace);
+  const int n = static_cast<int>(flat.size());
+  std::vector<IrDep> deps;
+
+  for (int j = 0; j < n; ++j) {
+    const Instruction& b = *flat[static_cast<std::size_t>(j)].inst;
+    for (int i = 0; i < j; ++i) {
+      const Instruction& a = *flat[static_cast<std::size_t>(i)].inst;
+
+      // True dependence: i is the last writer of a register j reads.
+      for (const Reg& r : b.uses) {
+        if (writes(a, r) && no_write_between(flat, i, j, r)) {
+          deps.push_back(IrDep{i, j, DepKind::kTrue,
+                               result_latency(a, machine)});
+          break;  // one edge per pair suffices for this kind
+        }
+      }
+
+      // Anti dependence: i reads a register j overwrites before any other
+      // writer intervenes.  When i also writes the register the pair is
+      // covered by the output rule below (the write supersedes the read).
+      for (const Reg& r : b.defs) {
+        if (reads(a, r) && !writes(a, r) && no_write_between(flat, i, j, r)) {
+          deps.push_back(IrDep{i, j, DepKind::kAnti, 0});
+          break;
+        }
+      }
+
+      // Output dependence: consecutive writers of the same register.
+      for (const Reg& r : b.defs) {
+        if (writes(a, r) && no_write_between(flat, i, j, r)) {
+          deps.push_back(IrDep{i, j, DepKind::kOutput, 0});
+          break;
+        }
+      }
+
+      // Memory ordering: all conflicting pairs, not just adjacent ones
+      // (region tags are may-alias information, so no reference kills
+      // earlier ones).
+      if (a.is_mem() && b.is_mem() && !(a.is_load() && b.is_load()) &&
+          may_alias(*a.mem, *b.mem, disambiguate_memory)) {
+        const int latency =
+            (a.is_store() && b.is_load()) ? result_latency(a, machine) : 0;
+        deps.push_back(IrDep{i, j, DepKind::kMemory, latency});
+      }
+
+      // Control dependence: everything in a block precedes its branch.
+      if (b.is_branch() &&
+          flat[static_cast<std::size_t>(i)].block ==
+              flat[static_cast<std::size_t>(j)].block) {
+        deps.push_back(IrDep{i, j, DepKind::kControl, 0});
+      }
+    }
+  }
+  return deps;
+}
+
+}  // namespace ais::verify

@@ -1,0 +1,52 @@
+// Independent dependence re-derivation from the IR.
+//
+// The scheduler consumes the DepGraph built by ir/depbuild.cpp; if that
+// builder drops an edge, every downstream legality check silently agrees
+// with the bug.  This module re-derives the loop-independent dependences of
+// a trace with a deliberately different algorithm — a pairwise O(n^2) scan
+// with explicit kill checks instead of depbuild's forward state machine —
+// so the two implementations can cross-certify each other.
+//
+// For every ordered pair of flat instruction indices i < j it asks directly:
+//  * true (RAW):   j reads a register whose last writer before j is i,
+//  * anti (WAR):   i reads a register j writes, with no write in between,
+//  * output (WAW): i and j write the same register, with no write in between,
+//  * memory:       both touch memory, not both loads, and their region tags
+//                  may alias (store->load carries the store's latency),
+//  * control:      i precedes the branch that ends i's own block.
+//
+// The resulting (from, to, max latency) pair set is provably identical to
+// the distance-0 edge set of build_trace_graph (tests/test_verify.cpp checks
+// exact agreement on random programs), but no code is shared.
+#pragma once
+
+#include <vector>
+
+#include "ir/instruction.hpp"
+#include "machine/machine_model.hpp"
+
+namespace ais::verify {
+
+enum class DepKind { kTrue, kAnti, kOutput, kMemory, kControl };
+
+const char* dep_kind_name(DepKind kind);
+
+/// One required ordering between two instructions of a trace, identified by
+/// their flat indices (blocks concatenated in trace order — the same
+/// numbering ir/depbuild.cpp assigns to DepGraph nodes).
+struct IrDep {
+  int from = 0;
+  int to = 0;
+  DepKind kind = DepKind::kTrue;
+  /// Cycles `to` must wait after `from` completes (0 = pure ordering).
+  int latency = 0;
+};
+
+/// All loop-independent dependences of `trace`, from < to.
+/// `disambiguate_memory` mirrors DepBuildOptions: when false, every
+/// load/store pair with a store conflicts regardless of region tags.
+std::vector<IrDep> derive_trace_deps(const Trace& trace,
+                                     const MachineModel& machine,
+                                     bool disambiguate_memory = true);
+
+}  // namespace ais::verify

@@ -1,0 +1,182 @@
+#include "verify/lint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace ais::verify {
+namespace {
+
+/// Dense key across the three register files.
+int reg_key(const Reg& r) {
+  return static_cast<int>(r.cls) * 256 + static_cast<int>(r.idx);
+}
+
+void lint_branches(const Program& prog, Report& report) {
+  for (int b = 0; b < static_cast<int>(prog.blocks.size()); ++b) {
+    const BasicBlock& bb = prog.blocks[static_cast<std::size_t>(b)];
+    if (bb.insts.empty()) {
+      report.warning("empty-block", "block has no instructions", b, bb.label);
+      continue;
+    }
+    for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+      const Instruction& inst = bb.insts[i];
+      if (!inst.is_branch()) continue;
+      if (i + 1 != bb.insts.size()) {
+        report.error("branch-position",
+                     "branch is followed by " +
+                         std::to_string(bb.insts.size() - i - 1) +
+                         " instruction(s); a branch must end its block",
+                     b, inst.to_string());
+      }
+      if (inst.op == Opcode::kB) {
+        if (!inst.uses.empty()) {
+          report.error("branch-operand",
+                       "unconditional branch must not read registers", b,
+                       inst.to_string());
+        }
+      } else if (inst.uses.size() != 1 ||
+                 inst.uses[0].cls != RegClass::kCr) {
+        report.error("branch-operand",
+                     "conditional branch must read exactly one condition "
+                     "register",
+                     b, inst.to_string());
+      }
+      if (inst.target.empty()) {
+        report.error("branch-no-target", "branch has no target label", b,
+                     inst.to_string());
+      } else if (std::none_of(prog.blocks.begin(), prog.blocks.end(),
+                              [&](const BasicBlock& other) {
+                                return other.label == inst.target;
+                              })) {
+        report.warning("branch-target-unknown",
+                       "target '" + inst.target +
+                           "' is not defined in this program (external or "
+                           "missing)",
+                       b, inst.to_string());
+      }
+    }
+  }
+}
+
+void lint_labels(const Program& prog, Report& report) {
+  std::map<std::string, int> first_block;
+  for (int b = 0; b < static_cast<int>(prog.blocks.size()); ++b) {
+    const std::string& label = prog.blocks[static_cast<std::size_t>(b)].label;
+    const auto [it, inserted] = first_block.emplace(label, b);
+    if (!inserted) {
+      report.error("duplicate-label",
+                   "label also names block " + std::to_string(it->second), b,
+                   label);
+    }
+  }
+}
+
+/// Reachability from block 0 under the same successor rules the CFG uses:
+/// an unconditional branch goes only to its target; a conditional branch
+/// adds the fall-through edge; no branch falls through.  Re-derived here so
+/// the lint does not trust src/cfg.
+void lint_reachability(const Program& prog, Report& report) {
+  const int n = static_cast<int>(prog.blocks.size());
+  if (n == 0) return;
+  std::vector<bool> reached(static_cast<std::size_t>(n), false);
+  std::vector<int> work{0};
+  reached[0] = true;
+  while (!work.empty()) {
+    const int b = work.back();
+    work.pop_back();
+    const BasicBlock& bb = prog.blocks[static_cast<std::size_t>(b)];
+    const Instruction* last = bb.insts.empty() ? nullptr : &bb.insts.back();
+    const bool has_branch = last != nullptr && last->is_branch();
+    if (has_branch) {
+      for (int t = 0; t < n; ++t) {
+        if (prog.blocks[static_cast<std::size_t>(t)].label == last->target &&
+            !reached[static_cast<std::size_t>(t)]) {
+          reached[static_cast<std::size_t>(t)] = true;
+          work.push_back(t);
+        }
+      }
+    }
+    const bool falls_through = !has_branch || last->op == Opcode::kBt ||
+                               last->op == Opcode::kBf;
+    if (falls_through && b + 1 < n && !reached[static_cast<std::size_t>(b + 1)]) {
+      reached[static_cast<std::size_t>(b + 1)] = true;
+      work.push_back(b + 1);
+    }
+  }
+  for (int b = 0; b < n; ++b) {
+    if (!reached[static_cast<std::size_t>(b)]) {
+      report.warning("unreachable-block",
+                     "no control-flow path from the entry block reaches it", b,
+                     prog.blocks[static_cast<std::size_t>(b)].label);
+    }
+  }
+}
+
+void lint_dataflow(const Program& prog, Report& report) {
+  // Flat walk in layout order.  Each register's access history decides
+  // use-before-def (first access is a read, a write exists later) and
+  // dead-write (write followed by write with no read in between).
+  struct Access {
+    bool is_def;
+    int block;
+    const Instruction* inst;
+  };
+  std::map<int, std::vector<Access>> history;
+  std::map<int, Reg> reg_of;
+  for (int b = 0; b < static_cast<int>(prog.blocks.size()); ++b) {
+    for (const Instruction& inst :
+         prog.blocks[static_cast<std::size_t>(b)].insts) {
+      // Reads happen before writes within one instruction (update-form
+      // loads/stores read the base they then overwrite).
+      for (const Reg& r : inst.uses) {
+        reg_of.emplace(reg_key(r), r);
+        history[reg_key(r)].push_back(Access{false, b, &inst});
+      }
+      for (const Reg& r : inst.defs) {
+        reg_of.emplace(reg_key(r), r);
+        history[reg_key(r)].push_back(Access{true, b, &inst});
+      }
+    }
+  }
+  for (const auto& [key, accesses] : history) {
+    const std::string reg = reg_of.at(key).to_string();
+    const bool ever_defined =
+        std::any_of(accesses.begin(), accesses.end(),
+                    [](const Access& a) { return a.is_def; });
+    if (!accesses.empty() && !accesses.front().is_def && ever_defined) {
+      const Access& first = accesses.front();
+      report.warning("use-before-def",
+                     reg +
+                         " is read before its first write in this program "
+                         "(live-in being shadowed, or a loop-carried value)",
+                     first.block, first.inst->to_string());
+    }
+    for (std::size_t i = 0; i + 1 < accesses.size(); ++i) {
+      // Same-block only: across blocks the two writes may sit on mutually
+      // exclusive CFG paths, which this flat walk cannot see.
+      if (accesses[i].is_def && accesses[i + 1].is_def &&
+          accesses[i].block == accesses[i + 1].block &&
+          accesses[i].inst != accesses[i + 1].inst) {
+        report.warning("dead-write",
+                       reg + " is overwritten by '" +
+                           accesses[i + 1].inst->to_string() +
+                           "' before anything reads it",
+                       accesses[i].block, accesses[i].inst->to_string());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Report lint_program(const Program& prog) {
+  Report report;
+  lint_branches(prog, report);
+  lint_labels(prog, report);
+  lint_reachability(prog, report);
+  lint_dataflow(prog, report);
+  return report;
+}
+
+}  // namespace ais::verify

@@ -1,0 +1,28 @@
+// IR lints for toy-ISA assembly programs (the `aislint` front half).
+//
+// Structural problems are errors (they break scheduling or control flow):
+//   branch-position       a branch that is not the final instruction
+//   branch-operand        BT/BF without a condition-register source, or an
+//                         unconditional B with operands
+//   branch-no-target      a branch with an empty target label
+//   duplicate-label       two blocks sharing a label
+//
+// Suspicious-but-legal patterns are warnings (fragments and loop bodies
+// routinely trigger them):
+//   branch-target-unknown target label not defined in this program
+//   unreachable-block     block with no path from the entry block
+//   use-before-def        register read before its first write, but written
+//                         later (a live-in being shadowed, or a loop carry)
+//   dead-write            register written, then overwritten in the same
+//                         block with no read in between
+//   empty-block           block with no instructions
+#pragma once
+
+#include "ir/asm_parser.hpp"
+#include "verify/report.hpp"
+
+namespace ais::verify {
+
+Report lint_program(const Program& prog);
+
+}  // namespace ais::verify

@@ -1,0 +1,316 @@
+#include "verify/schedule_check.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "baselines/bruteforce.hpp"
+#include "graph/critpath.hpp"
+
+namespace ais::verify {
+namespace {
+
+std::string node_label(const DepGraph& g, NodeId id) {
+  return g.node(id).name + " (node " + std::to_string(id) + ")";
+}
+
+}  // namespace
+
+Report check_order(const DepGraph& g, const std::vector<NodeId>& order) {
+  Report report;
+  const std::size_t n = g.num_nodes();
+  if (order.size() != n) {
+    report.error("order-coverage",
+                 "order lists " + std::to_string(order.size()) + " nodes, graph has " +
+                     std::to_string(n));
+    return report;
+  }
+  std::vector<int> pos(n, -1);
+  for (std::size_t p = 0; p < order.size(); ++p) {
+    const NodeId id = order[p];
+    if (id >= n) {
+      report.error("order-coverage",
+                   "node id " + std::to_string(id) + " out of range");
+      return report;
+    }
+    if (pos[id] >= 0) {
+      report.error("order-coverage", node_label(g, id) + " listed twice");
+      return report;
+    }
+    pos[id] = static_cast<int>(p);
+  }
+  for (const DepEdge& e : g.edges()) {
+    if (e.distance != 0) continue;
+    if (pos[e.from] > pos[e.to]) {
+      report.error("dep-order",
+                   node_label(g, e.from) + " must precede " +
+                       node_label(g, e.to) + " but is listed after it",
+                   g.node(e.to).block, g.node(e.to).name);
+    }
+  }
+  return report;
+}
+
+Report check_schedule(const Schedule& s, const MachineModel& machine) {
+  Report report;
+  const DepGraph& g = s.graph();
+
+  for (const NodeId id : s.active().ids()) {
+    if (!s.placed(id)) {
+      report.error("incomplete", node_label(g, id) + " was never placed",
+                   g.node(id).block, g.node(id).name);
+    }
+  }
+  if (!report.ok()) return report;
+
+  // Unit typing uses the class-major global unit layout (class 0's units
+  // first) that greedy scheduling and validate_schedule agree on.
+  std::vector<int> class_of_unit;
+  for (int c = 0; c < machine.num_fu_classes(); ++c) {
+    for (int k = 0; k < machine.fu_count(c); ++k) class_of_unit.push_back(c);
+  }
+  if (static_cast<int>(class_of_unit.size()) != s.total_units()) {
+    report.error("unit-count",
+                 "schedule has " + std::to_string(s.total_units()) +
+                     " units, machine has " +
+                     std::to_string(class_of_unit.size()));
+    return report;
+  }
+
+  // Rebuild per-unit occupancy from the per-node assignments alone.
+  std::vector<std::vector<std::tuple<Time, Time, NodeId>>> occupancy(
+      static_cast<std::size_t>(s.total_units()));
+  std::vector<int> issued_at;
+  for (const NodeId id : s.active().ids()) {
+    const int unit = s.unit_of(id);
+    const Time start = s.start(id);
+    occupancy[static_cast<std::size_t>(unit)].emplace_back(
+        start, s.completion(id), id);
+    if (class_of_unit[static_cast<std::size_t>(unit)] != g.node(id).fu_class) {
+      report.error("unit-class",
+                   node_label(g, id) + " runs on a unit of class " +
+                       std::to_string(class_of_unit[static_cast<std::size_t>(unit)]) +
+                       ", needs class " + std::to_string(g.node(id).fu_class),
+                   g.node(id).block, g.node(id).name);
+    }
+    if (start >= static_cast<Time>(issued_at.size())) {
+      issued_at.resize(static_cast<std::size_t>(start) + 1, 0);
+    }
+    ++issued_at[static_cast<std::size_t>(start)];
+  }
+  for (auto& lane : occupancy) {
+    std::sort(lane.begin(), lane.end());
+    for (std::size_t i = 1; i < lane.size(); ++i) {
+      const auto& [prev_start, prev_end, prev_id] = lane[i - 1];
+      const auto& [start, end, id] = lane[i];
+      if (start < prev_end) {
+        report.error("unit-overlap",
+                     node_label(g, id) + " starts at " + std::to_string(start) +
+                         " while " + node_label(g, prev_id) +
+                         " occupies the unit until " + std::to_string(prev_end),
+                     g.node(id).block, g.node(id).name);
+      }
+    }
+  }
+  for (std::size_t t = 0; t < issued_at.size(); ++t) {
+    if (issued_at[t] > machine.issue_width()) {
+      report.error("issue-width",
+                   std::to_string(issued_at[t]) + " instructions issue at cycle " +
+                       std::to_string(t) + ", issue width is " +
+                       std::to_string(machine.issue_width()));
+    }
+  }
+
+  for (const DepEdge& e : g.edges()) {
+    if (e.distance != 0) continue;
+    if (!s.active().contains(e.from) || !s.active().contains(e.to)) continue;
+    const Time earliest = s.completion(e.from) + e.latency;
+    if (s.start(e.to) < earliest) {
+      report.error("dep-latency",
+                   node_label(g, e.to) + " starts at " +
+                       std::to_string(s.start(e.to)) + ", but " +
+                       node_label(g, e.from) + " + latency " +
+                       std::to_string(e.latency) + " allows " +
+                       std::to_string(earliest) + " at the earliest",
+                   g.node(e.to).block, g.node(e.to).name);
+    }
+  }
+  return report;
+}
+
+Report check_window(const DepGraph& g, const std::vector<NodeId>& perm,
+                    int window, Severity severity) {
+  Report report;
+  int num_blocks = 0;
+  for (const NodeId id : perm) {
+    if (id >= g.num_nodes()) {
+      report.error("order-coverage",
+                   "node id " + std::to_string(id) + " out of range");
+      return report;
+    }
+    num_blocks = std::max(num_blocks, g.node(id).block + 1);
+  }
+
+  // One forward pass.  earliest[b] is the first position where block b
+  // appears; the worst inversion ending at position j pairs perm[j] with the
+  // earliest earlier occurrence of any later block.
+  constexpr std::size_t kUnseen = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> earliest(static_cast<std::size_t>(num_blocks),
+                                    kUnseen);
+  std::size_t worst_i = 0;
+  std::size_t worst_j = 0;
+  std::size_t worst_span = 0;
+  for (std::size_t j = 0; j < perm.size(); ++j) {
+    const int b = g.node(perm[j]).block;
+    std::size_t first_later = kUnseen;
+    for (int later = b + 1; later < num_blocks; ++later) {
+      first_later =
+          std::min(first_later, earliest[static_cast<std::size_t>(later)]);
+    }
+    if (first_later != kUnseen && j - first_later + 1 > worst_span) {
+      worst_span = j - first_later + 1;
+      worst_i = first_later;
+      worst_j = j;
+    }
+    std::size_t& seen = earliest[static_cast<std::size_t>(b)];
+    if (seen == kUnseen) seen = j;
+  }
+
+  if (worst_span > static_cast<std::size_t>(window)) {
+    const NodeId early = perm[worst_i];
+    const NodeId late = perm[worst_j];
+    report.add(severity, "window-span",
+               "inversion (" + g.node(early).name + " @" +
+                   std::to_string(worst_i) + " of block " +
+                   std::to_string(g.node(early).block) + ", " +
+                   g.node(late).name + " @" + std::to_string(worst_j) +
+                   " of block " + std::to_string(g.node(late).block) +
+                   ") spans " + std::to_string(worst_span) + " > W = " +
+                   std::to_string(window),
+               g.node(late).block, g.node(late).name);
+  }
+  return report;
+}
+
+Report check_merge_fill(const Schedule& merged, const NodeSet& old_nodes,
+                        const DeadlineMap& deadlines, Time t_old) {
+  Report report;
+  const DepGraph& g = merged.graph();
+  for (const NodeId id : old_nodes.ids()) {
+    if (!merged.placed(id)) {
+      report.error("incomplete",
+                   node_label(g, id) + " of the retained suffix was never placed",
+                   g.node(id).block, g.node(id).name);
+      continue;
+    }
+    const Time cap = std::min(deadlines[id], t_old);
+    if (merged.completion(id) > cap) {
+      report.error("merge-displaced",
+                   node_label(g, id) + " of the retained suffix completes at " +
+                       std::to_string(merged.completion(id)) +
+                       ", past its cap " + std::to_string(cap) +
+                       " — a new-block node displaced it instead of filling an "
+                       "idle slot",
+                   g.node(id).block, g.node(id).name);
+    }
+  }
+  return report;
+}
+
+OptimalityCertificate certify_trace_completion(const DepGraph& g,
+                                               const MachineModel& machine,
+                                               int window, Time achieved,
+                                               std::size_t enumeration_cap) {
+  OptimalityCertificate cert;
+  cert.achieved = achieved;
+
+  const NodeSet all = NodeSet::all(g.num_nodes());
+  const Time cp = critical_path(g, all);
+  const Time units = machine.total_units();
+  const Time work = (g.total_work() + units - 1) / units;
+  const Time issue = (static_cast<Time>(g.num_nodes()) +
+                      machine.issue_width() - 1) /
+                     machine.issue_width();
+  cert.bound = std::max({cp, work, issue});
+  cert.method = cp >= std::max(work, issue) ? "critical-path" : "serial-work";
+
+  if (achieved < cert.bound) {
+    cert.status = OptimalityCertificate::Status::kViolated;
+    return cert;
+  }
+  if (achieved == cert.bound) {
+    cert.status = OptimalityCertificate::Status::kCertified;
+    return cert;
+  }
+  if (!machine.is_restricted_case()) {
+    cert.status = OptimalityCertificate::Status::kUnknown;
+    cert.method = "heuristic-machine";
+    return cert;
+  }
+  const Time opt = optimal_trace_completion(g, machine, window,
+                                            enumeration_cap);
+  if (opt < 0) {
+    cert.status = OptimalityCertificate::Status::kUnknown;
+    cert.method = "enumeration-capped";
+    return cert;
+  }
+  if (achieved < opt) {
+    // The simulated completion beat an exhaustive optimum: impossible
+    // unless the simulator or the oracle is broken.
+    cert.bound = opt;
+    cert.method = "bruteforce";
+    cert.status = OptimalityCertificate::Status::kViolated;
+    return cert;
+  }
+  cert.bound = opt;
+  cert.method = "bruteforce";
+  cert.status = achieved == opt ? OptimalityCertificate::Status::kCertified
+                                : OptimalityCertificate::Status::kSuboptimal;
+  return cert;
+}
+
+OptimalityCertificate certify_block_makespan(const DepGraph& g,
+                                             const NodeSet& block,
+                                             Time achieved,
+                                             std::size_t max_nodes) {
+  OptimalityCertificate cert;
+  cert.achieved = achieved;
+  if (block.size() > max_nodes) {
+    cert.status = OptimalityCertificate::Status::kUnknown;
+    cert.method = "size-capped";
+    return cert;
+  }
+  cert.bound = optimal_block_makespan(g, block);
+  cert.method = "bruteforce";
+  if (achieved == cert.bound) {
+    cert.status = OptimalityCertificate::Status::kCertified;
+  } else if (achieved < cert.bound) {
+    cert.status = OptimalityCertificate::Status::kViolated;
+  } else {
+    cert.status = OptimalityCertificate::Status::kSuboptimal;
+  }
+  return cert;
+}
+
+void report_certificate(Report& report, const OptimalityCertificate& cert) {
+  const std::string detail = "achieved " + std::to_string(cert.achieved) +
+                             ", bound " + std::to_string(cert.bound) +
+                             " via " + cert.method;
+  switch (cert.status) {
+    case OptimalityCertificate::Status::kViolated:
+      report.error("optimality",
+                   "completion beats a valid lower bound: " + detail);
+      break;
+    case OptimalityCertificate::Status::kSuboptimal:
+      report.warning("optimality-gap",
+                     "completion is provably suboptimal: " + detail);
+      break;
+    case OptimalityCertificate::Status::kCertified:
+      report.note("optimality-certified", detail);
+      break;
+    case OptimalityCertificate::Status::kUnknown:
+      report.note("optimality-unverified", detail);
+      break;
+  }
+}
+
+}  // namespace ais::verify

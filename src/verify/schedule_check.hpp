@@ -1,0 +1,93 @@
+// Schedule-level invariant checks, independent of src/core.
+//
+// These re-verify emitted schedules from scratch: occupancy is rebuilt from
+// per-node (start, unit) data instead of trusting Schedule's internal lane
+// bookkeeping, the window bound is a fresh single-pass max-span scan rather
+// than core/legality's pair enumeration, and the optimality certificate is
+// cross-checked against the brute-force oracles in src/baselines.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/deadlines.hpp"
+#include "core/schedule.hpp"
+#include "graph/depgraph.hpp"
+#include "graph/nodeset.hpp"
+#include "machine/machine_model.hpp"
+#include "verify/report.hpp"
+
+namespace ais::verify {
+
+/// Checks that `order` lists every node of `g` exactly once and respects
+/// every distance-0 dependence edge (from before to).
+/// Codes: "order-coverage", "dep-order".
+Report check_order(const DepGraph& g, const std::vector<NodeId>& order);
+
+/// Full re-check of a timed schedule: completeness, per-unit exclusivity
+/// (occupancy rebuilt from scratch), class-major unit typing, issue width,
+/// and distance-0 dependences with latencies.
+/// Codes: "incomplete", "unit-overlap", "unit-class", "issue-width",
+/// "dep-latency".
+Report check_schedule(const Schedule& s, const MachineModel& machine);
+
+/// Largest window-constraint violation of `perm` (Definition 2.2): an
+/// inversion (i, j) — perm[i] in a later block than perm[j], i < j — must
+/// satisfy j - i + 1 <= W.  Single forward pass.  `severity` is kError for
+/// a realized schedule permutation (a hardware window of W cannot have
+/// produced it); check_planning passes kWarning because the scheduler's
+/// *planning* order is advisory — Merge may pack more than W new-block
+/// nodes into early idle slots, and the emitted priority list remains
+/// legal regardless (the hardware realizes only window-feasible overlap).
+/// Code: "window-span".
+Report check_window(const DepGraph& g, const std::vector<NodeId>& perm,
+                    int window, Severity severity = Severity::kError);
+
+/// Procedure Merge's idle-slot-fill invariant: in the merged schedule, every
+/// old node still completes by min(its pre-merge deadline, t_old) — new
+/// nodes may only fill slots the retained suffix left idle, never displace
+/// it.  `deadlines` are the deadlines in force for `old_nodes` before the
+/// merge.
+/// Codes: "incomplete", "merge-displaced".
+Report check_merge_fill(const Schedule& merged, const NodeSet& old_nodes,
+                        const DeadlineMap& deadlines, Time t_old);
+
+/// Outcome of an optimality-certificate attempt.
+struct OptimalityCertificate {
+  enum class Status {
+    kCertified,   // achieved == a proven lower bound or brute-force optimum
+    kUnknown,     // heuristic regime or enumeration cap exceeded
+    kSuboptimal,  // achieved > brute-force optimum: true, but not a bug —
+                  // Algorithm Lookahead is only optimal-within-1 on traces
+    kViolated,    // achieved beats a valid lower bound: the simulator or
+                  // the accounting lied
+  };
+  Status status = Status::kUnknown;
+  Time achieved = 0;
+  Time bound = 0;      // tightest bound established
+  std::string method;  // "critical-path", "serial-work", "bruteforce", ...
+};
+
+/// Certificate for a trace completion time `achieved` at window `window`.
+/// Always checks the critical-path and work lower bounds; on restricted
+/// machines (0/1 latencies, unit exec times, one FU — the paper's provable
+/// case) additionally cross-checks the brute-force trace optimum when the
+/// enumeration fits under `enumeration_cap`.
+OptimalityCertificate certify_trace_completion(
+    const DepGraph& g, const MachineModel& machine, int window, Time achieved,
+    std::size_t enumeration_cap = 50000);
+
+/// Certificate for a single-block, single-unit makespan via the
+/// branch-and-bound oracle; kUnknown for blocks larger than `max_nodes`.
+OptimalityCertificate certify_block_makespan(const DepGraph& g,
+                                             const NodeSet& block,
+                                             Time achieved,
+                                             std::size_t max_nodes = 12);
+
+/// Folds a certificate into a report: kViolated becomes an "optimality"
+/// error, kSuboptimal an "optimality-gap" warning, kCertified / kUnknown
+/// notes.
+void report_certificate(Report& report, const OptimalityCertificate& cert);
+
+}  // namespace ais::verify

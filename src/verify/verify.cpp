@@ -1,0 +1,217 @@
+#include "verify/verify.hpp"
+
+#include <map>
+#include <string>
+
+#include "sim/lookahead_sim.hpp"
+
+namespace ais::verify {
+namespace {
+
+std::vector<const Instruction*> flatten(const Trace& trace) {
+  std::vector<const Instruction*> flat;
+  for (const BasicBlock& bb : trace.blocks) {
+    for (const Instruction& inst : bb.insts) flat.push_back(&inst);
+  }
+  return flat;
+}
+
+/// Matches each scheduled instruction to a distinct original flat index
+/// within the same block (textual identity; equal renderings are matched in
+/// order, which is sound because identical instructions are interchangeable
+/// in any schedule).  Returns false and diagnoses when matching fails.
+bool match_blocks(const Trace& original, const Trace& scheduled,
+                  std::vector<int>& scheduled_to_original, Report& report) {
+  int flat_base = 0;
+  bool ok = true;
+  for (int b = 0; b < static_cast<int>(original.blocks.size()); ++b) {
+    const BasicBlock& obb = original.blocks[static_cast<std::size_t>(b)];
+    const BasicBlock& sbb = scheduled.blocks[static_cast<std::size_t>(b)];
+    if (obb.label != sbb.label) {
+      report.error("block-structure",
+                   "label changed from '" + obb.label + "' to '" + sbb.label +
+                       "'",
+                   b, sbb.label);
+      ok = false;
+    }
+    // Unmatched original slots, by rendering, in block order.
+    std::map<std::string, std::vector<int>> free_slots;
+    for (int i = 0; i < static_cast<int>(obb.insts.size()); ++i) {
+      free_slots[obb.insts[static_cast<std::size_t>(i)].to_string()]
+          .push_back(flat_base + i);
+    }
+    for (const Instruction& inst : sbb.insts) {
+      const std::string text = inst.to_string();
+      auto it = free_slots.find(text);
+      if (it == free_slots.end() || it->second.empty()) {
+        // Does the instruction exist (unconsumed) in some other block?
+        bool elsewhere = false;
+        for (const BasicBlock& other : original.blocks) {
+          if (&other == &obb) continue;
+          for (const Instruction& cand : other.insts) {
+            if (cand.to_string() == text) elsewhere = true;
+          }
+        }
+        report.error(elsewhere ? "cross-block-motion" : "block-structure",
+                     elsewhere
+                         ? "instruction belongs to a different block of the "
+                           "original trace"
+                         : "instruction does not occur (often enough) in the "
+                           "original block",
+                     b, text);
+        ok = false;
+        scheduled_to_original.push_back(-1);
+        continue;
+      }
+      scheduled_to_original.push_back(it->second.front());
+      it->second.erase(it->second.begin());
+    }
+    for (const auto& [text, slots] : free_slots) {
+      for (std::size_t k = 0; k < slots.size(); ++k) {
+        report.error("block-structure",
+                     "original instruction is missing from the scheduled "
+                     "block",
+                     b, text);
+        ok = false;
+      }
+    }
+    flat_base += static_cast<int>(obb.insts.size());
+  }
+  return ok;
+}
+
+}  // namespace
+
+DepGraph graph_from_ir(const Trace& trace, const MachineModel& machine,
+                       const std::vector<IrDep>& deps) {
+  DepGraph g;
+  int b = 0;
+  for (const BasicBlock& bb : trace.blocks) {
+    for (const Instruction& inst : bb.insts) {
+      const OpTiming& t = machine.timing(op_class(inst.op));
+      g.add_node(inst.to_string(), t.exec_time, t.fu_class, b);
+    }
+    ++b;
+  }
+  // Collapse multiple dependence kinds per pair to the strictest latency.
+  std::map<std::pair<int, int>, int> strongest;
+  for (const IrDep& d : deps) {
+    auto [it, inserted] = strongest.emplace(std::make_pair(d.from, d.to),
+                                            d.latency);
+    if (!inserted) it->second = std::max(it->second, d.latency);
+  }
+  for (const auto& [pair, latency] : strongest) {
+    g.add_edge(static_cast<NodeId>(pair.first),
+               static_cast<NodeId>(pair.second), latency, /*distance=*/0);
+  }
+  return g;
+}
+
+Report check_emitted(const Trace& original, const Trace& scheduled,
+                     const MachineModel& machine, const VerifyOptions& opts) {
+  Report report;
+  if (original.blocks.size() != scheduled.blocks.size()) {
+    report.error("block-structure",
+                 "trace has " + std::to_string(scheduled.blocks.size()) +
+                     " blocks, original has " +
+                     std::to_string(original.blocks.size()));
+    return report;
+  }
+
+  // Branches must still terminate their blocks.
+  for (int b = 0; b < static_cast<int>(scheduled.blocks.size()); ++b) {
+    const BasicBlock& bb = scheduled.blocks[static_cast<std::size_t>(b)];
+    for (std::size_t i = 0; i + 1 < bb.insts.size(); ++i) {
+      if (bb.insts[i].is_branch()) {
+        report.error("branch-position",
+                     "branch was scheduled before the end of its block", b,
+                     bb.insts[i].to_string());
+      }
+    }
+  }
+
+  std::vector<int> scheduled_to_original;
+  if (!match_blocks(original, scheduled, scheduled_to_original, report)) {
+    return report;  // dependence positions are meaningless without a bijection
+  }
+
+  // Every re-derived dependence must point forward in the emitted stream.
+  const std::size_t n = scheduled_to_original.size();
+  std::vector<int> position(n, -1);
+  for (std::size_t p = 0; p < n; ++p) {
+    position[static_cast<std::size_t>(scheduled_to_original[p])] =
+        static_cast<int>(p);
+  }
+  const std::vector<const Instruction*> flat = flatten(original);
+  const std::vector<IrDep> deps =
+      derive_trace_deps(original, machine, opts.disambiguate_memory);
+  for (const IrDep& d : deps) {
+    if (position[static_cast<std::size_t>(d.from)] >
+        position[static_cast<std::size_t>(d.to)]) {
+      report.error(
+          "dep-order",
+          std::string(dep_kind_name(d.kind)) + " dependence '" +
+              flat[static_cast<std::size_t>(d.from)]->to_string() + "' -> '" +
+              flat[static_cast<std::size_t>(d.to)]->to_string() +
+              "' points backwards in the emitted code",
+          -1, flat[static_cast<std::size_t>(d.to)]->to_string());
+    }
+  }
+  if (!report.ok()) return report;
+
+  if (opts.check_optimality) {
+    // Simulate the emitted priority list on the verifier's own graph and
+    // certify its completion time.
+    const DepGraph g = graph_from_ir(original, machine, deps);
+    std::vector<NodeId> list;
+    for (const int orig : scheduled_to_original) {
+      list.push_back(static_cast<NodeId>(orig));
+    }
+    const Time achieved =
+        simulated_completion(g, machine, list, opts.window);
+    report_certificate(report,
+                       certify_trace_completion(g, machine, opts.window,
+                                                achieved,
+                                                opts.enumeration_cap));
+  }
+  return report;
+}
+
+Report check_planning(const DepGraph& g, const std::vector<NodeId>& order,
+                      const std::vector<std::vector<NodeId>>& per_block,
+                      int window) {
+  Report report;
+  report.merge(check_order(g, order));
+  // Advisory severity: the planning order may promise more overlap than a
+  // W-deep window can realize (see check_window's contract) — the emitted
+  // per-block code stays legal either way.
+  report.merge(check_window(g, order, window, Severity::kWarning));
+
+  // per_block[b] must be exactly the block-b subsequence of `order`.
+  std::vector<std::vector<NodeId>> expected(per_block.size());
+  bool blocks_in_range = true;
+  for (const NodeId id : order) {
+    const int b = id < g.num_nodes() ? g.node(id).block : -1;
+    if (b < 0 || b >= static_cast<int>(expected.size())) {
+      report.error("subpermutation",
+                   "node " + std::to_string(id) + " has block index " +
+                       std::to_string(b) + ", outside the emitted blocks");
+      blocks_in_range = false;
+      continue;
+    }
+    expected[static_cast<std::size_t>(b)].push_back(id);
+  }
+  if (blocks_in_range) {
+    for (std::size_t b = 0; b < per_block.size(); ++b) {
+      if (per_block[b] != expected[b]) {
+        report.error("subpermutation",
+                     "emitted block order is not the planning order's "
+                     "subpermutation",
+                     static_cast<int>(b));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ais::verify

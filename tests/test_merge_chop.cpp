@@ -6,6 +6,7 @@
 #include "core/move_idle.hpp"
 #include "core/rank.hpp"
 #include "machine/machine_model.hpp"
+#include "verify/schedule_check.hpp"
 #include "workloads/paper_graphs.hpp"
 #include "workloads/random_graphs.hpp"
 
@@ -42,6 +43,10 @@ TEST(Merge, Fig2MergedScheduleAndDeadlines) {
     EXPECT_LE(m.schedule.completion(id), 7);
   }
   EXPECT_EQ(validate_schedule(m.schedule, scalar01()), "");
+
+  // The independent verifier agrees on both counts.
+  EXPECT_TRUE(verify::check_schedule(m.schedule, scalar01()).ok());
+  EXPECT_TRUE(verify::check_merge_fill(m.schedule, bb1, d, /*t_old=*/7).ok());
 }
 
 TEST(Merge, RetainsPreassignedTighterDeadline) {
@@ -124,6 +129,12 @@ TEST(Merge, NewNodesOnlyFillIdleSlotsProperty) {
           << "old node displaced beyond its standalone makespan";
     }
     EXPECT_EQ(validate_schedule(m.schedule, scalar01()), "");
+
+    // Same invariant, asserted through the independent verifier.
+    const verify::Report fill =
+        verify::check_merge_fill(m.schedule, bb1, d, alone.makespan);
+    EXPECT_TRUE(fill.ok()) << fill.to_string();
+    EXPECT_TRUE(verify::check_schedule(m.schedule, scalar01()).ok());
   }
 }
 

@@ -17,6 +17,7 @@
 #include "machine/machine_model.hpp"
 #include "sim/lookahead_sim.hpp"
 #include "sim/loop_sim.hpp"
+#include "verify/schedule_check.hpp"
 #include "workloads/paper_graphs.hpp"
 
 namespace ais {
@@ -55,6 +56,13 @@ TEST(PaperFigure1, EndToEnd) {
   EXPECT_EQ(delayed.makespan(), 7);
   ASSERT_EQ(delayed.idle_slots().size(), 1u);
   EXPECT_EQ(delayed.idle_slots()[0].time, 5);
+
+  // The independent verifier accepts the delayed schedule and certifies
+  // the makespan against the brute-force block oracle.
+  EXPECT_TRUE(verify::check_schedule(delayed, machine).ok());
+  const verify::OptimalityCertificate cert =
+      verify::certify_block_makespan(g, all, delayed.makespan());
+  EXPECT_EQ(cert.status, verify::OptimalityCertificate::Status::kCertified);
 }
 
 TEST(PaperFigure2, EndToEnd) {
@@ -77,6 +85,11 @@ TEST(PaperFigure2, EndToEnd) {
   const SimResult sim = simulate_list(g, machine, res.priority_list(), 2);
   EXPECT_EQ(sim.completion, 11);
   EXPECT_LT(sim.issue_time[g.find("z")], sim.issue_time[g.find("a")]);
+
+  // The emitted priority list respects every dependence and the merged
+  // schedule passes the independent machine-level re-check.
+  EXPECT_TRUE(verify::check_order(g, res.priority_list()).ok());
+  EXPECT_TRUE(verify::check_schedule(merged.schedule, machine).ok());
 
   // The latency-0 variant's naive merged schedule is illegal for W = 2.
   const DepGraph bad = fig2_trace_latency0();
@@ -108,6 +121,10 @@ TEST(PaperFigure3, EndToEnd) {
       opts);
   EXPECT_EQ(names_of(g, best.order),
             (std::vector<std::string>{"L4", "ST", "M", "C4", "BT"}));
+  // Both paper schedules and the search winner are dependence-legal orders.
+  EXPECT_TRUE(verify::check_order(g, sched1).ok());
+  EXPECT_TRUE(verify::check_order(g, sched2).ok());
+  EXPECT_TRUE(verify::check_order(g, best.order).ok());
 }
 
 TEST(PaperFigure8, EndToEnd) {
@@ -141,6 +158,7 @@ TEST(PaperFigure8, EndToEnd) {
       },
       {});
   EXPECT_DOUBLE_EQ(steady_state_period(g, machine, best.order, 1), 4.0);
+  EXPECT_TRUE(verify::check_order(g, best.order).ok());
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include "core/lookahead.hpp"
 #include "core/merge.hpp"
 #include "core/rank.hpp"
+#include "driver/anticipatory.hpp"
 #include "graph/critpath.hpp"
 #include "graph/topo.hpp"
 #include "ir/depbuild.hpp"
@@ -13,6 +14,7 @@
 #include "pipeline/modulo.hpp"
 #include "sim/lookahead_sim.hpp"
 #include "sim/loop_sim.hpp"
+#include "verify/verify.hpp"
 #include "workloads/random_graphs.hpp"
 #include "workloads/random_ir.hpp"
 
@@ -104,6 +106,51 @@ TEST_P(MachineSweep, LookaheadOutputIsCompleteAndBlockPreserving) {
         }
       }
     }
+  }
+}
+
+TEST_P(MachineSweep, IndependentVerifierAcceptsEveryCompiledProgram) {
+  // The whole pipeline against the independent oracle: 125 random IR
+  // programs per machine (500 across the sweep), every one of which must
+  // verify clean — blocks preserved, every re-derived dependence ordered,
+  // window respected, per-block orders exact subpermutations.
+  Prng prng(GetParam().seed ^ 0x5e5);
+  const MachineModel machine = GetParam().machine();
+  for (int trial = 0; trial < 125; ++trial) {
+    RandomIrParams params;
+    params.num_insts = static_cast<int>(prng.uniform(3, 12));
+    params.mem_frac = 0.4;
+    const int blocks = static_cast<int>(prng.uniform(1, 4));
+    const Trace trace = random_ir_trace(prng, params, blocks);
+    const int window = static_cast<int>(prng.uniform(1, 9));
+    const ScheduledTrace scheduled = schedule(trace, machine, window);
+    const verify::Report report = verify_schedule(trace, scheduled, machine);
+    ASSERT_TRUE(report.ok()) << machine.name() << " trial " << trial
+                             << " W=" << window << "\n"
+                             << report.to_string();
+  }
+}
+
+TEST_P(MachineSweep, VerifierRejectsTamperedCompilations) {
+  // The flip side: corrupt each compilation in a random way and demand a
+  // rejection — 5 tamperings per machine, 20 across the sweep, on top of
+  // the targeted mutation catalogue in test_verify.cpp.
+  Prng prng(GetParam().seed ^ 0x7e7);
+  const MachineModel machine = GetParam().machine();
+  for (int trial = 0; trial < 5; ++trial) {
+    RandomIrParams params;
+    params.num_insts = 8;
+    const Trace trace = random_ir_trace(prng, params, 2);
+    ScheduledTrace scheduled = schedule(trace, machine, 2);
+    // Move the first instruction of block 1 into block 0 (ahead of the
+    // branch): always illegal cross-block motion.
+    auto& b0 = scheduled.blocks[0].insts;
+    auto& b1 = scheduled.blocks[1].insts;
+    ASSERT_FALSE(b1.empty());
+    b0.insert(b0.begin(), b1.front());
+    b1.erase(b1.begin());
+    const verify::Report report = verify_schedule(trace, scheduled, machine);
+    EXPECT_FALSE(report.ok()) << machine.name() << " trial " << trial;
   }
 }
 

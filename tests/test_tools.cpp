@@ -1,6 +1,6 @@
-// End-to-end tests of the aisc command-line driver: invoke the real binary
-// on real assembly files and check its output parses, preserves semantics,
-// and reproduces the paper's Figure 3 transformation.
+// End-to-end tests of the aisc and aislint command-line drivers: invoke the
+// real binaries on real assembly files and check their output parses,
+// preserves semantics, and reproduces the paper's Figure 3 transformation.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -13,6 +13,12 @@
 
 #ifndef AISC_BINARY
 #error "AISC_BINARY must point at the aisc executable"
+#endif
+#ifndef AISLINT_BINARY
+#error "AISLINT_BINARY must point at the aislint executable"
+#endif
+#ifndef AIS_EXAMPLES_DIR
+#error "AIS_EXAMPLES_DIR must point at the shipped examples/"
 #endif
 
 namespace ais {
@@ -36,6 +42,20 @@ std::string run_aisc(const std::string& args) {
   std::ostringstream text;
   text << in.rdbuf();
   return text.str();
+}
+
+/// Runs a tool command line; returns its exit code and captures stdout.
+int run_tool(const std::string& cmd, std::string* out) {
+  const std::string out_path = ::testing::TempDir() + "/tool_out.txt";
+  const int status =
+      std::system((cmd + " > " + out_path + " 2>/dev/null").c_str());
+  if (out != nullptr) {
+    std::ifstream in(out_path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    *out = text.str();
+  }
+  return status;
 }
 
 const char* kFig3 = R"(
@@ -126,6 +146,76 @@ TEST(Aisc, RenameFlagKeepsArchitecturalSemantics) {
   const InterpState init = InterpState::random(3);
   EXPECT_TRUE(run_trace(scheduled, init)
                   .equal_architectural(run_trace(original, init), 128));
+}
+
+TEST(Aislint, VerifiesEveryShippedExample) {
+  const char* examples[] = {"fig3_loop.s", "two_block_trace.s",
+                            "diamond_cfg.s", "memory_alias.s"};
+  for (const char* name : examples) {
+    const std::string cmd = std::string(AISLINT_BINARY) + " --in " +
+                            AIS_EXAMPLES_DIR + "/" + name + " --verify";
+    std::string out;
+    EXPECT_EQ(run_tool(cmd, &out), 0) << cmd << "\n" << out;
+  }
+}
+
+TEST(Aislint, RejectsStructurallyBrokenProgram) {
+  // A branch in the middle of a block is a lint error, not just a warning.
+  const char* text = R"(
+    block a:
+      LI  r1, 5
+      BT  c1, a
+      ADD r2, r1, r1
+  )";
+  const std::string in = write_temp("broken.s", text);
+  std::string out;
+  EXPECT_NE(run_tool(std::string(AISLINT_BINARY) + " --in " + in, &out), 0);
+  EXPECT_NE(out.find("branch-position"), std::string::npos) << out;
+}
+
+TEST(Aislint, AcceptsAiscOutputAgainstItsSource) {
+  const char* text = R"(
+    block a:
+      LI  r1, 5
+      LI  r2, 7
+      MUL r3, r1, r2
+      ADD r4, r3, r1
+      CMP c1, r4, 0
+      BT  c1, b
+    block b:
+      SHL r5, r4, 2
+      ST  out[r9+0], r5
+  )";
+  const std::string in = write_temp("lint_src.s", text);
+  const std::string compiled = run_aisc("--in " + in + " --machine rs6000");
+  const std::string out_path = write_temp("lint_out.s", compiled);
+  const std::string cmd = std::string(AISLINT_BINARY) + " --in " + in +
+                          " --against " + out_path + " --machine rs6000";
+  std::string out;
+  EXPECT_EQ(run_tool(cmd, &out), 0) << out;
+}
+
+TEST(Aislint, RejectsCorruptedCompilation) {
+  const char* text = R"(
+    block a:
+      LI  r1, 5
+      MUL r3, r1, r1
+      ADD r4, r3, r1
+  )";
+  // A "compilation" that reverses the dependent chain must be rejected.
+  const char* corrupted = R"(
+    block a:
+      ADD r4, r3, r1
+      MUL r3, r1, r1
+      LI  r1, 5
+  )";
+  const std::string in = write_temp("lint_good.s", text);
+  const std::string bad = write_temp("lint_bad.s", corrupted);
+  const std::string cmd = std::string(AISLINT_BINARY) + " --in " + in +
+                          " --against " + bad;
+  std::string out;
+  EXPECT_NE(run_tool(cmd, &out), 0);
+  EXPECT_NE(out.find("dep-order"), std::string::npos) << out;
 }
 
 }  // namespace

@@ -14,6 +14,8 @@
 //   --window N       lookahead window (0 = machine default)
 //   --rename         run local register renaming first
 //   --report         print cycle counts (before/after) to stderr
+//   --verify         re-check the emitted schedule with the independent
+//                    oracle (src/verify); nonzero exit on any violation
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -52,6 +54,14 @@ void emit(const std::vector<BasicBlock>& blocks) {
   }
 }
 
+/// Prints oracle findings to stderr; returns the process exit code.
+int report_verification(const verify::Report& report) {
+  if (report.ok()) return 0;
+  std::fprintf(stderr, "aisc: schedule failed verification:\n%s",
+               report.to_string().c_str());
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -78,10 +88,12 @@ int main(int argc, char** argv) {
   const std::string mode = args.get_string("mode", "trace");
   const bool do_rename = args.get_bool("rename", false);
   const bool report = args.get_bool("report", false);
+  const bool do_verify = args.get_bool("verify", false);
 
   if (mode == "cfg") {
     const Cfg cfg(prog);
-    const CompiledProgram compiled = compile_program(cfg, machine, window);
+    const CompiledProgram compiled =
+        compile_program(cfg, machine, window, do_verify);
     emit(compiled.program.blocks);
     if (report) {
       std::fprintf(stderr,
@@ -90,7 +102,7 @@ int main(int argc, char** argv) {
                    static_cast<long long>(compiled.hot_trace_cycles_after),
                    compiled.window);
     }
-    return 0;
+    return report_verification(compiled.verification);
   }
 
   Trace trace{prog.blocks};
@@ -104,6 +116,9 @@ int main(int argc, char** argv) {
     if (report) {
       std::fprintf(stderr, "aisc: %.2f cycles/iteration at W = %d\n",
                    scheduled.cycles_per_iteration, scheduled.window);
+    }
+    if (do_verify) {
+      return report_verification(verify_schedule(loop, scheduled, machine));
     }
     return 0;
   }
@@ -123,6 +138,9 @@ int main(int argc, char** argv) {
             scheduled.graph, machine, before, scheduled.window)),
         static_cast<long long>(scheduled.simulated_cycles(machine)),
         scheduled.window);
+  }
+  if (do_verify) {
+    return report_verification(verify_schedule(trace, scheduled, machine));
   }
   return 0;
 }

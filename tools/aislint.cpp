@@ -1,0 +1,146 @@
+// aislint — independent linter and schedule verifier for toy-ISA assembly.
+//
+// The lint half flags structural and dataflow problems in an input program;
+// the verify half re-derives every dependence from the IR (sharing no code
+// with the scheduler's ir/depbuild.cpp) and checks that a compiled schedule
+// respects them.
+//
+//   aislint --in prog.s                      # lint only
+//   aislint --in prog.s --verify             # lint, schedule, verify oracle
+//   aislint --in prog.s --against out.s      # verify out.s is a legal
+//                                            # compilation of prog.s
+//
+// Flags:
+//   --in FILE        input assembly (required)
+//   --mode MODE      trace (default) | loop | cfg — how --verify schedules
+//   --machine NAME   scalar01 | rs6000 (default) | deep | vliw4
+//   --window N       lookahead window (0 = machine default)
+//   --rename         rename the input first (mirror `aisc --rename`)
+//   --verify         schedule the input in-process and verify the result
+//   --against FILE   verify FILE instead of scheduling in-process
+//   --optimal        also attempt an optimality certificate (restricted
+//                    machines; brute-force bounded)
+//   --werror         treat warnings as errors for the exit code
+//   --quiet          suppress note-severity diagnostics and the summary
+//
+// Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cfg/cfg.hpp"
+#include "driver/anticipatory.hpp"
+#include "driver/function_compiler.hpp"
+#include "ir/asm_parser.hpp"
+#include "ir/rename.hpp"
+#include "machine/machine_model.hpp"
+#include "support/cli.hpp"
+#include "verify/lint.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+using namespace ais;
+
+MachineModel machine_by_name(const std::string& name) {
+  if (name == "scalar01") return scalar01();
+  if (name == "rs6000") return rs6000_like();
+  if (name == "deep") return deep_pipeline();
+  if (name == "vliw4") return vliw4();
+  std::fprintf(stderr, "aislint: unknown machine '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+Program parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "aislint: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_program(text.str());
+}
+
+void print_report(const verify::Report& report, bool quiet) {
+  for (const verify::Diagnostic& d : report.diagnostics()) {
+    if (quiet && d.severity == verify::Severity::kNote) continue;
+    std::printf("%s\n", d.to_string().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string path = args.get_string("in", "");
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: aislint --in FILE [--mode trace|loop|cfg] "
+                 "[--machine NAME] [--window N] [--rename] [--verify] "
+                 "[--against FILE] [--optimal] [--werror] [--quiet]\n");
+    return 2;
+  }
+
+  const MachineModel machine =
+      machine_by_name(args.get_string("machine", "rs6000"));
+  const int window = static_cast<int>(args.get_int("window", 0));
+  const std::string mode = args.get_string("mode", "trace");
+  if (mode != "trace" && mode != "loop" && mode != "cfg") {
+    std::fprintf(stderr, "aislint: unknown mode '%s'\n", mode.c_str());
+    return 2;
+  }
+  const bool do_rename = args.get_bool("rename", false);
+  const bool do_verify = args.get_bool("verify", false);
+  const std::string against = args.get_string("against", "");
+  const bool optimal = args.get_bool("optimal", false);
+  const bool werror = args.get_bool("werror", false);
+  const bool quiet = args.get_bool("quiet", false);
+
+  const Program prog = parse_file(path);
+  verify::Report report = verify::lint_program(prog);
+
+  // The program the schedule must be a reordering of: renaming changes
+  // registers, so verification compares against the renamed input, exactly
+  // as `aisc --rename` compiles it.
+  Trace original{prog.blocks};
+  if (do_rename) original = rename_trace(original);
+
+  if (!against.empty()) {
+    // External verification: FILE claims to be a compilation of --in.
+    const Program compiled = parse_file(against);
+    verify::VerifyOptions opts;
+    opts.window = window == 0 ? machine.default_window() : window;
+    opts.check_optimality = optimal;
+    report.merge(verify::check_emitted(original, Trace{compiled.blocks},
+                                       machine, opts));
+  } else if (do_verify) {
+    // In-process verification: schedule with the production pipeline, then
+    // re-check every invariant from independently derived dependences.
+    if (mode == "cfg") {
+      const Cfg cfg(prog);
+      const CompiledProgram compiled =
+          compile_program(cfg, machine, window, /*verify=*/true);
+      report.merge(compiled.verification);
+    } else if (mode == "loop") {
+      Loop loop;
+      loop.body = original;
+      const ScheduledLoop scheduled = schedule(loop, machine, window);
+      report.merge(verify_schedule(loop, scheduled, machine));
+    } else {
+      const ScheduledTrace scheduled = schedule(original, machine, window);
+      report.merge(verify_schedule(original, scheduled, machine, optimal));
+    }
+  }
+
+  print_report(report, quiet);
+  const bool failed =
+      !report.ok() || (werror && report.num_warnings() > 0);
+  if (!quiet) {
+    std::printf("aislint: %s — %zu error(s), %zu warning(s)\n",
+                failed ? "FAIL" : "ok", report.num_errors(),
+                report.num_warnings());
+  }
+  return failed ? 1 : 0;
+}
