@@ -10,15 +10,19 @@
 #include "core/lookahead.hpp"
 #include "machine/machine_model.hpp"
 #include "sim/lookahead_sim.hpp"
+#include "support/stopwatch.hpp"
 #include "support/str.hpp"
 
 namespace ais::benchutil {
 
 /// Simulated completion of a trace graph under every scheduler, in a fixed
-/// order: anticipatory first, then the per-block baselines.
+/// order: anticipatory first, then the per-block baselines.  compile_ms is
+/// the wall time the scheduler itself took (support/stopwatch — the one
+/// clock in the tree; simulation time is excluded).
 struct SchedulerRow {
   std::string name;
   Time cycles = 0;
+  double compile_ms = 0;
 };
 
 inline std::vector<SchedulerRow> compare_schedulers(const DepGraph& g,
@@ -26,21 +30,27 @@ inline std::vector<SchedulerRow> compare_schedulers(const DepGraph& g,
                                                     int window) {
   std::vector<SchedulerRow> rows;
 
-  const RankScheduler scheduler(g, machine);
-  LookaheadOptions opts;
-  opts.window = window;
-  const LookaheadResult res = schedule_trace(scheduler, opts);
+  LookaheadResult res;
+  const double anticipatory_ms = timed_ms([&] {
+    const RankScheduler scheduler(g, machine);
+    LookaheadOptions opts;
+    opts.window = window;
+    res = schedule_trace(scheduler, opts);
+  });
   rows.push_back({"anticipatory",
                   simulated_completion(g, machine, res.priority_list(),
-                                       window)});
+                                       window),
+                  anticipatory_ms});
 
   for (const BlockScheduler kind :
        {BlockScheduler::kRankDelayed, BlockScheduler::kRank,
         BlockScheduler::kCriticalPathList, BlockScheduler::kGibbonsMuchnick,
         BlockScheduler::kWarren, BlockScheduler::kSourceOrder}) {
-    const auto list = schedule_trace_per_block(g, machine, kind);
+    std::vector<NodeId> list;
+    const double ms = timed_ms(
+        [&] { list = schedule_trace_per_block(g, machine, kind); });
     rows.push_back({block_scheduler_name(kind),
-                    simulated_completion(g, machine, list, window)});
+                    simulated_completion(g, machine, list, window), ms});
   }
   return rows;
 }

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Aggregates aisprof --json reports and google-benchmark JSON output into
+one flat benchmark snapshot (see scripts/bench_json.sh):
+
+    {"schema": 1, "benchmarks": [
+        {"name": ..., "cycles": ..., "compile_ms": ...}, ...]}
+
+Cycles are simulated machine cycles (cycles_after for trace/cfg compiles,
+cycles/iteration for loops, absent for pure-runtime rows); compile_ms is
+scheduler wall time per compile.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def row_from_aisprof(path):
+    with open(path) as f:
+        report = json.load(f)
+    name = os.path.splitext(os.path.basename(report["file"]))[0]
+    row = {
+        "name": f"{name}.{report['mode']}",
+        "machine": report["machine"],
+        "compile_ms": report["compile_ms"],
+    }
+    if report["mode"] == "loop":
+        row["cycles"] = report["cycles_per_iteration"]
+    else:
+        row["cycles"] = report["cycles_after"]
+        row["cycles_before"] = report["cycles_before"]
+    stalls = report.get("stalls")
+    if stalls:
+        row["stall_latency"] = stalls["latency"]
+        row["stall_window"] = stalls["window"]
+    return row
+
+
+def rows_from_google_benchmark(path):
+    with open(path) as f:
+        report = json.load(f)
+    rows = []
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[b["time_unit"]]
+        rows.append({
+            "name": b["name"],
+            "compile_ms": round(b["real_time"] * scale, 4),
+        })
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("aisprof_reports", nargs="*",
+                        help="aisprof --json output files")
+    parser.add_argument("--google-benchmark",
+                        help="google-benchmark --benchmark_format=json file")
+    parser.add_argument("--out", default="BENCH_PR2.json")
+    args = parser.parse_args()
+
+    benchmarks = [row_from_aisprof(p) for p in args.aisprof_reports]
+    if args.google_benchmark:
+        benchmarks += rows_from_google_benchmark(args.google_benchmark)
+    if not benchmarks:
+        print("bench_json.py: no input reports", file=sys.stderr)
+        return 2
+
+    with open(args.out, "w") as f:
+        json.dump({"schema": 1, "benchmarks": benchmarks}, f, indent=2)
+        f.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

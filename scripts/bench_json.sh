@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# Machine-readable benchmark snapshot: runs aisprof over every shipped
+# example plus the google-benchmark compile-time suite and aggregates the
+# results (name / cycles / compile-ms) into one JSON file.
+#
+#   sh scripts/bench_json.sh [BUILD_DIR] [OUT_FILE]
+#
+# The committed BENCH_PR2.json at the repo root is this script's output;
+# regenerate it after scheduler changes so the numbers stay honest.
+set -eu
+
+BUILD=${1:-build}
+OUT=${2:-BENCH_PR2.json}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+EXAMPLES=$(dirname "$0")/../examples
+
+# Per-example aisprof reports; the mode follows the example's shape.
+"$BUILD/tools/aisprof" --in "$EXAMPLES/fig3_loop.s" --mode loop \
+    --repeat 50 --json "$TMP/fig3_loop.json" > /dev/null
+"$BUILD/tools/aisprof" --in "$EXAMPLES/two_block_trace.s" --mode trace \
+    --repeat 50 --json "$TMP/two_block_trace.json" > /dev/null
+"$BUILD/tools/aisprof" --in "$EXAMPLES/memory_alias.s" --mode trace \
+    --repeat 50 --json "$TMP/memory_alias.json" > /dev/null
+"$BUILD/tools/aisprof" --in "$EXAMPLES/diamond_cfg.s" --mode cfg \
+    --repeat 50 --json "$TMP/diamond_cfg.json" > /dev/null
+
+# Scheduler-runtime scaling (google-benchmark's own JSON writer).
+"$BUILD/bench/bench_compile_time" --benchmark_format=json \
+    --benchmark_min_time=0.05 > "$TMP/compile_time.json" 2> /dev/null
+
+python3 "$(dirname "$0")/bench_json.py" \
+    --out "$OUT" \
+    --google-benchmark "$TMP/compile_time.json" \
+    "$TMP"/fig3_loop.json "$TMP"/two_block_trace.json \
+    "$TMP"/memory_alias.json "$TMP"/diamond_cfg.json
+
+echo "wrote $OUT"

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file written by --trace-json /
+obs::write_chrome_trace (CI runs this on every aisc telemetry artifact).
+
+Checks: the file parses as JSON, traceEvents is a non-empty list, every
+event carries the complete-event or counter-event shape, and span nesting
+is consistent (a deeper span's interval lies within some enclosing span on
+the same thread).
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace.py: {msg}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if len(argv) != 2:
+        return fail("usage: check_trace.py TRACE.json")
+    with open(argv[1]) as f:
+        try:
+            trace = json.load(f)
+        except json.JSONDecodeError as e:
+            return fail(f"not valid JSON: {e}")
+
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail("traceEvents missing or empty")
+
+    spans = []
+    for i, e in enumerate(events):
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            if key not in e:
+                return fail(f"event {i} lacks '{key}': {e}")
+        if e["ph"] == "X":
+            if "dur" not in e or e["dur"] < 0:
+                return fail(f"complete event {i} lacks a nonnegative dur")
+            spans.append(e)
+        elif e["ph"] == "C":
+            if "value" not in e.get("args", {}):
+                return fail(f"counter event {i} lacks args.value")
+        else:
+            return fail(f"event {i} has unexpected phase '{e['ph']}'")
+
+    # Nesting: every depth>0 span is contained in a shallower span that
+    # encloses it on the same thread.
+    for e in spans:
+        depth = e.get("args", {}).get("depth", 0)
+        if depth == 0:
+            continue
+        enclosed = any(
+            p is not e and p["tid"] == e["tid"]
+            and p.get("args", {}).get("depth", 0) < depth
+            and p["ts"] <= e["ts"]
+            and e["ts"] + e["dur"] <= p["ts"] + p["dur"]
+            for p in spans)
+        if not enclosed:
+            return fail(f"span at depth {depth} is not nested: {e}")
+
+    print(f"check_trace.py: OK ({len(spans)} spans, "
+          f"{len(events) - len(spans)} counter samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

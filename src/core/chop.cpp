@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace ais {
 
 ChopResult chop(const Schedule& s, DeadlineMap& deadlines, int window) {
+  AIS_OBS_SPAN("chop");
+  AIS_OBS_COUNT(obs::ctr::kChopCalls);
   AIS_CHECK(window >= 1, "window must be positive");
   const DepGraph& g = s.graph();
   const std::vector<NodeId> perm = s.permutation();
@@ -70,6 +73,7 @@ ChopResult chop(const Schedule& s, DeadlineMap& deadlines, int window) {
       result.suffix.insert(id);
     }
   }
+  if (!result.emitted.empty()) AIS_OBS_COUNT(obs::ctr::kChopPoints);
   shift_deadlines(deadlines, result.suffix, split + 1);
   result.suffix_makespan = s.makespan() - (split + 1);
   return result;

@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "core/chop.hpp"
+#include "core/legality.hpp"
 #include "core/merge.hpp"
 #include "core/move_idle.hpp"
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace ais {
@@ -33,9 +35,11 @@ std::vector<NodeSet> blocks_of(const DepGraph& g) {
 LookaheadResult schedule_trace(const RankScheduler& scheduler,
                                const std::vector<NodeSet>& blocks,
                                const LookaheadOptions& opts) {
+  AIS_OBS_SPAN("lookahead");
   const DepGraph& g = scheduler.graph();
   AIS_CHECK(!blocks.empty(), "trace needs at least one block");
   AIS_CHECK(opts.window >= 1, "window must be positive");
+  AIS_OBS_COUNT(obs::ctr::kLookaheadBlocks, blocks.size());
 
   const Time huge =
       opts.huge > 0 ? opts.huge : huge_deadline(g, NodeSet::all(g.num_nodes()));
@@ -106,6 +110,20 @@ LookaheadResult schedule_trace(const RankScheduler& scheduler,
     for (const auto& b : blocks) n += b.size();
     return n;
   }(), "lookahead must emit every instruction exactly once");
+
+  // Quantify the ROADMAP `window-span` open item: how often does the
+  // planning order promise overlap deeper than the hardware window?  Only
+  // measured under telemetry — the linear scan is off the disabled path.
+#if AIS_OBS_ENABLED
+  if (obs::enabled()) {
+    out.diag.max_inversion_span = max_inversion_span(g, out.order).span;
+    obs::count(obs::ctr::kWindowSpanOverW,
+               out.diag.max_inversion_span >
+                       static_cast<std::size_t>(opts.window)
+                   ? 1
+                   : 0);
+  }
+#endif
 
   out.per_block.assign(blocks.size(), {});
   for (const NodeId id : out.order) {

@@ -42,6 +42,12 @@ struct LookaheadDiagnostics {
   std::vector<Time> merged_makespans;
   /// Number of chops that actually emitted a prefix.
   std::size_t prefixes_emitted = 0;
+  /// Widest inversion span of the planning order (0 = no inversion); spans
+  /// > W mean Merge packed new-block nodes deeper than the hardware window
+  /// reaches — legal for the emitted per-block code, tracked by the
+  /// `lookahead.window_span_gt_w` obs counter (see ROADMAP `window-span`).
+  /// Computed only while telemetry is enabled (stays 0 otherwise).
+  std::size_t max_inversion_span = 0;
 };
 
 struct LookaheadResult {

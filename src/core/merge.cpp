@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace ais {
@@ -10,6 +11,8 @@ MergeResult merge_blocks(const RankScheduler& scheduler,
                          const NodeSet& old_nodes, const NodeSet& new_nodes,
                          const DeadlineMap& deadlines, Time t_old, Time huge,
                          const RankOptions& opts) {
+  AIS_OBS_SPAN("merge");
+  AIS_OBS_COUNT(obs::ctr::kMergeCalls);
   const DepGraph& g = scheduler.graph();
   AIS_CHECK(deadlines.size() == g.num_nodes(), "deadline map size");
   const NodeSet cur = set_union(old_nodes, new_nodes);
@@ -52,8 +55,10 @@ MergeResult merge_blocks(const RankScheduler& scheduler,
     }
     ++relax;
     AIS_CHECK(relax <= hard_limit, "merge failed to find a feasible schedule");
+    AIS_OBS_COUNT(obs::ctr::kMergeRelaxRounds);
     for (const NodeId w : new_nodes.ids()) ++d_cur[w];
     if (relax > new_only_limit) {
+      AIS_OBS_COUNT(obs::ctr::kMergeFullRelaxRounds);
       for (const NodeId w : old_nodes.ids()) ++d_cur[w];
     }
   }

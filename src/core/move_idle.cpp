@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace ais {
@@ -32,6 +33,7 @@ std::size_t slot_index(const Schedule& s, IdleSlot slot) {
 MoveIdleResult move_idle_slot(const RankScheduler& scheduler,
                               const Schedule& s, DeadlineMap& deadlines,
                               IdleSlot slot, const RankOptions& opts) {
+  AIS_OBS_COUNT(obs::ctr::kIdleMoveAttempts);
   const NodeSet& active = s.active();
   const std::vector<int> classes = unit_classes(scheduler.machine());
   const int slot_class = classes[static_cast<std::size_t>(slot.unit)];
@@ -50,7 +52,10 @@ MoveIdleResult move_idle_slot(const RankScheduler& scheduler,
     if (classes[static_cast<std::size_t>(s.unit_of(y))] != slot_class) continue;
     if (s.start(y) < slot.time) {
       sigma.push_back(y);
-      trial[y] = std::min(trial[y], slot.time);
+      if (trial[y] > slot.time) {
+        trial[y] = slot.time;
+        AIS_OBS_COUNT(obs::ctr::kDeadlinesTightened);
+      }
     }
   }
 
@@ -68,7 +73,10 @@ MoveIdleResult move_idle_slot(const RankScheduler& scheduler,
   for (std::size_t iter = 0; iter < iteration_cap; ++iter) {
     const NodeId tail = current.tail_node(slot.unit, slot.time);
     if (tail == kInvalidNode) return failure;  // slot preceded by idle time
-    trial[tail] = std::min(trial[tail], slot.time - 1);
+    if (trial[tail] > slot.time - 1) {
+      trial[tail] = slot.time - 1;
+      AIS_OBS_COUNT(obs::ctr::kDeadlinesTightened);
+    }
 
     // Paper guard: some sigma node must still be allowed to complete at
     // slot.time, otherwise the tail position can never be filled.
@@ -96,6 +104,7 @@ MoveIdleResult move_idle_slot(const RankScheduler& scheduler,
     }
     if (new_slot.time > slot.time) {
       deadlines = std::move(trial);  // finalize all deadline modifications
+      AIS_OBS_COUNT(obs::ctr::kIdleSlotsMoved);
       return MoveIdleResult{result.schedule, new_slot, true};
     }
     if (new_slot.time < slot.time) {
@@ -111,6 +120,7 @@ MoveIdleResult move_idle_slot(const RankScheduler& scheduler,
 
 Schedule delay_idle_slots(const RankScheduler& scheduler, Schedule s,
                           DeadlineMap& deadlines, const RankOptions& opts) {
+  AIS_OBS_SPAN("move_idle");
   std::size_t i = 0;
   while (true) {
     const auto slots = s.idle_slots();

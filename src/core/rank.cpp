@@ -6,6 +6,7 @@
 
 #include "graph/closure.hpp"
 #include "graph/topo.hpp"
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace ais {
@@ -189,6 +190,9 @@ Schedule RankScheduler::greedy_from_list(const NodeSet& active,
 RankResult RankScheduler::run(const NodeSet& active,
                               const DeadlineMap& deadlines,
                               const RankOptions& opts) const {
+  AIS_OBS_SPAN("rank");
+  AIS_OBS_COUNT(obs::ctr::kRankRuns);
+  AIS_OBS_COUNT(obs::ctr::kRankNodesRanked, active.size());
   bool structurally_feasible = true;
   std::vector<Time> rank =
       compute_ranks(active, deadlines, opts, &structurally_feasible);
@@ -227,6 +231,7 @@ RankResult RankScheduler::run(const NodeSet& active,
       break;
     }
   }
+  if (!result.feasible) AIS_OBS_COUNT(obs::ctr::kRankInfeasible);
   return result;
 }
 

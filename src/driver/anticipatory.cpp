@@ -2,6 +2,7 @@
 
 #include "core/loop_single.hpp"
 #include "core/loop_trace.hpp"
+#include "obs/obs.hpp"
 #include "sim/lookahead_sim.hpp"
 #include "sim/loop_sim.hpp"
 #include "support/assert.hpp"
@@ -14,6 +15,7 @@ namespace {
 /// how the dependence builder numbers them.
 std::vector<BasicBlock> reorder_blocks(
     const Trace& trace, const std::vector<std::vector<NodeId>>& per_block) {
+  AIS_OBS_SPAN("emit");
   // Flatten the original instructions in numbering order.
   std::vector<const Instruction*> flat;
   for (const BasicBlock& bb : trace.blocks) {
@@ -50,8 +52,12 @@ Time ScheduledTrace::simulated_cycles(const MachineModel& machine) const {
 
 ScheduledTrace schedule(const Trace& trace, const MachineModel& machine,
                         int window, const DepBuildOptions& deps) {
+  AIS_OBS_SPAN("compile.trace");
   const int w = resolve_window(machine, window);
-  DepGraph g = build_trace_graph(trace, machine, deps);
+  DepGraph g = [&] {
+    AIS_OBS_SPAN("deps");
+    return build_trace_graph(trace, machine, deps);
+  }();
   const RankScheduler scheduler(g, machine);
   LookaheadOptions opts;
   opts.window = w;
@@ -70,6 +76,7 @@ verify::Report verify_schedule(const Trace& original,
                                const ScheduledTrace& scheduled,
                                const MachineModel& machine,
                                bool check_optimality) {
+  AIS_OBS_SPAN("verify");
   verify::VerifyOptions opts;
   opts.window = scheduled.window;
   opts.check_optimality = check_optimality;
@@ -84,6 +91,7 @@ verify::Report verify_schedule(const Trace& original,
 verify::Report verify_schedule(const Loop& original,
                                const ScheduledLoop& scheduled,
                                const MachineModel& machine) {
+  AIS_OBS_SPAN("verify");
   verify::VerifyOptions opts;
   opts.window = scheduled.window;
   return verify::check_emitted(original.body, Trace{scheduled.blocks}, machine,
@@ -92,8 +100,12 @@ verify::Report verify_schedule(const Loop& original,
 
 ScheduledLoop schedule(const Loop& loop, const MachineModel& machine,
                        int window, const DepBuildOptions& deps) {
+  AIS_OBS_SPAN("compile.loop");
   const int w = resolve_window(machine, window);
-  DepGraph g = build_loop_graph(loop, machine, deps);
+  DepGraph g = [&] {
+    AIS_OBS_SPAN("deps");
+    return build_loop_graph(loop, machine, deps);
+  }();
 
   std::vector<std::vector<NodeId>> per_block;
   std::vector<NodeId> iteration_list;

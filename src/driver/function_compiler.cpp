@@ -2,6 +2,7 @@
 
 #include "baselines/block_schedulers.hpp"
 #include "ir/depbuild.hpp"
+#include "obs/obs.hpp"
 #include "sim/lookahead_sim.hpp"
 #include "support/assert.hpp"
 
@@ -9,11 +10,15 @@ namespace ais {
 
 CompiledProgram compile_program(const Cfg& cfg, const MachineModel& machine,
                                 int window, bool verify) {
+  AIS_OBS_SPAN("compile.program");
   const int w = window == 0 ? machine.default_window() : window;
 
   CompiledProgram out;
   out.program = cfg.program();
-  out.traces = select_traces(cfg);
+  {
+    AIS_OBS_SPAN("trace_select");
+    out.traces = select_traces(cfg);
+  }
   out.window = w;
 
   for (std::size_t t = 0; t < out.traces.size(); ++t) {

@@ -1,0 +1,239 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+#include "support/stopwatch.hpp"
+
+namespace ais::obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_trace_enabled{false};
+
+/// Registry state behind one mutex: spans fire at pass granularity (a few
+/// thousand per compile at most), so contention is irrelevant; counters use
+/// atomics so concurrent add() never serializes on the map once registered.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>> counters;
+  std::map<std::string, PhaseTotal> phases;
+  std::vector<TraceEvent> events;
+  std::map<std::thread::id, int> thread_ids;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: usable during static teardown
+  return *r;
+}
+
+std::atomic<std::uint64_t>& counter_slot(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.counters.find(std::string(name));
+  if (it == r.counters.end()) {
+    it = r.counters
+             .emplace(std::string(name),
+                      std::make_unique<std::atomic<std::uint64_t>>(0))
+             .first;
+  }
+  return *it->second;
+}
+
+int thread_index() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto [it, inserted] = r.thread_ids.emplace(
+      std::this_thread::get_id(), static_cast<int>(r.thread_ids.size()));
+  static_cast<void>(inserted);
+  return it->second;
+}
+
+/// Span nesting depth of the current thread (opened, not yet closed).
+thread_local int t_depth = 0;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string g_env_trace_path;  // written once by init_from_env
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+bool trace_enabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+  if (!on) g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) {
+  g_trace_enabled.store(on, std::memory_order_relaxed);
+  if (on) g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void init_from_env() {
+  const char* trace = std::getenv("AIS_TRACE");
+  if (trace != nullptr && trace[0] != '\0' &&
+      std::string_view(trace) != "0") {
+    set_enabled(true);
+    if (std::string_view(trace) == "trace") set_trace_enabled(true);
+  }
+  const char* path = std::getenv("AIS_TRACE_JSON");
+  if (path != nullptr && path[0] != '\0') {
+    g_env_trace_path = path;
+    set_trace_enabled(true);
+  }
+}
+
+const std::string& env_trace_path() { return g_env_trace_path; }
+
+void count(std::string_view name, std::uint64_t delta) {
+  if (!enabled()) return;
+  counter_slot(name).fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::uint64_t counter_value(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.counters.find(std::string(name));
+  return it == r.counters.end()
+             ? 0
+             : it->second->load(std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> counters_snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(r.counters.size());
+  for (const auto& [name, value] : r.counters) {
+    out.emplace_back(name, value->load(std::memory_order_relaxed));
+  }
+  return out;  // std::map iteration order is already sorted by name
+}
+
+Span::Span(const char* name) : name_(name) {
+  if (!enabled()) return;
+  active_ = true;
+  start_us_ = Stopwatch::now_us();
+  ++t_depth;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::int64_t end_us = Stopwatch::now_us();
+  --t_depth;
+  // A span that outlives a set_enabled(false) still closes its books; the
+  // gate only stops *new* spans from activating.
+  Registry& r = registry();
+  const int tid = thread_index();
+  std::lock_guard<std::mutex> lock(r.mu);
+  PhaseTotal& agg = r.phases[name_];
+  if (agg.name.empty()) agg.name = name_;
+  ++agg.calls;
+  agg.total_ms += static_cast<double>(end_us - start_us_) * 1e-3;
+  if (trace_enabled()) {
+    r.events.push_back(TraceEvent{name_, tid, t_depth, start_us_,
+                                  end_us - start_us_});
+  }
+}
+
+std::vector<PhaseTotal> phase_totals() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<PhaseTotal> out;
+  out.reserve(r.phases.size());
+  for (const auto& [name, agg] : r.phases) out.push_back(agg);
+  std::sort(out.begin(), out.end(), [](const PhaseTotal& a,
+                                       const PhaseTotal& b) {
+    return a.total_ms > b.total_ms || (a.total_ms == b.total_ms &&
+                                       a.name < b.name);
+  });
+  return out;
+}
+
+std::vector<TraceEvent> trace_events() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.events;
+}
+
+void write_chrome_trace(std::ostream& os) {
+  std::vector<TraceEvent> events = trace_events();
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  const auto counters = counters_snapshot();
+  std::int64_t last_ts = 0;
+  for (const TraceEvent& e : events) {
+    last_ts = std::max(last_ts, e.ts_us + e.dur_us);
+  }
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << json_escape(e.name)
+       << "\",\"cat\":\"ais\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+       << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us
+       << ",\"args\":{\"depth\":" << e.depth << "}}";
+  }
+  for (const auto& [name, value] : counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << json_escape(name)
+       << "\",\"cat\":\"ais\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":"
+       << last_ts << ",\"args\":{\"value\":" << value << "}}";
+  }
+  os << "\n]}\n";
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  write_chrome_trace(out);
+  return out.good();
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.counters.clear();
+  r.phases.clear();
+  r.events.clear();
+}
+
+}  // namespace ais::obs

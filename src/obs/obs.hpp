@@ -1,0 +1,181 @@
+// Pipeline telemetry: RAII phase spans, named monotonic counters and a
+// Chrome-trace-event sink, instrumenting core/, sim/, driver/ and verify/.
+//
+// Two gates, so hot paths stay as fast as the hardware allows:
+//  * compile time — AIS_OBS_ENABLED (CMake option AIS_OBS, default ON).
+//    With it 0, AIS_OBS_SPAN / AIS_OBS_COUNT* expand to nothing in that
+//    translation unit; the library API below still exists so mixed builds
+//    link.
+//  * run time — enabled() / trace_enabled(), off by default, flipped only
+//    by the AIS_TRACE / AIS_TRACE_JSON environment variables (init_from_env)
+//    or by CLI flags (aisc --profile / --trace-json, aisprof).  A disabled
+//    hook costs one relaxed atomic load.
+//
+// enabled() turns on counters and per-phase time aggregation (the
+// `aisc --profile` table); trace_enabled() additionally records every span
+// as a trace event for write_chrome_trace(), whose output loads in
+// Perfetto / chrome://tracing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#ifndef AIS_OBS_ENABLED
+#define AIS_OBS_ENABLED 1
+#endif
+
+namespace ais::obs {
+
+/// True when this translation unit was compiled with telemetry hooks.
+inline constexpr bool kHooksCompiledIn = AIS_OBS_ENABLED != 0;
+
+// --- runtime gates ------------------------------------------------------
+
+bool enabled();
+bool trace_enabled();
+void set_enabled(bool on);
+/// Turning tracing on implies enabled(); turning it off leaves enabled()
+/// untouched.
+void set_trace_enabled(bool on);
+
+/// Reads AIS_TRACE (any value but "" / "0" enables counters+phases; the
+/// value "trace" also enables event recording) and AIS_TRACE_JSON (a path;
+/// implies full tracing — tools write the file on exit, see
+/// env_trace_path()).
+void init_from_env();
+
+/// The AIS_TRACE_JSON path seen by init_from_env(); empty when unset.
+const std::string& env_trace_path();
+
+// --- named monotonic counters -------------------------------------------
+
+/// Adds `delta` to the counter `name`, creating it at zero on first touch
+/// (so a delta of 0 registers a counter without changing it).  Counters are
+/// process-global, thread-safe and monotone: there is no decrement.
+/// No-op while !enabled().
+void count(std::string_view name, std::uint64_t delta = 1);
+
+/// Current value of `name`; 0 if it was never touched.
+std::uint64_t counter_value(std::string_view name);
+
+/// All registered counters, sorted by name.
+std::vector<std::pair<std::string, std::uint64_t>> counters_snapshot();
+
+// --- phase spans --------------------------------------------------------
+
+/// RAII span over one pipeline phase.  `name` must outlive the span (string
+/// literals only — instrumentation sites pass compile-time names).  While
+/// enabled(), the destructor folds the elapsed time into the per-phase
+/// aggregate; while trace_enabled(), it also appends one trace event.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+struct PhaseTotal {
+  std::string name;
+  std::uint64_t calls = 0;
+  double total_ms = 0;
+};
+
+/// Aggregated span time per phase name, sorted by descending total time.
+std::vector<PhaseTotal> phase_totals();
+
+// --- trace events -------------------------------------------------------
+
+struct TraceEvent {
+  std::string name;
+  int tid = 0;       // dense per-thread index, not the OS id
+  int depth = 0;     // span nesting depth at open, within its thread
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;
+};
+
+/// Completed spans recorded while trace_enabled(), in completion order.
+std::vector<TraceEvent> trace_events();
+
+/// Writes the Chrome trace-event JSON ({"traceEvents": [...]}): one "X"
+/// (complete) event per recorded span plus one "C" (counter) sample per
+/// registered counter.  Loadable in Perfetto.
+void write_chrome_trace(std::ostream& os);
+
+/// Same, to a file; returns false when the file cannot be opened.
+bool write_chrome_trace(const std::string& path);
+
+/// Clears counters, phase aggregates and trace events (gates unchanged).
+void reset();
+
+// --- counter names used by the built-in instrumentation -----------------
+//
+// One constant per counter keeps call sites and reports in sync; see
+// docs/OBSERVABILITY.md for the glossary.
+namespace ctr {
+inline constexpr const char* kRankRuns = "rank.runs";
+inline constexpr const char* kRankInfeasible = "rank.infeasible";
+inline constexpr const char* kRankNodesRanked = "rank.nodes_ranked";
+inline constexpr const char* kMergeCalls = "merge.calls";
+inline constexpr const char* kMergeRelaxRounds = "merge.relax_rounds";
+inline constexpr const char* kMergeFullRelaxRounds = "merge.full_relax_rounds";
+inline constexpr const char* kIdleMoveAttempts = "move_idle.attempts";
+inline constexpr const char* kIdleSlotsMoved = "move_idle.moved";
+inline constexpr const char* kDeadlinesTightened =
+    "move_idle.deadlines_tightened";
+inline constexpr const char* kChopCalls = "chop.calls";
+inline constexpr const char* kChopPoints = "chop.points";
+inline constexpr const char* kLookaheadBlocks = "lookahead.blocks";
+inline constexpr const char* kWindowSpanOverW = "lookahead.window_span_gt_w";
+inline constexpr const char* kSimRuns = "sim.runs";
+inline constexpr const char* kSimCycles = "sim.cycles";
+inline constexpr const char* kSimStallLatency = "sim.stall.latency";
+inline constexpr const char* kSimStallWindow = "sim.stall.window";
+/// Prefix for per-diagnostic-code verifier counters ("verify.diag.<code>").
+inline constexpr const char* kVerifyDiagPrefix = "verify.diag.";
+}  // namespace ctr
+
+}  // namespace ais::obs
+
+// --- hook macros --------------------------------------------------------
+//
+// All instrumentation sites go through these, so an AIS_OBS_ENABLED=0 build
+// compiles them out entirely (tests/test_obs_off.cpp checks this).
+
+#if AIS_OBS_ENABLED
+
+#define AIS_OBS_CONCAT_IMPL(a, b) a##b
+#define AIS_OBS_CONCAT(a, b) AIS_OBS_CONCAT_IMPL(a, b)
+
+/// Opens a phase span until the end of the enclosing scope.
+#define AIS_OBS_SPAN(name) \
+  ::ais::obs::Span AIS_OBS_CONCAT(ais_obs_span_, __LINE__)(name)
+
+/// Bumps a counter: AIS_OBS_COUNT(name) or AIS_OBS_COUNT(name, delta).
+#define AIS_OBS_COUNT(...) ::ais::obs::count(__VA_ARGS__)
+
+/// Bumps a counter whose name is computed at run time; the name expression
+/// is only evaluated while telemetry is runtime-enabled.
+#define AIS_OBS_COUNT_DYN(name_expr, delta)                    \
+  do {                                                         \
+    if (::ais::obs::enabled()) {                               \
+      ::ais::obs::count((name_expr), (delta));                 \
+    }                                                          \
+  } while (false)
+
+#else
+
+#define AIS_OBS_SPAN(name) static_cast<void>(0)
+#define AIS_OBS_COUNT(...) static_cast<void>(0)
+#define AIS_OBS_COUNT_DYN(name_expr, delta) static_cast<void>(0)
+
+#endif  // AIS_OBS_ENABLED

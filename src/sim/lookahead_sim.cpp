@@ -2,12 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace ais {
 
 SimResult simulate_list(const DepGraph& g, const MachineModel& machine,
                         const std::vector<NodeId>& list, int window) {
+  AIS_OBS_SPAN("sim");
   AIS_CHECK(window >= 1, "window must be positive");
   const std::size_t n = list.size();
 
@@ -44,10 +46,40 @@ SimResult simulate_list(const DepGraph& g, const MachineModel& machine,
 
   SimResult result;
   result.issue_time.assign(g.num_nodes(), Time{-1});
+  result.window_occupancy.assign(
+      std::min(static_cast<std::size_t>(window), n) + 1, Time{0});
 
   std::vector<bool> issued(n, false);
   std::size_t head = 0;  // first unissued position
   std::size_t remaining = n;
+
+  // Ready at cycle `t`: every listed distance-0 predecessor has issued and
+  // its latency has elapsed.  (The issue loop and the stall-attribution
+  // scan share this definition.)
+  const auto ready_at = [&](const NodeId id, const Time t) {
+    for (const auto eidx : g.in_edges(id)) {
+      const DepEdge& e = g.edge(eidx);
+      if (e.distance != 0 || pos[e.from] == static_cast<std::size_t>(-1)) {
+        continue;
+      }
+      const Time it = result.issue_time[e.from];
+      if (it < 0 || it + g.node(e.from).exec_time + e.latency > t) {
+        return false;
+      }
+    }
+    return true;
+  };
+  // A free unit of `id`'s class at cycle `t`, or -1.
+  const auto free_unit_at = [&](const NodeId id, const Time t) {
+    const NodeInfo& info = g.node(id);
+    const int base = unit_base[static_cast<std::size_t>(info.fu_class)];
+    for (int k = 0; k < machine.fu_count(info.fu_class); ++k) {
+      if (unit_free[static_cast<std::size_t>(base + k)] <= t) {
+        return base + k;
+      }
+    }
+    return -1;
+  };
 
   const Time t_limit =
       g.total_work() +
@@ -56,6 +88,17 @@ SimResult simulate_list(const DepGraph& g, const MachineModel& machine,
   Time t = 0;
   while (remaining > 0) {
     AIS_CHECK(t <= t_limit, "simulator failed to make progress");
+    {
+      // Window occupancy at cycle start: unissued instructions the window
+      // exposes this cycle.
+      const std::size_t limit =
+          std::min(n, head + static_cast<std::size_t>(window));
+      std::size_t occ = 0;
+      for (std::size_t p = head; p < limit; ++p) {
+        if (!issued[p]) ++occ;
+      }
+      ++result.window_occupancy[occ];
+    }
     int issued_this_cycle = 0;
     bool progressed = true;
     while (progressed && issued_this_cycle < machine.issue_width()) {
@@ -65,37 +108,13 @@ SimResult simulate_list(const DepGraph& g, const MachineModel& machine,
       for (std::size_t p = head; p < limit; ++p) {
         if (issued[p]) continue;
         const NodeId id = list[p];
-        // Ready: every listed distance-0 predecessor has issued and its
-        // latency has elapsed.
-        bool ready = true;
-        for (const auto eidx : g.in_edges(id)) {
-          const DepEdge& e = g.edge(eidx);
-          if (e.distance != 0 || pos[e.from] == static_cast<std::size_t>(-1)) {
-            continue;
-          }
-          const Time it = result.issue_time[e.from];
-          if (it < 0 ||
-              it + g.node(e.from).exec_time + e.latency > t) {
-            ready = false;
-            break;
-          }
-        }
-        if (!ready) continue;
-
-        // A free unit of the node's class.
-        const NodeInfo& info = g.node(id);
-        const int base = unit_base[static_cast<std::size_t>(info.fu_class)];
-        int chosen = -1;
-        for (int k = 0; k < machine.fu_count(info.fu_class); ++k) {
-          if (unit_free[static_cast<std::size_t>(base + k)] <= t) {
-            chosen = base + k;
-            break;
-          }
-        }
+        if (!ready_at(id, t)) continue;
+        const int chosen = free_unit_at(id, t);
         if (chosen < 0) continue;
 
         result.issue_time[id] = t;
-        unit_free[static_cast<std::size_t>(chosen)] = t + info.exec_time;
+        unit_free[static_cast<std::size_t>(chosen)] =
+            t + g.node(id).exec_time;
         issued[p] = true;
         --remaining;
         ++issued_this_cycle;
@@ -104,7 +123,29 @@ SimResult simulate_list(const DepGraph& g, const MachineModel& machine,
         break;  // rescan from the (possibly advanced) head
       }
     }
-    if (issued_this_cycle == 0 && remaining > 0) ++result.stall_cycles;
+    if (issued_this_cycle == 0 && remaining > 0) {
+      ++result.stall_cycles;
+      // Attribution: if some instruction past the window's reach could have
+      // issued this very cycle, the head blockage is what stalled us;
+      // otherwise no depth of lookahead would have helped (latency stall).
+      const std::size_t limit =
+          std::min(n, head + static_cast<std::size_t>(window));
+      bool blocked_by_window = false;
+      for (std::size_t p = limit; p < n; ++p) {
+        if (issued[p]) continue;  // cannot happen (window only widens), but
+                                  // keep the scan independent of that proof
+        const NodeId id = list[p];
+        if (ready_at(id, t) && free_unit_at(id, t) >= 0) {
+          blocked_by_window = true;
+          break;
+        }
+      }
+      if (blocked_by_window) {
+        ++result.window_stall_cycles;
+      } else {
+        ++result.latency_stall_cycles;
+      }
+    }
     ++t;
   }
 
@@ -112,6 +153,12 @@ SimResult simulate_list(const DepGraph& g, const MachineModel& machine,
     result.completion = std::max(
         result.completion, result.issue_time[id] + g.node(id).exec_time);
   }
+  AIS_OBS_COUNT(obs::ctr::kSimRuns);
+  AIS_OBS_COUNT(obs::ctr::kSimCycles, static_cast<std::uint64_t>(t));
+  AIS_OBS_COUNT(obs::ctr::kSimStallLatency,
+                static_cast<std::uint64_t>(result.latency_stall_cycles));
+  AIS_OBS_COUNT(obs::ctr::kSimStallWindow,
+                static_cast<std::uint64_t>(result.window_stall_cycles));
   return result;
 }
 

@@ -28,6 +28,19 @@ struct SimResult {
   std::vector<Time> issue_time;
   /// Number of cycles in which nothing issued (pure stall cycles).
   Time stall_cycles = 0;
+  /// Stall cycles attributed to dependences: nothing anywhere in the list
+  /// could have issued (every unissued instruction waits on a latency or a
+  /// busy unit), so a deeper window would not have helped.
+  Time latency_stall_cycles = 0;
+  /// Stall cycles attributed to the window: some instruction *beyond* the
+  /// window's reach was ready with a free unit, but the W-deep head
+  /// blockage kept it invisible.  Always:
+  ///   latency_stall_cycles + window_stall_cycles == stall_cycles.
+  Time window_stall_cycles = 0;
+  /// Histogram over cycles of window occupancy: entry k counts the cycles
+  /// that began with exactly k unissued instructions visible in the window
+  /// (size min(window, list size) + 1; entries sum to the cycles executed).
+  std::vector<Time> window_occupancy;
 };
 
 /// Executes priority list `list` (each active node exactly once) with window

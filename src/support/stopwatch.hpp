@@ -1,8 +1,13 @@
-// Monotonic wall-clock stopwatch for coarse compile-time measurements.
-// (Fine-grained scheduler timing uses google-benchmark in bench/.)
+// Monotonic wall-clock timing, shared by every layer that measures time:
+// obs phase spans, aisprof/bench compile-ms numbers, and ad-hoc experiment
+// timing.  Microbenchmark-grade statistics (warmup, repetition, complexity
+// fits) stay with google-benchmark in bench/bench_compile_time; everything
+// else goes through this header so there is exactly one clock in the tree.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
+#include <utility>
 
 namespace ais {
 
@@ -18,9 +23,32 @@ class Stopwatch {
 
   double elapsed_ms() const { return elapsed_seconds() * 1e3; }
 
+  std::int64_t elapsed_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  /// Microseconds since an arbitrary process-wide epoch (first call).
+  /// Monotonic; the timestamp base for obs trace events.
+  static std::int64_t now_us() {
+    static const clock::time_point epoch = clock::now();
+    return std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                                 epoch)
+        .count();
+  }
+
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
 };
+
+/// Wall time of one call to `fn`, in milliseconds.
+template <typename Fn>
+double timed_ms(Fn&& fn) {
+  Stopwatch sw;
+  std::forward<Fn>(fn)();
+  return sw.elapsed_ms();
+}
 
 }  // namespace ais

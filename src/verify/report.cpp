@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/obs.hpp"
+
 namespace ais::verify {
 
 const char* severity_name(Severity s) {
@@ -26,6 +28,8 @@ void Report::add(Severity severity, std::string code, std::string message,
                  int block, std::string subject) {
   if (severity == Severity::kError) ++num_errors_;
   if (severity == Severity::kWarning) ++num_warnings_;
+  // Telemetry: findings per diagnostic code ("verify.diag.<code>").
+  AIS_OBS_COUNT_DYN(std::string(obs::ctr::kVerifyDiagPrefix) + code, 1);
   diags_.push_back(Diagnostic{severity, std::move(code), std::move(message),
                               block, std::move(subject)});
 }

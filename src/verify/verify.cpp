@@ -3,6 +3,7 @@
 #include <map>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "sim/lookahead_sim.hpp"
 
 namespace ais::verify {
@@ -109,6 +110,7 @@ DepGraph graph_from_ir(const Trace& trace, const MachineModel& machine,
 
 Report check_emitted(const Trace& original, const Trace& scheduled,
                      const MachineModel& machine, const VerifyOptions& opts) {
+  AIS_OBS_SPAN("verify.emitted");
   Report report;
   if (original.blocks.size() != scheduled.blocks.size()) {
     report.error("block-structure",
@@ -180,6 +182,7 @@ Report check_emitted(const Trace& original, const Trace& scheduled,
 Report check_planning(const DepGraph& g, const std::vector<NodeId>& order,
                       const std::vector<std::vector<NodeId>>& per_block,
                       int window) {
+  AIS_OBS_SPAN("verify.planning");
   Report report;
   report.merge(check_order(g, order));
   // Advisory severity: the planning order may promise more overlap than a

@@ -1,0 +1,52 @@
+// Compiled with AIS_OBS_ENABLED=0 (see tests/CMakeLists.txt): proves the
+// telemetry hook macros vanish at compile time — even with the runtime gate
+// forced on, a TU built without hooks records nothing.  This is the
+// zero-overhead-when-disabled contract of docs/OBSERVABILITY.md.
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+
+namespace ais {
+namespace {
+
+TEST(ObsOff, HooksAreCompiledOutOfThisTranslationUnit) {
+  EXPECT_FALSE(obs::kHooksCompiledIn);
+}
+
+TEST(ObsOff, MacrosAreNoOpsEvenWhenRuntimeEnabled) {
+  obs::reset();
+  obs::set_trace_enabled(true);  // force both runtime gates on
+
+  AIS_OBS_COUNT("off.count", 42);
+  AIS_OBS_COUNT_DYN(std::string("off.") + "dyn", 1);
+  {
+    AIS_OBS_SPAN("off.span");
+  }
+
+  // The library (compiled with hooks) sees nothing from this TU.
+  EXPECT_EQ(obs::counter_value("off.count"), 0u);
+  EXPECT_EQ(obs::counter_value("off.dyn"), 0u);
+  EXPECT_TRUE(obs::phase_totals().empty());
+  EXPECT_TRUE(obs::trace_events().empty());
+
+  // Direct API calls still work — only the macros are compiled out.
+  obs::count("off.direct", 3);
+  EXPECT_EQ(obs::counter_value("off.direct"), 3u);
+
+  obs::set_enabled(false);
+  obs::reset();
+}
+
+TEST(ObsOff, MacrosExpandToExpressionsSafeInSingleStatementContexts) {
+  // `if (...) AIS_OBS_COUNT(...); else ...` must stay legal when the macros
+  // are stubbed out.
+  obs::set_enabled(false);
+  if (obs::kHooksCompiledIn)
+    AIS_OBS_COUNT("off.branch");
+  else
+    AIS_OBS_SPAN("off.branch_span");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ais

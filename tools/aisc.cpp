@@ -16,6 +16,13 @@
 //   --report         print cycle counts (before/after) to stderr
 //   --verify         re-check the emitted schedule with the independent
 //                    oracle (src/verify); nonzero exit on any violation
+//   --profile        print the per-phase time/counter telemetry table to
+//                    stderr after compiling (see docs/OBSERVABILITY.md)
+//   --trace-json F   write a Chrome trace-event JSON of the compile to F
+//                    (loadable in Perfetto); implies telemetry collection
+//
+// The AIS_TRACE / AIS_TRACE_JSON environment variables enable the same
+// telemetry without touching the command line.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -28,6 +35,8 @@
 #include "ir/depbuild.hpp"
 #include "ir/rename.hpp"
 #include "machine/machine_model.hpp"
+#include "obs/obs.hpp"
+#include "obs/stats.hpp"
 #include "sim/lookahead_sim.hpp"
 #include "sim/loop_sim.hpp"
 #include "support/cli.hpp"
@@ -62,6 +71,24 @@ int report_verification(const verify::Report& report) {
   return 1;
 }
 
+/// Emits the telemetry the run collected, on every exit path: the
+/// `--profile` table to stderr and the `--trace-json` / AIS_TRACE_JSON file.
+struct TelemetryFinalizer {
+  bool profile = false;
+  std::string trace_path;
+
+  ~TelemetryFinalizer() {
+    if (!trace_path.empty() && !obs::write_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "aisc: cannot write trace to %s\n",
+                   trace_path.c_str());
+    }
+    if (profile) {
+      std::fprintf(stderr, "aisc: pipeline profile\n%s",
+                   obs::profile_report().c_str());
+    }
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -70,7 +97,8 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     std::fprintf(stderr, "usage: aisc --in FILE [--mode trace|loop|cfg] "
                          "[--machine NAME] [--window N] [--rename] "
-                         "[--report]\n");
+                         "[--report] [--verify] [--profile] "
+                         "[--trace-json FILE]\n");
     return 1;
   }
   std::ifstream in(path);
@@ -89,6 +117,14 @@ int main(int argc, char** argv) {
   const bool do_rename = args.get_bool("rename", false);
   const bool report = args.get_bool("report", false);
   const bool do_verify = args.get_bool("verify", false);
+
+  obs::init_from_env();
+  TelemetryFinalizer telemetry;
+  telemetry.profile = args.get_bool("profile", false);
+  telemetry.trace_path = args.get_string("trace-json", obs::env_trace_path());
+  if (telemetry.profile) obs::set_enabled(true);
+  if (!telemetry.trace_path.empty()) obs::set_trace_enabled(true);
+  if (obs::enabled()) obs::register_builtin_counters();
 
   if (mode == "cfg") {
     const Cfg cfg(prog);
