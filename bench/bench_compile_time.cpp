@@ -5,12 +5,17 @@
 // of the Rank Algorithm, Delay_Idle_Slots and full Algorithm Lookahead as
 // block / trace size grows.
 #include <algorithm>
+#include <string>
 
 #include <benchmark/benchmark.h>
 
+#include "cfg/cfg.hpp"
 #include "core/lookahead.hpp"
+#include "core/merge.hpp"
 #include "core/move_idle.hpp"
 #include "core/rank.hpp"
+#include "driver/function_compiler.hpp"
+#include "ir/asm_parser.hpp"
 #include "machine/machine_model.hpp"
 #include "workloads/random_graphs.hpp"
 
@@ -67,6 +72,80 @@ void BM_DelayIdleSlots(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_DelayIdleSlots)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+// Merge's relaxation loop in the restricted case (galloping + bisection on
+// the relax amount; see src/core/merge.cpp).  Old-block deadlines are pinned
+// to their standalone completions, so fitting the incoming block forces a
+// relaxation well past zero every iteration.
+void BM_MergeRelaxation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Prng prng(0x3e61 + static_cast<std::uint64_t>(n));
+  RandomTraceParams params;
+  params.num_blocks = 2;
+  params.block.num_nodes = n;
+  params.block.edge_prob = 4.0 / n;
+  params.cross_edges = 4;
+  const DepGraph g = random_trace(prng, params);
+  const MachineModel machine = scalar01();
+  const RankScheduler scheduler(g, machine);
+  const std::vector<NodeSet> blocks = blocks_of(g);
+  const Time huge = huge_deadline(g, NodeSet::all(g.num_nodes()));
+  DeadlineMap deadlines = uniform_deadlines(g, huge);
+  const RankResult old_alone = scheduler.run(blocks[0], deadlines, {});
+  for (const NodeId id : blocks[0].ids()) {
+    deadlines[id] = old_alone.schedule.completion(id);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(merge_blocks(scheduler, blocks[0], blocks[1],
+                                          deadlines, old_alone.makespan, huge,
+                                          {}));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MergeRelaxation)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+/// Program of `segments` identical straight-line loop bodies, each closed by
+/// a self back edge.  With the back edges hot, trace selection yields one
+/// equal-weight single-block trace per segment — a balanced fan-out for
+/// compile_program's --jobs pool.  (Without the back edges the fallthrough
+/// chain fuses everything into one giant trace and nothing parallelizes.)
+Program make_wide_program(int segments) {
+  std::string text;
+  for (int k = 0; k < segments; ++k) {
+    const std::string s = std::to_string(k);
+    text += "block body" + s + ":\n";
+    text += "  LDU r1, a[r9+" + std::to_string(8 * k) + "]\n";
+    text += "  LDU r2, b[r9+" + std::to_string(8 * k + 4) + "]\n";
+    for (int round = 0; round < 8; ++round) {
+      text += "  MUL r3, r1, r2\n  ADD r4, r3, r1\n  SUB r5, r4, r2\n";
+      text += "  SHL r6, r5, 1\n  ADD r7, r6, r3\n  MUL r8, r7, r4\n";
+      text += "  ADD r1, r8, r5\n";
+    }
+    text += "  CMP c1, r1, 0\n  BT  c1, body" + s + "\n";
+  }
+  return parse_program(text);
+}
+
+/// Wall time of whole-program compilation at 1/2/4/8 jobs.  Speedup needs
+/// hardware threads: on an N-core host the expected real-time ratio
+/// jobs=1 : jobs=min(8, N) approaches min(8, N, #traces); a single-core
+/// host shows flat real time (the pool adds only queueing overhead).
+void BM_ParallelTraces(benchmark::State& state) {
+  const int segments = 24;
+  const Program prog = make_wide_program(segments);
+  Cfg cfg(prog);
+  for (int k = 0; k < segments; ++k) {
+    cfg.set_branch_probability(cfg.find_label("body" + std::to_string(k)),
+                               0.9);
+  }
+  const MachineModel machine = deep_pipeline();
+  const int jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compile_program(cfg, machine, /*window=*/4, /*verify=*/true, jobs));
+  }
+}
+BENCHMARK(BM_ParallelTraces)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 // Two trace regimes: latency-rich blocks leave idle slots, so Chop emits
 // prefixes and keeps the live set bounded (the paper's intended, roughly

@@ -8,6 +8,16 @@ one flat benchmark snapshot (see scripts/bench_json.sh):
 Cycles are simulated machine cycles (cycles_after for trace/cfg compiles,
 cycles/iteration for loops, absent for pure-runtime rows); compile_ms is
 scheduler wall time per compile.
+
+Compare mode checks a fresh snapshot against a committed baseline:
+
+    bench_json.py --compare BENCH_PR2.json --current BENCH_PR3.json \
+        --max-regress 1.15
+
+fails (exit 1) when any benchmark present in both files got slower than
+max-regress x baseline compile_ms, or when any *cycles* row changed at all
+(cycles are deterministic simulation output — any drift is a behavior
+change, not noise).
 """
 import argparse
 import json
@@ -51,14 +61,66 @@ def rows_from_google_benchmark(path):
     return rows
 
 
+def load_rows(path):
+    with open(path) as f:
+        snapshot = json.load(f)
+    return {b["name"]: b for b in snapshot["benchmarks"]}
+
+
+def compare(baseline_path, current_path, max_regress):
+    """Returns the process exit code: 0 clean, 1 on regression."""
+    baseline = load_rows(baseline_path)
+    current = load_rows(current_path)
+    shared = sorted(baseline.keys() & current.keys())
+    if not shared:
+        print("bench_json.py: no common benchmarks to compare",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for name in shared:
+        base, cur = baseline[name], current[name]
+        if base.get("compile_ms") and cur.get("compile_ms"):
+            ratio = cur["compile_ms"] / base["compile_ms"]
+            status = "FAIL" if ratio > max_regress else "ok"
+            print(f"{status:4} {name}: {base['compile_ms']}ms -> "
+                  f"{cur['compile_ms']}ms ({ratio:.2f}x)")
+            if ratio > max_regress:
+                failures.append(f"{name} compile time {ratio:.2f}x baseline")
+        if "cycles" in base and base["cycles"] != cur.get("cycles"):
+            failures.append(
+                f"{name} cycles changed: {base['cycles']} -> "
+                f"{cur.get('cycles')}")
+    only = sorted(set(baseline) - set(current))
+    if only:
+        print(f"note: {len(only)} baseline rows missing from current: "
+              f"{', '.join(only[:5])}{'...' if len(only) > 5 else ''}")
+
+    for f in failures:
+        print(f"REGRESSION: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("aisprof_reports", nargs="*",
                         help="aisprof --json output files")
     parser.add_argument("--google-benchmark",
                         help="google-benchmark --benchmark_format=json file")
-    parser.add_argument("--out", default="BENCH_PR2.json")
+    parser.add_argument("--out", default="BENCH_PR3.json")
+    parser.add_argument("--compare", metavar="BASELINE",
+                        help="baseline snapshot to diff --current against")
+    parser.add_argument("--current", metavar="SNAPSHOT",
+                        help="fresh snapshot for --compare mode")
+    parser.add_argument("--max-regress", type=float, default=1.15,
+                        help="allowed compile_ms ratio vs baseline "
+                             "(default: 1.15)")
     args = parser.parse_args()
+
+    if args.compare:
+        if not args.current:
+            parser.error("--compare requires --current")
+        return compare(args.compare, args.current, args.max_regress)
 
     benchmarks = [row_from_aisprof(p) for p in args.aisprof_reports]
     if args.google_benchmark:

@@ -5,12 +5,14 @@
 #
 #   sh scripts/bench_json.sh [BUILD_DIR] [OUT_FILE]
 #
-# The committed BENCH_PR2.json at the repo root is this script's output;
+# The committed BENCH_PR3.json at the repo root is this script's output;
 # regenerate it after scheduler changes so the numbers stay honest.
+# BENCH_PR2.json is the frozen pre-overhaul baseline that CI's perf-smoke
+# job diffs fresh numbers against (bench_json.py --compare).
 set -eu
 
 BUILD=${1:-build}
-OUT=${2:-BENCH_PR2.json}
+OUT=${2:-BENCH_PR3.json}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 

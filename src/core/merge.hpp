@@ -9,6 +9,12 @@
 //      makespan of scheduling `old` alone, give every new node deadline T,
 //   3. if infeasible, relax the new nodes' deadlines by +1 until the Rank
 //      Algorithm finds a feasible schedule (the minimum such relaxation).
+//
+// Step 3 is implemented as galloping (1, 2, 4, …) plus bisection on the
+// relax amount in the restricted case, where feasibility is monotone in the
+// relaxation; heuristic regimes (latencies > 1, typed units, long ops) keep
+// the original +1 linear scan so the accepted relaxation is unchanged.  See
+// docs/PERFORMANCE.md.
 #pragma once
 
 #include "core/deadlines.hpp"
@@ -24,6 +30,9 @@ struct MergeResult {
   DeadlineMap deadlines;
   /// Ranks from the final feasible run (inputs to later passes).
   std::vector<Time> rank;
+  /// Relaxation amount of the accepted schedule: new-node deadlines ended at
+  /// t_lower + relax.  Minimal in the restricted case.
+  Time relax = 0;
 };
 
 /// Merges `old_nodes` (with current deadlines in `deadlines`, scheduled

@@ -1,6 +1,7 @@
 #include "core/move_idle.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "obs/obs.hpp"
 #include "support/assert.hpp"
@@ -17,29 +18,53 @@ std::vector<int> unit_classes(const MachineModel& machine) {
   return classes;
 }
 
-/// Index of `slot` in s.idle_slots(), used to re-identify "the i-th idle
-/// slot" across re-schedules (paper Fig. 4).
-std::size_t slot_index(const Schedule& s, IdleSlot slot) {
-  const auto slots = s.idle_slots();
-  for (std::size_t i = 0; i < slots.size(); ++i) {
-    if (slots[i] == slot) return i;
+/// Restores the session's rank-cache snapshot on scope exit unless the
+/// trial committed.  Failed deadline trials thereby never pollute the
+/// session cache: the next trial diffs against the base deadlines instead
+/// of paying a second incremental pass to undo this trial's caps.
+class SessionRestore {
+ public:
+  explicit SessionRestore(RankSession& session) : session_(&session) {}
+  SessionRestore(const SessionRestore&) = delete;
+  SessionRestore& operator=(const SessionRestore&) = delete;
+  ~SessionRestore() {
+    if (session_ != nullptr) session_->restore_snapshot();
   }
-  AIS_CHECK(false, "slot is not idle in the given schedule");
-  return 0;
-}
+  void commit() { session_ = nullptr; }
+
+ private:
+  RankSession* session_;
+};
 
 }  // namespace
 
-MoveIdleResult move_idle_slot(const RankScheduler& scheduler,
-                              const Schedule& s, DeadlineMap& deadlines,
-                              IdleSlot slot, const RankOptions& opts) {
+MoveIdleResult move_idle_slot(const RankScheduler& scheduler, const Schedule& s,
+                              DeadlineMap& deadlines, IdleSlot slot,
+                              const RankOptions& opts) {
+  RankSession session(scheduler, s.active());
+  return move_idle_slot(session, s, deadlines, slot, opts);
+}
+
+MoveIdleResult move_idle_slot(RankSession& session, const Schedule& s,
+                              DeadlineMap& deadlines, IdleSlot slot,
+                              const RankOptions& opts) {
   AIS_OBS_COUNT(obs::ctr::kIdleMoveAttempts);
+  const RankScheduler& scheduler = session.scheduler();
   const NodeSet& active = s.active();
+  AIS_CHECK(session.active() == active,
+            "session active set must match the schedule");
   const std::vector<int> classes = unit_classes(scheduler.machine());
   const int slot_class = classes[static_cast<std::size_t>(slot.unit)];
-  const std::size_t index = slot_index(s, slot);
+  const std::size_t index = s.idle_slot_index(slot);
 
   const MoveIdleResult failure{s, slot, false};
+
+  // Prime the cache at the *uncapped* deadlines and snapshot it; the trial
+  // below is speculative, and SessionRestore rolls the cache back to this
+  // state on every failure path.
+  session.compute_ranks(deadlines, opts);
+  session.snapshot();
+  SessionRestore restore(session);
 
   // Trial deadlines; committed into `deadlines` only on success.
   DeadlineMap trial = deadlines;
@@ -48,7 +73,7 @@ MoveIdleResult move_idle_slot(const RankScheduler& scheduler,
   // class.  Capping their deadlines at the slot time guarantees no earlier
   // idle slot moves earlier (they must all still complete by slot.time).
   std::vector<NodeId> sigma;
-  for (const NodeId y : active.ids()) {
+  for (const NodeId y : session.active_ids()) {
     if (classes[static_cast<std::size_t>(s.unit_of(y))] != slot_class) continue;
     if (s.start(y) < slot.time) {
       sigma.push_back(y);
@@ -62,7 +87,7 @@ MoveIdleResult move_idle_slot(const RankScheduler& scheduler,
   // Ranks under the capped deadlines, for the paper's failure guard.
   bool structurally_feasible = true;
   std::vector<Time> rank =
-      scheduler.compute_ranks(active, trial, opts, &structurally_feasible);
+      session.compute_ranks(trial, opts, &structurally_feasible);
   if (!structurally_feasible) return failure;
 
   Schedule current = s;
@@ -89,11 +114,11 @@ MoveIdleResult move_idle_slot(const RankScheduler& scheduler,
     }
     if (!refillable) return failure;
 
-    const RankResult result = scheduler.run(active, trial, opts);
+    RankResult result = session.run(trial, opts);
     if (!result.feasible) return failure;
-    rank = result.rank;
+    rank = std::move(result.rank);
 
-    const auto slots = result.schedule.idle_slots();
+    const auto& slots = result.schedule.idle_slots();
     IdleSlot new_slot;
     if (index >= slots.size()) {
       // The slot was eliminated outright (possible in heuristic regimes;
@@ -104,8 +129,9 @@ MoveIdleResult move_idle_slot(const RankScheduler& scheduler,
     }
     if (new_slot.time > slot.time) {
       deadlines = std::move(trial);  // finalize all deadline modifications
+      restore.commit();  // the trial state is the new base
       AIS_OBS_COUNT(obs::ctr::kIdleSlotsMoved);
-      return MoveIdleResult{result.schedule, new_slot, true};
+      return MoveIdleResult{std::move(result.schedule), new_slot, true};
     }
     if (new_slot.time < slot.time) {
       // Cannot happen in the restricted case (the sigma caps pin every node
@@ -113,7 +139,7 @@ MoveIdleResult move_idle_slot(const RankScheduler& scheduler,
       // execution times) can shuffle slots across units; treat as failure.
       return failure;
     }
-    current = result.schedule;
+    current = std::move(result.schedule);
   }
   return failure;
 }
@@ -121,14 +147,17 @@ MoveIdleResult move_idle_slot(const RankScheduler& scheduler,
 Schedule delay_idle_slots(const RankScheduler& scheduler, Schedule s,
                           DeadlineMap& deadlines, const RankOptions& opts) {
   AIS_OBS_SPAN("move_idle");
+  // Every re-schedule below keeps the active set of `s`, so one session
+  // serves the whole sweep.
+  RankSession session(scheduler, s.active());
   std::size_t i = 0;
   while (true) {
-    const auto slots = s.idle_slots();
+    const auto& slots = s.idle_slots();
     if (i >= slots.size()) break;
     IdleSlot slot = slots[i];
     // Keep trying to move the i-th idle slot (paper Fig. 6 inner loop).
     while (true) {
-      MoveIdleResult res = move_idle_slot(scheduler, s, deadlines, slot, opts);
+      MoveIdleResult res = move_idle_slot(session, s, deadlines, slot, opts);
       s = std::move(res.schedule);
       if (!res.moved || res.slot.time >= s.makespan()) break;
       slot = res.slot;

@@ -38,6 +38,14 @@ MoveIdleResult move_idle_slot(const RankScheduler& scheduler, const Schedule& s,
                               DeadlineMap& deadlines, IdleSlot slot,
                               const RankOptions& opts = {});
 
+/// Same, reusing a caller-owned session (its active set must equal
+/// s.active()).  Delay_Idle_Slots drives all its attempts through one
+/// session so topo order / closure are built once and rank updates stay
+/// incremental across slots.
+MoveIdleResult move_idle_slot(RankSession& session, const Schedule& s,
+                              DeadlineMap& deadlines, IdleSlot slot,
+                              const RankOptions& opts = {});
+
 /// Delays every idle slot of `s` as late as possible, earliest slot first,
 /// re-trying each slot until it no longer moves (paper Fig. 6).  Returns the
 /// final schedule; `deadlines` accumulates all committed reductions.

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <queue>
+#include <set>
 #include <tuple>
 
-#include "graph/closure.hpp"
 #include "graph/topo.hpp"
 #include "obs/obs.hpp"
 #include "support/assert.hpp"
@@ -14,22 +15,35 @@ namespace {
 
 constexpr Time kInf = std::numeric_limits<Time>::max() / 4;
 
-/// Backward packer: one lane per physical unit of each class, each lane
-/// available arbitrarily late initially; nodes are inserted in nonincreasing
-/// rank order, each at the latest completion <= its rank its class allows.
+/// Backward packer over caller-owned lanes: one lane per physical unit of
+/// each class, each lane available arbitrarily late initially; nodes are
+/// inserted in nonincreasing rank order, each at the latest completion <=
+/// its rank its class allows.  The lane storage lives in the RankSession so
+/// repeated rank computations never reallocate it.
 class BackwardPacker {
  public:
-  explicit BackwardPacker(const MachineModel& machine) {
-    avail_.resize(static_cast<std::size_t>(machine.num_fu_classes()));
+  explicit BackwardPacker(std::vector<std::vector<Time>>& lanes)
+      : lanes_(lanes) {
+    for (auto& class_lanes : lanes_) {
+      std::fill(class_lanes.begin(), class_lanes.end(), kInf);
+    }
+  }
+
+  /// Allocates lane storage matching `machine` (all lanes free).
+  static std::vector<std::vector<Time>> make_lanes(
+      const MachineModel& machine) {
+    std::vector<std::vector<Time>> lanes(
+        static_cast<std::size_t>(machine.num_fu_classes()));
     for (int c = 0; c < machine.num_fu_classes(); ++c) {
-      avail_[static_cast<std::size_t>(c)].assign(
+      lanes[static_cast<std::size_t>(c)].assign(
           static_cast<std::size_t>(machine.fu_count(c)), kInf);
     }
+    return lanes;
   }
 
   /// Inserts a node with the given class/exec/rank; returns its start time.
   Time insert(int fu_class, int exec_time, Time rank, bool split) {
-    auto& lanes = avail_[static_cast<std::size_t>(fu_class)];
+    auto& lanes = lanes_[static_cast<std::size_t>(fu_class)];
     if (!split || exec_time == 1) {
       auto best = std::max_element(lanes.begin(), lanes.end());
       const Time completion = std::min(rank, *best);
@@ -49,7 +63,7 @@ class BackwardPacker {
   }
 
  private:
-  std::vector<std::vector<Time>> avail_;  // [class][lane] -> free-before time
+  std::vector<std::vector<Time>>& lanes_;
 };
 
 }  // namespace
@@ -65,50 +79,340 @@ RankScheduler::RankScheduler(const DepGraph& g, MachineModel machine)
 std::vector<Time> RankScheduler::compute_ranks(
     const NodeSet& active, const DeadlineMap& deadlines,
     const RankOptions& opts, bool* structurally_feasible) const {
-  AIS_CHECK(deadlines.size() == graph_.num_nodes(), "deadline map size");
-  const auto order = topo_order(graph_, active);
+  RankSession session(*this, active);
+  return session.compute_ranks(deadlines, opts, structurally_feasible);
+}
+
+RankResult RankScheduler::run(const NodeSet& active,
+                              const DeadlineMap& deadlines,
+                              const RankOptions& opts) const {
+  RankSession session(*this, active);
+  return session.run(deadlines, opts);
+}
+
+// --- RankSession ---------------------------------------------------------
+
+RankSession::RankSession(const RankScheduler& scheduler, const NodeSet& active)
+    : scheduler_(&scheduler),
+      active_(active),
+      active_ids_(active.ids()),
+      closure_(scheduler.graph(), active),
+      rank_(scheduler.graph().num_nodes(), kInf),
+      packer_lanes_(BackwardPacker::make_lanes(scheduler.machine())),
+      changed_(scheduler.graph().num_nodes()),
+      rank_changed_(scheduler.graph().num_nodes()) {
+  const auto order = topo_order(scheduler.graph(), active);
   AIS_CHECK(order.has_value(), "rank computation requires an acyclic graph");
-  const DescendantClosure closure(graph_, active);
+  order_ = std::move(*order);
+  back_start_.assign(scheduler.graph().num_nodes(), kInf);
+  desc_part_.assign(scheduler.graph().num_nodes(), kInf);
+  desc_entries_.reserve(order_.size());
+  desc_keys_.reserve(order_.size());
+  by_rank_.reserve(order_.size());
 
-  std::vector<Time> rank(graph_.num_nodes(), kInf);
-  bool ok = true;
+  const DepGraph& g = scheduler.graph();
+  const std::size_t n = g.num_nodes();
+  single_lane_ = scheduler.machine().total_units() == 1;
+  exec_.resize(n);
+  fu_class_.resize(n);
+  for (NodeId id = 0; id < n; ++id) {
+    exec_[id] = g.node(id).exec_time;
+    fu_class_[id] = g.node(id).fu_class;
+  }
+  succ_begin_.assign(n + 1, 0);
+  for (NodeId x = 0; x < n; ++x) {
+    succ_begin_[x + 1] = succ_begin_[x];
+    if (!active_.contains(x)) continue;
+    for (const auto eidx : g.out_edges(x)) {
+      const DepEdge& e = g.edge(eidx);
+      if (e.distance != 0 || !active_.contains(e.to)) continue;
+      succ_to_.push_back(e.to);
+      succ_lat_.push_back(e.latency);
+      ++succ_begin_[x + 1];
+    }
+  }
+}
 
-  for (auto it = order->rbegin(); it != order->rend(); ++it) {
-    const NodeId x = *it;
-    Time r = deadlines[x];
+void RankSession::rerank_node(NodeId x, const DeadlineMap& deadlines,
+                              const RankOptions& opts) {
+  // Descendants in nonincreasing rank order (ties: ascending id, making the
+  // backward pass deterministic).  by_rank_ maintains the whole active set
+  // in exactly that order, so one membership-filtered scan extracts the
+  // descendants pre-sorted — the backward pass contains no sort at all.
+  desc_entries_.clear();
+  const DynamicBitset& desc = closure_.descendants(x);
+  for (const DescEntry& e : by_rank_) {
+    if (desc.test(e.id)) desc_entries_.push_back(e);
+  }
+  pack_and_finish(x, deadlines, opts);
+}
 
-    // Descendants in nonincreasing rank order (ties: ascending id, making
-    // the backward pass deterministic).
-    std::vector<NodeId> desc;
-    closure.descendants(x).for_each(
-        [&desc](std::size_t i) { desc.push_back(static_cast<NodeId>(i)); });
-    std::sort(desc.begin(), desc.end(), [&rank](NodeId a, NodeId b) {
-      return std::tie(rank[b], a) < std::tie(rank[a], b);
-    });
+void RankSession::reposition(NodeId x, Time old_rank) {
+  const auto before = [](const DescEntry& a, const DescEntry& b) {
+    return a.rank != b.rank ? a.rank > b.rank : a.id < b.id;
+  };
+  const auto old_it = std::lower_bound(by_rank_.begin(), by_rank_.end(),
+                                       DescEntry{old_rank, x}, before);
+  AIS_CHECK(old_it != by_rank_.end() && old_it->id == x &&
+                old_it->rank == old_rank,
+            "by_rank_ lost track of a node");
+  const DescEntry updated{rank_[x], x};
+  const auto new_it =
+      std::lower_bound(by_rank_.begin(), by_rank_.end(), updated, before);
+  if (new_it <= old_it) {
+    std::move_backward(new_it, old_it, old_it + 1);
+    *new_it = updated;
+  } else {
+    std::move(old_it + 1, new_it, old_it);
+    *(new_it - 1) = updated;
+  }
+}
 
-    BackwardPacker packer(machine_);
-    std::vector<Time> back_start(graph_.num_nodes(), kInf);
-    for (const NodeId y : desc) {
-      const NodeInfo& info = graph_.node(y);
-      back_start[y] = packer.insert(info.fu_class, info.exec_time, rank[y],
-                                    opts.split_long_ops);
+void RankSession::pack_and_finish(NodeId x, const DeadlineMap& deadlines,
+                                  const RankOptions& opts) {
+  // The descendant-driven part of the rank is accumulated separately from
+  // the node's own deadline: it depends only on descendant ranks, so it can
+  // be reused verbatim when a later call changes d(x) but no descendant
+  // rank (the O(1) incremental path in compute_ranks).
+  Time r = kInf;
+
+  // back_start_ carries no state across nodes: every slot read below (a
+  // descendant of x, or a distance-0 successor, which is also a descendant)
+  // is written by this loop first.  Single-unit machines (the restricted
+  // case and the deep-pipeline preset) skip the lane machinery: the one
+  // lane is a scalar chained through the loop.
+  if (single_lane_) {
+    const bool split = opts.split_long_ops;
+    Time free = kInf;
+    for (const DescEntry& e : desc_entries_) {
+      const Time exec = exec_[e.id];
+      Time s;
+      if (!split || exec == 1) {
+        s = std::min(e.rank, free) - exec;
+        free = s;
+      } else {
+        s = kInf;
+        for (Time piece = 0; piece < exec; ++piece) {
+          free = std::min(e.rank, free) - 1;
+          s = std::min(s, free);
+        }
+      }
+      back_start_[e.id] = s;
       // x completes no later than any descendant starts.
-      r = std::min(r, back_start[y]);
+      r = std::min(r, s);
     }
-    // Latency gaps to immediate successors.
-    for (const auto eidx : graph_.out_edges(x)) {
-      const DepEdge& e = graph_.edge(eidx);
-      if (e.distance != 0 || !active.contains(e.to)) continue;
-      r = std::min(r, back_start[e.to] - e.latency);
+  } else {
+    BackwardPacker packer(packer_lanes_);
+    for (const DescEntry& e : desc_entries_) {
+      const Time s = packer.insert(fu_class_[e.id], static_cast<int>(exec_[e.id]),
+                                   e.rank, opts.split_long_ops);
+      back_start_[e.id] = s;
+      r = std::min(r, s);
     }
-
-    rank[x] = r;
-    if (r < graph_.node(x).exec_time) ok = false;  // cannot start at t >= 0
+  }
+  // Latency gaps to immediate successors (CSR built in the constructor).
+  for (std::uint32_t i = succ_begin_[x]; i < succ_begin_[x + 1]; ++i) {
+    r = std::min(r, back_start_[succ_to_[i]] - succ_lat_[i]);
   }
 
-  if (structurally_feasible != nullptr) *structurally_feasible = ok;
-  return rank;
+  desc_part_[x] = r;
+  rank_[x] = std::min(deadlines[x], r);
 }
+
+const std::vector<Time>& RankSession::compute_ranks(
+    const DeadlineMap& deadlines, const RankOptions& opts,
+    bool* structurally_feasible) {
+  AIS_OBS_SPAN("rank.compute");
+  const DepGraph& graph = scheduler_->graph();
+  AIS_CHECK(deadlines.size() == graph.num_nodes(), "deadline map size");
+
+  const bool can_increment =
+      has_ranks_ && cached_split_ == opts.split_long_ops;
+  if (!can_increment) {
+    // Full pass in reverse topological order.  by_rank_ keeps the nodes
+    // processed so far in (rank desc, id asc) order: a node's descendants
+    // are always a subset (reverse topo), so one membership-filtered scan
+    // extracts them already sorted — the per-node sort of rerank_node is
+    // replaced by an O(processed) scan plus one ordered insert.
+    std::fill(rank_.begin(), rank_.end(), kInf);
+    by_rank_.clear();
+    const auto before = [](const DescEntry& a, const DescEntry& b) {
+      return a.rank != b.rank ? a.rank > b.rank : a.id < b.id;
+    };
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+      const NodeId x = *it;
+      desc_entries_.clear();
+      const DynamicBitset& desc = closure_.descendants(x);
+      for (const DescEntry& e : by_rank_) {
+        if (desc.test(e.id)) desc_entries_.push_back(e);
+      }
+      pack_and_finish(x, deadlines, opts);
+      const DescEntry self{rank_[x], x};
+      by_rank_.insert(
+          std::lower_bound(by_rank_.begin(), by_rank_.end(), self, before),
+          self);
+    }
+  } else {
+    // Incremental pass: rank(x) depends only on d(x) and the ranks of x's
+    // descendants, so a node needs reranking only when its own deadline
+    // moved or some descendant's *rank* actually moved.  The reverse-topo
+    // sweep keeps rank_changed_ exact as it goes — a deadline change whose
+    // rank is pinned by descendants stops the propagation on the spot (see
+    // docs/PERFORMANCE.md for the cone argument).
+    changed_.reset_all();
+    bool any_changed = false;
+    for (const NodeId id : active_ids_) {
+      if (deadlines[id] != cached_deadlines_[id]) {
+        changed_.set(id);
+        any_changed = true;
+      }
+    }
+    if (any_changed) {
+      AIS_OBS_COUNT(obs::ctr::kRankIncrementalPasses);
+      rank_changed_.reset_all();
+      std::uint64_t reranked = 0;
+      for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+        const NodeId x = *it;
+        const bool desc_moved =
+            closure_.descendants(x).intersects(rank_changed_);
+        if (!desc_moved) {
+          if (!changed_.test(x)) continue;
+          // Only x's own deadline moved: the cached descendant-driven part
+          // is still exact, so the rank refreshes without a repack.  This
+          // is the common case in Move_Idle_Slot, whose sigma caps touch
+          // O(slot time) deadlines per trial while almost every rank stays
+          // pinned by descendants.
+          const Time before = rank_[x];
+          rank_[x] = std::min(deadlines[x], desc_part_[x]);
+          if (rank_[x] != before) {
+            rank_changed_.set(x);
+            reposition(x, before);
+          }
+          continue;
+        }
+        const Time before = rank_[x];
+        rerank_node(x, deadlines, opts);
+        if (rank_[x] != before) {
+          rank_changed_.set(x);
+          reposition(x, before);
+        }
+        ++reranked;
+      }
+      AIS_OBS_COUNT(obs::ctr::kRankNodesReranked, reranked);
+    }
+  }
+
+  cached_deadlines_ = deadlines;
+  cached_split_ = opts.split_long_ops;
+  has_ranks_ = true;
+
+  if (structurally_feasible != nullptr) {
+    bool ok = true;
+    for (const NodeId id : active_ids_) {
+      if (rank_[id] < exec_[id]) ok = false;  // start < 0
+    }
+    *structurally_feasible = ok;
+  }
+  return rank_;
+}
+
+void RankSession::snapshot() {
+  AIS_CHECK(has_ranks_, "snapshot requires computed ranks");
+  snap_valid_ = true;
+  snap_split_ = cached_split_;
+  snap_rank_ = rank_;
+  snap_desc_part_ = desc_part_;
+  snap_by_rank_ = by_rank_;
+  snap_deadlines_ = cached_deadlines_;
+}
+
+void RankSession::restore_snapshot() {
+  AIS_CHECK(snap_valid_, "restore_snapshot without a snapshot");
+  has_ranks_ = true;
+  cached_split_ = snap_split_;
+  rank_ = snap_rank_;
+  desc_part_ = snap_desc_part_;
+  by_rank_ = snap_by_rank_;
+  cached_deadlines_ = snap_deadlines_;
+}
+
+RankResult RankSession::run(const DeadlineMap& deadlines,
+                            const RankOptions& opts) {
+  AIS_OBS_SPAN("rank");
+  AIS_OBS_COUNT(obs::ctr::kRankRuns);
+  AIS_OBS_COUNT(obs::ctr::kRankNodesRanked, active_.size());
+  bool structurally_feasible = true;
+  const std::vector<Time>& rank =
+      compute_ranks(deadlines, opts, &structurally_feasible);
+
+  // Priority list: nondecreasing rank, ties by opts.tie_break then id.  The
+  // tie-break presence check and the active-id materialization are hoisted
+  // out of the comparator (both used to run once per comparison).
+  std::vector<NodeId> list = active_ids_;
+  if (opts.tie_break.empty()) {
+    // Same packed-key trick as the backward pass: when the rank spread fits
+    // 32 bits, sort flat (rank - min) << 32 | id words instead of chasing
+    // rank[] through the comparator.
+    Time rank_min = kInf;
+    Time rank_max = -kInf;
+    for (const NodeId id : list) {
+      rank_min = std::min(rank_min, rank[id]);
+      rank_max = std::max(rank_max, rank[id]);
+    }
+    const auto spread =
+        list.empty() ? 0ull : static_cast<std::uint64_t>(rank_max - rank_min);
+    if (spread <= 0xFFFFFFFFull) {
+      desc_keys_.clear();
+      for (const NodeId id : list) {
+        desc_keys_.push_back(
+            (static_cast<std::uint64_t>(rank[id] - rank_min) << 32) | id);
+      }
+      std::sort(desc_keys_.begin(), desc_keys_.end());
+      for (std::size_t i = 0; i < desc_keys_.size(); ++i) {
+        list[i] = static_cast<NodeId>(desc_keys_[i] & 0xFFFFFFFFu);
+      }
+    } else {
+      std::sort(list.begin(), list.end(), [&rank](NodeId a, NodeId b) {
+        return std::tie(rank[a], a) < std::tie(rank[b], b);
+      });
+    }
+  } else {
+    const std::vector<int>& tie = opts.tie_break;
+    std::sort(list.begin(), list.end(), [&rank, &tie](NodeId a, NodeId b) {
+      return std::make_tuple(rank[a], tie[a], a) <
+             std::make_tuple(rank[b], tie[b], b);
+    });
+  }
+
+  // Feasibility is decided by the constructed schedule against the original
+  // deadlines.  The rank values are priorities and bounds; a rank below the
+  // node's execution time usually signals infeasibility, but the packing
+  // relaxation can over-tighten ranks in merged instances, so the schedule
+  // itself is the arbiter (structural tightness alone never rejects).
+  (void)structurally_feasible;
+  RankResult result{
+      .feasible = true,
+      .infeasible_reason = {},
+      .rank = rank,
+      .schedule = scheduler_->greedy_from_list(active_, list),
+      .makespan = 0,
+  };
+  result.makespan = result.schedule.makespan();
+
+  const DepGraph& graph = scheduler_->graph();
+  for (const NodeId id : active_ids_) {
+    if (result.schedule.completion(id) > deadlines[id]) {
+      result.feasible = false;
+      result.infeasible_reason =
+          "node " + graph.node(id).name + " misses its deadline";
+      break;
+    }
+  }
+  if (!result.feasible) AIS_OBS_COUNT(obs::ctr::kRankInfeasible);
+  return result;
+}
+
+// --- greedy list scheduling ----------------------------------------------
 
 Schedule RankScheduler::greedy_from_list(const NodeSet& active,
                                          const std::vector<NodeId>& list) const {
@@ -130,7 +434,11 @@ Schedule RankScheduler::greedy_from_list(const NodeSet& active,
   Schedule sched(&graph_, active, total_units);
   std::vector<Time> unit_free(static_cast<std::size_t>(total_units), 0);
 
-  // earliest dependence-legal start per node; -1 until all preds placed.
+  std::vector<std::uint32_t> pos(graph_.num_nodes(), 0);
+  for (std::uint32_t i = 0; i < list.size(); ++i) pos[list[i]] = i;
+
+  // earliest dependence-legal start per node; meaningful once all preds
+  // are placed.
   std::vector<int> preds_left(graph_.num_nodes(), 0);
   std::vector<Time> est(graph_.num_nodes(), 0);
   for (const NodeId id : list) {
@@ -140,6 +448,24 @@ Schedule RankScheduler::greedy_from_list(const NodeSet& active,
     }
   }
 
+  // Event-driven ready queue.  `ready` holds dependence-ready nodes keyed by
+  // list position (the greedy priority); `pending` holds nodes whose
+  // dependences are satisfied but whose earliest start is in the future.
+  // Equivalent to the classic "rescan the list from the front after every
+  // placement" formulation: within one cycle units only get busier and a
+  // successor released at t has est >= t + 1, so a single front-to-back
+  // sweep over the ready set per cycle issues exactly the same nodes.
+  std::set<std::uint32_t> ready;
+  using Pending = std::pair<Time, std::uint32_t>;  // (est, list position)
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+      pending;
+  for (const NodeId id : list) {
+    if (preds_left[id] == 0) ready.insert(pos[id]);
+  }
+
+  std::vector<char> class_waiting(
+      static_cast<std::size_t>(machine_.num_fu_classes()), 0);
+
   std::size_t unplaced = list.size();
   Time t = 0;
   const Time t_limit = graph_.total_work() +
@@ -148,91 +474,75 @@ Schedule RankScheduler::greedy_from_list(const NodeSet& active,
                        1;
   while (unplaced > 0) {
     AIS_CHECK(t <= t_limit, "greedy scheduler failed to make progress");
+    while (!pending.empty() && pending.top().first <= t) {
+      ready.insert(pending.top().second);
+      pending.pop();
+    }
+
     int issued = 0;
-    bool progressed = true;
-    while (progressed && issued < machine_.issue_width()) {
-      progressed = false;
-      for (const NodeId id : list) {
-        if (sched.placed(id)) continue;
-        if (preds_left[id] != 0 || est[id] > t) continue;
-        const NodeInfo& info = graph_.node(id);
-        // A unit of this node's class free for [t, t + exec)?
-        const int base = unit_base[static_cast<std::size_t>(info.fu_class)];
-        int chosen = -1;
-        for (int k = 0; k < machine_.fu_count(info.fu_class); ++k) {
-          if (unit_free[static_cast<std::size_t>(base + k)] <= t) {
-            chosen = base + k;
-            break;
-          }
+    bool width_exhausted = false;
+    for (auto it = ready.begin(); it != ready.end();) {
+      if (issued >= machine_.issue_width()) {
+        width_exhausted = true;
+        break;
+      }
+      const NodeId id = list[*it];
+      const NodeInfo& info = graph_.node(id);
+      // A unit of this node's class free for [t, t + exec)?
+      const int base = unit_base[static_cast<std::size_t>(info.fu_class)];
+      int chosen = -1;
+      for (int k = 0; k < machine_.fu_count(info.fu_class); ++k) {
+        if (unit_free[static_cast<std::size_t>(base + k)] <= t) {
+          chosen = base + k;
+          break;
         }
-        if (chosen < 0) continue;
-        sched.place(id, t, chosen);
-        unit_free[static_cast<std::size_t>(chosen)] = t + info.exec_time;
-        --unplaced;
-        ++issued;
-        // Release successors.
-        for (const auto eidx : graph_.out_edges(id)) {
-          const DepEdge& e = graph_.edge(eidx);
-          if (e.distance != 0 || !active.contains(e.to)) continue;
-          est[e.to] =
-              std::max(est[e.to], t + info.exec_time + e.latency);
-          --preds_left[e.to];
+      }
+      if (chosen < 0) {
+        ++it;
+        continue;
+      }
+      sched.place(id, t, chosen);
+      unit_free[static_cast<std::size_t>(chosen)] = t + info.exec_time;
+      --unplaced;
+      ++issued;
+      // Release successors.  A successor released now has est >= t + 1
+      // (exec_time >= 1), so it can never issue this cycle.
+      for (const auto eidx : graph_.out_edges(id)) {
+        const DepEdge& e = graph_.edge(eidx);
+        if (e.distance != 0 || !active.contains(e.to)) continue;
+        est[e.to] = std::max(est[e.to], t + info.exec_time + e.latency);
+        if (--preds_left[e.to] == 0) pending.emplace(est[e.to], pos[e.to]);
+      }
+      it = ready.erase(it);
+    }
+    if (unplaced == 0) break;
+
+    // Jump to the next cycle where anything can change: (a) t + 1 when the
+    // issue width cut the sweep short, (b) the earliest pending release,
+    // (c) the earliest unit of a class some ready node waits on freeing up.
+    Time next = kInf;
+    if (width_exhausted) next = t + 1;
+    if (!pending.empty()) next = std::min(next, pending.top().first);
+    if (!width_exhausted && !ready.empty()) {
+      std::fill(class_waiting.begin(), class_waiting.end(), 0);
+      for (const std::uint32_t p : ready) {
+        class_waiting[static_cast<std::size_t>(
+            graph_.node(list[p]).fu_class)] = 1;
+      }
+      for (int c = 0; c < machine_.num_fu_classes(); ++c) {
+        if (!class_waiting[static_cast<std::size_t>(c)]) continue;
+        const int base = unit_base[static_cast<std::size_t>(c)];
+        for (int k = 0; k < machine_.fu_count(c); ++k) {
+          next = std::min(next,
+                          unit_free[static_cast<std::size_t>(base + k)]);
         }
-        progressed = true;
-        break;  // rescan the list from the front (greedy list semantics)
       }
     }
-    ++t;
+    AIS_CHECK(next > t && next < kInf,
+              "greedy scheduler failed to make progress");
+    t = next;
   }
   return sched;
-}
-
-RankResult RankScheduler::run(const NodeSet& active,
-                              const DeadlineMap& deadlines,
-                              const RankOptions& opts) const {
-  AIS_OBS_SPAN("rank");
-  AIS_OBS_COUNT(obs::ctr::kRankRuns);
-  AIS_OBS_COUNT(obs::ctr::kRankNodesRanked, active.size());
-  bool structurally_feasible = true;
-  std::vector<Time> rank =
-      compute_ranks(active, deadlines, opts, &structurally_feasible);
-
-  // Priority list: nondecreasing rank, ties by opts.tie_break then id.
-  std::vector<NodeId> list = active.ids();
-  const auto tie_value = [&opts](NodeId id) {
-    return opts.tie_break.empty() ? static_cast<int>(id)
-                                  : opts.tie_break[id];
-  };
-  std::sort(list.begin(), list.end(), [&](NodeId a, NodeId b) {
-    return std::make_tuple(rank[a], tie_value(a), a) <
-           std::make_tuple(rank[b], tie_value(b), b);
-  });
-
-  // Feasibility is decided by the constructed schedule against the original
-  // deadlines.  The rank values are priorities and bounds; a rank below the
-  // node's execution time usually signals infeasibility, but the packing
-  // relaxation can over-tighten ranks in merged instances, so the schedule
-  // itself is the arbiter (structural tightness alone never rejects).
-  (void)structurally_feasible;
-  RankResult result{
-      .feasible = true,
-      .infeasible_reason = {},
-      .rank = std::move(rank),
-      .schedule = greedy_from_list(active, list),
-      .makespan = 0,
-  };
-  result.makespan = result.schedule.makespan();
-
-  for (const NodeId id : active.ids()) {
-    if (result.schedule.completion(id) > deadlines[id]) {
-      result.feasible = false;
-      result.infeasible_reason =
-          "node " + graph_.node(id).name + " misses its deadline";
-      break;
-    }
-  }
-  if (!result.feasible) AIS_OBS_COUNT(obs::ctr::kRankInfeasible);
-  return result;
 }
 
 }  // namespace ais

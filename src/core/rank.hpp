@@ -29,14 +29,17 @@
 // worked examples (see tests/test_paper_figures.cpp).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/deadlines.hpp"
 #include "core/schedule.hpp"
+#include "graph/closure.hpp"
 #include "graph/depgraph.hpp"
 #include "graph/nodeset.hpp"
 #include "machine/machine_model.hpp"
+#include "support/bitset.hpp"
 
 namespace ais {
 
@@ -90,6 +93,124 @@ class RankScheduler {
  private:
   const DepGraph& graph_;
   MachineModel machine_;
+};
+
+/// Reusable scheduling context for one fixed (graph, active) pair.
+///
+/// The deadline-driven loops of the paper — Merge's relaxation rounds
+/// (Fig. 7) and Move_Idle_Slot's tail tightening (Fig. 4) — re-run the Rank
+/// Algorithm many times over the *same* active set while only deadlines
+/// change.  A session caches everything that is invariant across those runs
+/// (the topological order, the descendant closure, the sorted active-id
+/// list, the backward-pass scratch buffers) and recomputes ranks
+/// incrementally: when the deadlines of a set S changed since the previous
+/// call, only S and its ancestors (queryable from the cached closure) can
+/// change rank, so the backward pass restarts from that cone instead of all
+/// nodes.  Results are bit-identical to a fresh computation
+/// (tests/test_differential.cpp enforces this against the uncached
+/// reference path); see docs/PERFORMANCE.md for the invariant's proof
+/// sketch.
+///
+/// A session is single-threaded mutable state; concurrent compiles use one
+/// session per thread (they hold distinct graphs anyway).
+class RankSession {
+ public:
+  /// `scheduler` must outlive the session; `active` is copied.  The active
+  /// induced subgraph must be acyclic.
+  RankSession(const RankScheduler& scheduler, const NodeSet& active);
+
+  /// Ranks of the active nodes under `deadlines`; same contract as
+  /// RankScheduler::compute_ranks.  The returned reference is invalidated
+  /// by the next compute_ranks / run call on this session.
+  const std::vector<Time>& compute_ranks(const DeadlineMap& deadlines,
+                                         const RankOptions& opts,
+                                         bool* structurally_feasible = nullptr);
+
+  /// Ranks + greedy schedule; same contract as RankScheduler::run.
+  RankResult run(const DeadlineMap& deadlines, const RankOptions& opts = {});
+
+  /// Saves the current rank cache (ranks, descendant parts, rank ordering,
+  /// deadlines).  Requires ranks to have been computed.
+  void snapshot();
+  /// Restores the last snapshot in O(active) time.  Speculative deadline
+  /// trials (Move_Idle_Slot) snapshot the base state and restore it on
+  /// failure, so the next trial's incremental pass pays only for its own
+  /// deadline caps — never for undoing the previous trial's.
+  void restore_snapshot();
+
+  const RankScheduler& scheduler() const { return *scheduler_; }
+  const NodeSet& active() const { return active_; }
+  /// active().ids(), materialized once at construction.
+  const std::vector<NodeId>& active_ids() const { return active_ids_; }
+  const DescendantClosure& closure() const { return closure_; }
+  /// Cached topological order of the active nodes.
+  const std::vector<NodeId>& topo() const { return order_; }
+
+ private:
+  /// Recomputes rank_[x] (and its cached descendant-driven part); the ranks
+  /// of all descendants of x must be final.
+  void rerank_node(NodeId x, const DeadlineMap& deadlines,
+                   const RankOptions& opts);
+  /// Backward-packs desc_entries_ (already in (rank desc, id asc) order)
+  /// and finishes rank_[x] / desc_part_[x].
+  void pack_and_finish(NodeId x, const DeadlineMap& deadlines,
+                       const RankOptions& opts);
+  /// Moves x's by_rank_ entry from its old_rank position to where rank_[x]
+  /// now sorts it.
+  void reposition(NodeId x, Time old_rank);
+
+  const RankScheduler* scheduler_;
+  NodeSet active_;
+  std::vector<NodeId> order_;       // topo order of the active nodes
+  std::vector<NodeId> active_ids_;  // == active_.ids(), materialized once
+  DescendantClosure closure_;
+
+  // Flat copies of the per-node fields the backward pass touches — NodeInfo
+  // drags a std::string through the cache per access, these do not.
+  bool single_lane_ = false;  // machine has exactly one unit overall
+  std::vector<Time> exec_;
+  std::vector<std::int32_t> fu_class_;
+  // CSR of distance-0 out-edges between active nodes: targets/latencies of
+  // node x live at [succ_begin_[x], succ_begin_[x + 1]).
+  std::vector<std::uint32_t> succ_begin_;
+  std::vector<NodeId> succ_to_;
+  std::vector<Time> succ_lat_;
+
+  // Rank cache: valid while has_ranks_, for deadlines cached_deadlines_ and
+  // the split_long_ops setting cached_split_.  rank_[x] ==
+  // min(deadline[x], desc_part_[x]); the descendant-driven part is cached
+  // separately so a node whose own deadline moved — but whose descendants'
+  // ranks did not — reranks in O(1) instead of repacking its closure.
+  bool has_ranks_ = false;
+  bool cached_split_ = false;
+  DeadlineMap cached_deadlines_;
+  std::vector<Time> rank_;
+  std::vector<Time> desc_part_;
+
+  // Scratch hoisted out of the per-node backward pass.
+  struct DescEntry {
+    Time rank;
+    NodeId id;
+  };
+  std::vector<DescEntry> desc_entries_;
+  std::vector<std::uint64_t> desc_keys_;
+  // Active nodes in (rank desc, id asc) order, maintained across passes
+  // (full pass rebuilds it; incremental passes reposition changed nodes),
+  // so a node's descendants come out of one membership-filtered scan
+  // already sorted — no per-node sort anywhere in the backward pass.
+  std::vector<DescEntry> by_rank_;
+  std::vector<Time> back_start_;
+  std::vector<std::vector<Time>> packer_lanes_;  // [class][lane]
+  DynamicBitset changed_;       // deadline-changed nodes, per call
+  DynamicBitset rank_changed_;  // rank-moved nodes, per call
+
+  // snapshot() / restore_snapshot() state.
+  bool snap_valid_ = false;
+  bool snap_split_ = false;
+  std::vector<Time> snap_rank_;
+  std::vector<Time> snap_desc_part_;
+  std::vector<DescEntry> snap_by_rank_;
+  DeadlineMap snap_deadlines_;
 };
 
 }  // namespace ais

@@ -44,6 +44,7 @@ void Schedule::place(NodeId id, Time start, int unit) {
   start_[id] = start;
   unit_[id] = unit;
   makespan_ = std::max(makespan_, end);
+  idle_cache_valid_ = false;
 }
 
 bool Schedule::placed(NodeId id) const {
@@ -84,16 +85,33 @@ NodeId Schedule::node_at(int unit, Time time) const {
   return (start + graph_->node(id).exec_time > time) ? id : kInvalidNode;
 }
 
-std::vector<IdleSlot> Schedule::idle_slots() const {
-  std::vector<IdleSlot> slots;
-  for (int u = 0; u < total_units(); ++u) {
-    for (const Time t : idle_times(u)) slots.push_back(IdleSlot{u, t});
+const std::vector<IdleSlot>& Schedule::idle_slots() const {
+  if (!idle_cache_valid_) {
+    idle_cache_.clear();
+    for (int u = 0; u < total_units(); ++u) {
+      for (const Time t : idle_times(u)) idle_cache_.push_back(IdleSlot{u, t});
+    }
+    std::sort(idle_cache_.begin(), idle_cache_.end(),
+              [](const IdleSlot& a, const IdleSlot& b) {
+                return std::tie(a.time, a.unit) < std::tie(b.time, b.unit);
+              });
+    idle_cache_valid_ = true;
   }
-  std::sort(slots.begin(), slots.end(),
-            [](const IdleSlot& a, const IdleSlot& b) {
-              return std::tie(a.time, a.unit) < std::tie(b.time, b.unit);
-            });
-  return slots;
+  return idle_cache_;
+}
+
+std::size_t Schedule::idle_slot_index(IdleSlot slot) const {
+  const auto& slots = idle_slots();
+  // The list is sorted by (time, unit) — IdleSlot's default ordering is
+  // (unit, time), so spell the comparator out.
+  const auto pos = std::lower_bound(
+      slots.begin(), slots.end(), slot,
+      [](const IdleSlot& a, const IdleSlot& b) {
+        return std::tie(a.time, a.unit) < std::tie(b.time, b.unit);
+      });
+  AIS_CHECK(pos != slots.end() && *pos == slot,
+            "slot is not idle in the given schedule");
+  return static_cast<std::size_t>(pos - slots.begin());
 }
 
 std::vector<Time> Schedule::idle_times(int unit) const {
@@ -137,8 +155,15 @@ std::vector<std::vector<NodeId>> Schedule::u_sets() const {
 NodeId Schedule::tail_node(int unit, Time t) const {
   AIS_CHECK(unit >= 0 && unit < total_units(), "unit index out of range");
   const auto& lane = units_[static_cast<std::size_t>(unit)];
-  for (const auto& [start, id] : lane) {
-    if (start + graph_->node(id).exec_time == t) return id;
+  // Completion times are strictly increasing along a lane (sorted starts +
+  // unit exclusivity), so the node completing at t is binary-searchable.
+  const auto pos = std::partition_point(
+      lane.begin(), lane.end(), [this, t](const std::pair<Time, NodeId>& e) {
+        return e.first + graph_->node(e.second).exec_time < t;
+      });
+  if (pos != lane.end() &&
+      pos->first + graph_->node(pos->second).exec_time == t) {
+    return pos->second;
   }
   return kInvalidNode;
 }

@@ -50,8 +50,16 @@ class Schedule {
   /// Node occupying `unit` whose execution covers `time`, or kInvalidNode.
   NodeId node_at(int unit, Time time) const;
 
-  /// All idle slots, ordered by (time, unit).
-  std::vector<IdleSlot> idle_slots() const;
+  /// All idle slots, ordered by (time, unit).  Memoized: the first call
+  /// after a place() computes the list, later calls return the cached copy
+  /// (Delay_Idle_Slots re-reads it once per slot attempt).  The reference
+  /// is invalidated by the next place().
+  const std::vector<IdleSlot>& idle_slots() const;
+
+  /// Position of `slot` in idle_slots() (binary search; the list is sorted
+  /// by (time, unit)).  Aborts when the slot is not idle — callers pass
+  /// slots read back from idle_slots() of this very schedule.
+  std::size_t idle_slot_index(IdleSlot slot) const;
 
   /// Idle slots of a single unit, ascending by time.
   std::vector<Time> idle_times(int unit) const;
@@ -76,6 +84,9 @@ class Schedule {
   std::vector<Time> start_;   // indexed by NodeId; -1 = unplaced
   std::vector<int> unit_;     // indexed by NodeId
   Time makespan_ = 0;
+  // idle_slots() memo; place() invalidates.
+  mutable std::vector<IdleSlot> idle_cache_;
+  mutable bool idle_cache_valid_ = false;
 };
 
 /// Checks that `s` is complete and respects every distance-0 dependence

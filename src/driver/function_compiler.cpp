@@ -1,15 +1,54 @@
 #include "driver/function_compiler.hpp"
 
+#include <optional>
+#include <utility>
+#include <vector>
+
 #include "baselines/block_schedulers.hpp"
 #include "ir/depbuild.hpp"
 #include "obs/obs.hpp"
 #include "sim/lookahead_sim.hpp"
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ais {
+namespace {
+
+/// Everything one trace contributes to the program, produced independently
+/// of every other trace (select_traces assigns each block to exactly one
+/// trace).
+struct TraceOutcome {
+  ScheduledTrace scheduled;
+  verify::Report verification;
+  Time hot_cycles_before = 0;
+  Time hot_cycles_after = 0;
+};
+
+TraceOutcome compile_trace(const Cfg& cfg, const SelectedTrace& selected,
+                           const MachineModel& machine, int w, bool verify,
+                           bool hot) {
+  const Trace trace = materialize(cfg, selected);
+  TraceOutcome out{schedule(trace, machine, w), {}, 0, 0};
+  AIS_CHECK(out.scheduled.blocks.size() == selected.blocks.size(),
+            "scheduled trace block count mismatch");
+  if (verify) {
+    out.verification = verify_schedule(trace, out.scheduled, machine);
+  }
+  if (hot) {
+    // Hot-trace diagnostics: original order vs anticipatory order.
+    const DepGraph g = build_trace_graph(trace, machine);
+    out.hot_cycles_before = simulated_completion(
+        g, machine,
+        schedule_trace_per_block(g, machine, BlockScheduler::kSourceOrder), w);
+    out.hot_cycles_after = out.scheduled.simulated_cycles(machine);
+  }
+  return out;
+}
+
+}  // namespace
 
 CompiledProgram compile_program(const Cfg& cfg, const MachineModel& machine,
-                                int window, bool verify) {
+                                int window, bool verify, int jobs) {
   AIS_OBS_SPAN("compile.program");
   const int w = window == 0 ? machine.default_window() : window;
 
@@ -21,29 +60,26 @@ CompiledProgram compile_program(const Cfg& cfg, const MachineModel& machine,
   }
   out.window = w;
 
+  // Compile traces independently (possibly on the pool), then fold the
+  // outcomes back in trace order so every job count yields the same program
+  // and the same verification-report order.
+  std::vector<std::optional<TraceOutcome>> outcomes(out.traces.size());
+  parallel_for(jobs, out.traces.size(), [&](std::size_t t) {
+    outcomes[t].emplace(
+        compile_trace(cfg, out.traces[t], machine, w, verify, t == 0));
+  });
+
   for (std::size_t t = 0; t < out.traces.size(); ++t) {
     const SelectedTrace& selected = out.traces[t];
-    const Trace trace = materialize(cfg, selected);
-
-    const ScheduledTrace scheduled = schedule(trace, machine, w);
-    AIS_CHECK(scheduled.blocks.size() == selected.blocks.size(),
-              "scheduled trace block count mismatch");
-    if (verify) {
-      out.verification.merge(verify_schedule(trace, scheduled, machine));
-    }
+    TraceOutcome& outcome = *outcomes[t];
     for (std::size_t i = 0; i < selected.blocks.size(); ++i) {
       out.program.blocks[static_cast<std::size_t>(selected.blocks[i])] =
-          scheduled.blocks[i];
+          std::move(outcome.scheduled.blocks[i]);
     }
-
+    if (verify) out.verification.merge(outcome.verification);
     if (t == 0) {
-      // Hot-trace diagnostics: original order vs anticipatory order.
-      const DepGraph g = build_trace_graph(trace, machine);
-      out.hot_trace_cycles_before = simulated_completion(
-          g, machine,
-          schedule_trace_per_block(g, machine, BlockScheduler::kSourceOrder),
-          w);
-      out.hot_trace_cycles_after = scheduled.simulated_cycles(machine);
+      out.hot_trace_cycles_before = outcome.hot_cycles_before;
+      out.hot_trace_cycles_after = outcome.hot_cycles_after;
     }
   }
   return out;

@@ -37,7 +37,14 @@ struct CompiledProgram {
 /// machine default.  With `verify` set, every scheduled trace is re-checked
 /// by the independent oracle and findings land in
 /// CompiledProgram::verification.
+///
+/// `jobs` compiles that many traces concurrently (<= 0 = one per hardware
+/// thread).  Traces partition the CFG's blocks disjointly, so per-trace
+/// results are independent; they are folded back in trace order, making the
+/// output — program, diagnostics, verification report — identical at every
+/// job count.
 CompiledProgram compile_program(const Cfg& cfg, const MachineModel& machine,
-                                int window = 0, bool verify = false);
+                                int window = 0, bool verify = false,
+                                int jobs = 1);
 
 }  // namespace ais

@@ -125,9 +125,12 @@ namespace ctr {
 inline constexpr const char* kRankRuns = "rank.runs";
 inline constexpr const char* kRankInfeasible = "rank.infeasible";
 inline constexpr const char* kRankNodesRanked = "rank.nodes_ranked";
+inline constexpr const char* kRankIncrementalPasses = "rank.incremental_passes";
+inline constexpr const char* kRankNodesReranked = "rank.nodes_reranked";
 inline constexpr const char* kMergeCalls = "merge.calls";
 inline constexpr const char* kMergeRelaxRounds = "merge.relax_rounds";
 inline constexpr const char* kMergeFullRelaxRounds = "merge.full_relax_rounds";
+inline constexpr const char* kMergeGallopProbes = "merge.gallop_probes";
 inline constexpr const char* kIdleMoveAttempts = "move_idle.attempts";
 inline constexpr const char* kIdleSlotsMoved = "move_idle.moved";
 inline constexpr const char* kDeadlinesTightened =

@@ -81,7 +81,9 @@ std::string ScheduleStats::to_string() const {
 void register_builtin_counters() {
   for (const char* name :
        {ctr::kRankRuns, ctr::kRankInfeasible, ctr::kRankNodesRanked,
+        ctr::kRankIncrementalPasses, ctr::kRankNodesReranked,
         ctr::kMergeCalls, ctr::kMergeRelaxRounds, ctr::kMergeFullRelaxRounds,
+        ctr::kMergeGallopProbes,
         ctr::kIdleMoveAttempts, ctr::kIdleSlotsMoved, ctr::kDeadlinesTightened,
         ctr::kChopCalls, ctr::kChopPoints, ctr::kLookaheadBlocks,
         ctr::kWindowSpanOverW, ctr::kSimRuns, ctr::kSimCycles,

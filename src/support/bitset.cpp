@@ -1,5 +1,7 @@
 #include "support/bitset.hpp"
 
+#include <algorithm>
+
 #include "support/assert.hpp"
 
 namespace ais {
@@ -15,6 +17,10 @@ void DynamicBitset::set(std::size_t i) {
 void DynamicBitset::reset(std::size_t i) {
   AIS_CHECK(i < nbits_, "bit index out of range");
   words_[i / 64] &= ~(1ull << (i % 64));
+}
+
+void DynamicBitset::reset_all() {
+  std::fill(words_.begin(), words_.end(), 0);
 }
 
 bool DynamicBitset::test(std::size_t i) const {

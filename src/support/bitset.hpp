@@ -20,6 +20,8 @@ class DynamicBitset {
 
   void set(std::size_t i);
   void reset(std::size_t i);
+  /// Clears every bit (word fill; size unchanged).
+  void reset_all();
   bool test(std::size_t i) const;
 
   /// Word-parallel union; both operands must have the same size.

@@ -160,5 +160,61 @@ TEST(FunctionCompiler, HotTraceDiagnosticsPopulated) {
   EXPECT_FALSE(compiled.traces.empty());
 }
 
+/// Program with `segments` independent single-block loop bodies — one trace
+/// each once the back edges are hot — so compile_program's --jobs pool has
+/// real fan-out to distribute.
+Program looped_segments_program(int segments) {
+  std::string text;
+  for (int k = 0; k < segments; ++k) {
+    const std::string s = std::to_string(k);
+    text += "block body" + s + ":\n";
+    text += "  LDU r1, a[r9+" + std::to_string(8 * k) + "]\n";
+    text += "  MUL r2, r1, r1\n  ADD r3, r2, r1\n  SUB r4, r3, r1\n";
+    text += "  CMP c1, r4, 0\n  BT  c1, body" + s + "\n";
+  }
+  return parse_program(text);
+}
+
+TEST(FunctionCompiler, JobsCountDoesNotChangeOutput) {
+  const int segments = 6;
+  const Program prog = looped_segments_program(segments);
+  Cfg cfg(prog);
+  for (int k = 0; k < segments; ++k) {
+    cfg.set_branch_probability(cfg.find_label("body" + std::to_string(k)),
+                               0.9);
+  }
+  const MachineModel machine = deep_pipeline();
+
+  const CompiledProgram serial =
+      compile_program(cfg, machine, /*window=*/4, /*verify=*/true, /*jobs=*/1);
+  ASSERT_GE(serial.traces.size(), static_cast<std::size_t>(segments));
+
+  for (const int jobs : {2, 4, 0 /* = hardware threads */}) {
+    const CompiledProgram parallel =
+        compile_program(cfg, machine, /*window=*/4, /*verify=*/true, jobs);
+
+    // Identical emitted code, instruction for instruction.
+    ASSERT_EQ(parallel.program.blocks.size(), serial.program.blocks.size());
+    for (std::size_t b = 0; b < serial.program.blocks.size(); ++b) {
+      const auto& sb = serial.program.blocks[b];
+      const auto& pb = parallel.program.blocks[b];
+      EXPECT_EQ(pb.label, sb.label);
+      ASSERT_EQ(pb.insts.size(), sb.insts.size());
+      for (std::size_t i = 0; i < sb.insts.size(); ++i) {
+        EXPECT_EQ(pb.insts[i].to_string(), sb.insts[i].to_string())
+            << "jobs=" << jobs << " block " << sb.label << " inst " << i;
+      }
+    }
+
+    // Identical diagnostics and verification findings.
+    EXPECT_EQ(parallel.hot_trace_cycles_before, serial.hot_trace_cycles_before);
+    EXPECT_EQ(parallel.hot_trace_cycles_after, serial.hot_trace_cycles_after);
+    EXPECT_EQ(parallel.traces.size(), serial.traces.size());
+    EXPECT_EQ(parallel.verification.to_string(),
+              serial.verification.to_string());
+    EXPECT_TRUE(parallel.verification.ok());
+  }
+}
+
 }  // namespace
 }  // namespace ais

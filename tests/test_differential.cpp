@@ -1,0 +1,654 @@
+// Differential properties for the optimized Rank/Merge/Move_Idle hot path.
+//
+// The session-cached scheduler (closure reuse, incremental reranks, the
+// persistent by-rank ordering, the packed-key sort, the ready-queue greedy
+// pass) and the galloping Merge relaxation are required to be *byte
+// identical* to the straightforward pre-optimization formulation.  That
+// formulation is re-implemented here, verbatim from the original code, as
+// an in-test oracle; every test below drives both implementations over
+// randomized instances and compares schedules, ranks, deadlines and relax
+// amounts exactly — not approximately.
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/deadlines.hpp"
+#include "core/lookahead.hpp"
+#include "core/merge.hpp"
+#include "core/move_idle.hpp"
+#include "core/rank.hpp"
+#include "graph/closure.hpp"
+#include "graph/topo.hpp"
+#include "machine/machine_model.hpp"
+#include "support/prng.hpp"
+#include "workloads/random_graphs.hpp"
+
+namespace ais {
+namespace {
+
+constexpr Time kInf = std::numeric_limits<Time>::max() / 4;
+
+// ---------------------------------------------------------------------------
+// Reference implementations (the pre-optimization formulation).
+// ---------------------------------------------------------------------------
+
+/// Backward packer of the original compute_ranks: one lane per physical
+/// unit, re-created from scratch for every node.
+class RefBackwardPacker {
+ public:
+  explicit RefBackwardPacker(const MachineModel& machine) {
+    avail_.resize(static_cast<std::size_t>(machine.num_fu_classes()));
+    for (int c = 0; c < machine.num_fu_classes(); ++c) {
+      avail_[static_cast<std::size_t>(c)].assign(
+          static_cast<std::size_t>(machine.fu_count(c)), kInf);
+    }
+  }
+
+  Time insert(int fu_class, int exec_time, Time rank, bool split) {
+    auto& lanes = avail_[static_cast<std::size_t>(fu_class)];
+    if (!split || exec_time == 1) {
+      auto best = std::max_element(lanes.begin(), lanes.end());
+      const Time completion = std::min(rank, *best);
+      *best = completion - exec_time;
+      return completion - exec_time;
+    }
+    Time earliest = kInf;
+    for (int piece = 0; piece < exec_time; ++piece) {
+      auto best = std::max_element(lanes.begin(), lanes.end());
+      const Time completion = std::min(rank, *best);
+      *best = completion - 1;
+      earliest = std::min(earliest, completion - 1);
+    }
+    return earliest;
+  }
+
+ private:
+  std::vector<std::vector<Time>> avail_;
+};
+
+/// Original compute_ranks: fresh topo order + closure per call, per-node
+/// descendant sort, fresh packer and back_start per node.
+std::vector<Time> ref_compute_ranks(const RankScheduler& scheduler,
+                                    const NodeSet& active,
+                                    const DeadlineMap& deadlines,
+                                    const RankOptions& opts,
+                                    bool* structurally_feasible = nullptr) {
+  const DepGraph& graph = scheduler.graph();
+  const auto order = topo_order(graph, active);
+  EXPECT_TRUE(order.has_value());
+  const DescendantClosure closure(graph, active);
+
+  std::vector<Time> rank(graph.num_nodes(), kInf);
+  bool ok = true;
+
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId x = *it;
+    Time r = deadlines[x];
+
+    std::vector<NodeId> desc;
+    closure.descendants(x).for_each(
+        [&desc](std::size_t i) { desc.push_back(static_cast<NodeId>(i)); });
+    std::sort(desc.begin(), desc.end(), [&rank](NodeId a, NodeId b) {
+      return std::tie(rank[b], a) < std::tie(rank[a], b);
+    });
+
+    RefBackwardPacker packer(scheduler.machine());
+    std::vector<Time> back_start(graph.num_nodes(), kInf);
+    for (const NodeId y : desc) {
+      const NodeInfo& info = graph.node(y);
+      back_start[y] = packer.insert(info.fu_class, info.exec_time, rank[y],
+                                    opts.split_long_ops);
+      r = std::min(r, back_start[y]);
+    }
+    for (const auto eidx : graph.out_edges(x)) {
+      const DepEdge& e = graph.edge(eidx);
+      if (e.distance != 0 || !active.contains(e.to)) continue;
+      r = std::min(r, back_start[e.to] - e.latency);
+    }
+
+    rank[x] = r;
+    if (r < graph.node(x).exec_time) ok = false;
+  }
+
+  if (structurally_feasible != nullptr) *structurally_feasible = ok;
+  return rank;
+}
+
+/// Original greedy list scheduler: rescan the priority list from the front
+/// after every placement, advance time one cycle at a time.
+Schedule ref_greedy_from_list(const RankScheduler& scheduler,
+                              const NodeSet& active,
+                              const std::vector<NodeId>& list) {
+  const DepGraph& graph = scheduler.graph();
+  const MachineModel& machine = scheduler.machine();
+
+  std::vector<int> unit_base(
+      static_cast<std::size_t>(machine.num_fu_classes()), 0);
+  int total_units = 0;
+  for (int c = 0; c < machine.num_fu_classes(); ++c) {
+    unit_base[static_cast<std::size_t>(c)] = total_units;
+    total_units += machine.fu_count(c);
+  }
+
+  Schedule sched(&graph, active, total_units);
+  std::vector<Time> unit_free(static_cast<std::size_t>(total_units), 0);
+
+  std::vector<int> preds_left(graph.num_nodes(), 0);
+  std::vector<Time> est(graph.num_nodes(), 0);
+  for (const NodeId id : list) {
+    for (const auto eidx : graph.in_edges(id)) {
+      const DepEdge& e = graph.edge(eidx);
+      if (e.distance == 0 && active.contains(e.from)) ++preds_left[id];
+    }
+  }
+
+  std::size_t unplaced = list.size();
+  Time t = 0;
+  while (unplaced > 0) {
+    int issued = 0;
+    bool progressed = true;
+    while (progressed && issued < machine.issue_width()) {
+      progressed = false;
+      for (const NodeId id : list) {
+        if (sched.placed(id)) continue;
+        if (preds_left[id] != 0 || est[id] > t) continue;
+        const NodeInfo& info = graph.node(id);
+        const int base = unit_base[static_cast<std::size_t>(info.fu_class)];
+        int chosen = -1;
+        for (int k = 0; k < machine.fu_count(info.fu_class); ++k) {
+          if (unit_free[static_cast<std::size_t>(base + k)] <= t) {
+            chosen = base + k;
+            break;
+          }
+        }
+        if (chosen < 0) continue;
+        sched.place(id, t, chosen);
+        unit_free[static_cast<std::size_t>(chosen)] = t + info.exec_time;
+        --unplaced;
+        ++issued;
+        for (const auto eidx : graph.out_edges(id)) {
+          const DepEdge& e = graph.edge(eidx);
+          if (e.distance != 0 || !active.contains(e.to)) continue;
+          est[e.to] = std::max(est[e.to], t + info.exec_time + e.latency);
+          --preds_left[e.to];
+        }
+        progressed = true;
+        break;
+      }
+    }
+    ++t;
+  }
+  return sched;
+}
+
+struct RefRunResult {
+  bool feasible = false;
+  std::vector<Time> rank;
+  Schedule schedule;
+  Time makespan = 0;
+};
+
+/// Original run: sort by (rank, tie, id) with make_tuple, greedy, decide
+/// feasibility by the schedule against the deadlines.
+RefRunResult ref_run(const RankScheduler& scheduler, const NodeSet& active,
+                     const DeadlineMap& deadlines, const RankOptions& opts) {
+  std::vector<Time> rank = ref_compute_ranks(scheduler, active, deadlines,
+                                             opts);
+
+  std::vector<NodeId> list = active.ids();
+  const auto tie_value = [&opts](NodeId id) {
+    return opts.tie_break.empty() ? static_cast<int>(id) : opts.tie_break[id];
+  };
+  std::sort(list.begin(), list.end(), [&](NodeId a, NodeId b) {
+    return std::make_tuple(rank[a], tie_value(a), a) <
+           std::make_tuple(rank[b], tie_value(b), b);
+  });
+
+  RefRunResult result{
+      .feasible = true,
+      .rank = std::move(rank),
+      .schedule = ref_greedy_from_list(scheduler, active, list),
+      .makespan = 0,
+  };
+  result.makespan = result.schedule.makespan();
+  for (const NodeId id : active.ids()) {
+    if (result.schedule.completion(id) > deadlines[id]) {
+      result.feasible = false;
+      break;
+    }
+  }
+  return result;
+}
+
+struct RefMergeResult {
+  Schedule schedule;
+  Time makespan = 0;
+  DeadlineMap deadlines;
+  Time relax = 0;
+};
+
+/// Original merge_blocks: the unconditional +1 linear relaxation scan,
+/// every round a full fresh Rank Algorithm run.
+RefMergeResult ref_merge_blocks(const RankScheduler& scheduler,
+                                const NodeSet& old_nodes,
+                                const NodeSet& new_nodes,
+                                const DeadlineMap& deadlines, Time t_old,
+                                Time huge, const RankOptions& opts) {
+  const DepGraph& g = scheduler.graph();
+  const NodeSet cur = set_union(old_nodes, new_nodes);
+
+  DeadlineMap d_cur = uniform_deadlines(g, huge);
+  const RefRunResult lower = ref_run(scheduler, cur, d_cur, opts);
+  EXPECT_TRUE(lower.feasible);
+  const Time t_lower = lower.makespan;
+
+  for (const NodeId w : old_nodes.ids()) {
+    d_cur[w] = std::min(deadlines[w], t_old);
+  }
+  for (const NodeId w : new_nodes.ids()) d_cur[w] = t_lower;
+
+  const Time new_only_limit =
+      t_old + g.max_latency() + g.total_work() + 1 - t_lower;
+  const Time hard_limit =
+      new_only_limit + g.total_work() +
+      static_cast<Time>(cur.size() + 1) * (g.max_latency() + 1);
+  Time relax = 0;
+  while (true) {
+    RefRunResult result = ref_run(scheduler, cur, d_cur, opts);
+    if (result.feasible) {
+      return RefMergeResult{
+          .schedule = std::move(result.schedule),
+          .makespan = result.makespan,
+          .deadlines = std::move(d_cur),
+          .relax = relax,
+      };
+    }
+    ++relax;
+    EXPECT_LE(relax, hard_limit) << "reference merge diverged";
+    for (const NodeId w : new_nodes.ids()) ++d_cur[w];
+    if (relax > new_only_limit) {
+      for (const NodeId w : old_nodes.ids()) ++d_cur[w];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Comparison helpers.
+// ---------------------------------------------------------------------------
+
+void expect_same_schedule(const Schedule& got, const Schedule& want,
+                          const NodeSet& active) {
+  EXPECT_EQ(got.makespan(), want.makespan());
+  EXPECT_EQ(got.permutation(), want.permutation());
+  for (const NodeId id : active.ids()) {
+    ASSERT_TRUE(got.placed(id));
+    ASSERT_TRUE(want.placed(id));
+    EXPECT_EQ(got.start(id), want.start(id)) << "node " << id;
+    EXPECT_EQ(got.unit_of(id), want.unit_of(id)) << "node " << id;
+  }
+}
+
+void expect_same_ranks(const std::vector<Time>& got,
+                       const std::vector<Time>& want, const NodeSet& active) {
+  for (const NodeId id : active.ids()) {
+    EXPECT_EQ(got[id], want[id]) << "rank of node " << id;
+  }
+}
+
+/// Random deadline map: each active node gets a deadline in
+/// [exec_time, huge], biased toward tight values so infeasible-ish regimes
+/// get exercised too.
+DeadlineMap random_deadlines(Prng& prng, const DepGraph& g,
+                             const NodeSet& active, Time huge) {
+  DeadlineMap d = uniform_deadlines(g, huge);
+  for (const NodeId id : active.ids()) {
+    if (prng.uniform(0, 3) == 0) continue;  // keep huge
+    d[id] = prng.uniform(g.node(id).exec_time, huge);
+  }
+  return d;
+}
+
+struct Regime {
+  const char* name;
+  MachineModel machine;
+  int max_latency;
+};
+
+std::vector<Regime> regimes() {
+  return {
+      {"scalar01", scalar01(), 1},
+      {"scalar01-lat3", scalar01(), 3},
+      {"deep_pipeline", deep_pipeline(), 3},
+      {"vliw4", vliw4(), 2},
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Tests.
+// ---------------------------------------------------------------------------
+
+/// compute_ranks and run must agree with the reference on random traces
+/// across machines, latency regimes, tie-break vectors and the
+/// split-long-ops switch.
+TEST(Differential, RankAndRunMatchReference) {
+  for (const Regime& regime : regimes()) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      Prng prng(0xd1ff + seed * 977);
+      RandomTraceParams params;
+      params.num_blocks = 3;
+      params.block.num_nodes = 18;
+      params.block.edge_prob = 0.3;
+      params.block.max_latency = regime.max_latency;
+      params.cross_edges = 2;
+      const DepGraph g = random_trace(prng, params);
+      const RankScheduler scheduler(g, regime.machine);
+      const NodeSet all = NodeSet::all(g.num_nodes());
+      const Time huge = huge_deadline(g, all);
+
+      for (int variant = 0; variant < 3; ++variant) {
+        const DeadlineMap d = variant == 0
+                                  ? uniform_deadlines(g, huge)
+                                  : random_deadlines(prng, g, all, huge);
+        RankOptions opts;
+        opts.split_long_ops = (variant == 2);
+        if (variant == 2) {
+          opts.tie_break.resize(g.num_nodes());
+          for (auto& t : opts.tie_break) {
+            t = static_cast<int>(prng.uniform(0, 5));
+          }
+        }
+
+        bool got_ok = true;
+        bool want_ok = true;
+        const std::vector<Time> got_rank = scheduler.compute_ranks(
+            all, d, opts, &got_ok);
+        const std::vector<Time> want_rank =
+            ref_compute_ranks(scheduler, all, d, opts, &want_ok);
+        expect_same_ranks(got_rank, want_rank, all);
+        EXPECT_EQ(got_ok, want_ok);
+
+        const RankResult got = scheduler.run(all, d, opts);
+        const RefRunResult want = ref_run(scheduler, all, d, opts);
+        EXPECT_EQ(got.feasible, want.feasible)
+            << regime.name << " seed " << seed << " variant " << variant;
+        expect_same_ranks(got.rank, want.rank, all);
+        expect_same_schedule(got.schedule, want.schedule, all);
+        EXPECT_EQ(got.makespan, want.makespan);
+      }
+    }
+  }
+}
+
+/// Same property on typed-machine graphs (realistic FU classes, non-unit
+/// execution times drawn from the machine), both packing modes.
+TEST(Differential, RankAndRunMatchReferenceTypedMachines) {
+  for (const MachineModel& machine : {rs6000_like(), vliw4()}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      Prng gen(0x7e9d + seed * 131);
+      const DepGraph g = random_machine_trace(gen, machine, /*num_blocks=*/3,
+                                              /*nodes_per_block=*/14,
+                                              /*edge_prob=*/0.3,
+                                              /*cross_edges=*/2);
+      const RankScheduler scheduler(g, machine);
+      const NodeSet all = NodeSet::all(g.num_nodes());
+      const Time huge = huge_deadline(g, all);
+
+      for (const bool split : {false, true}) {
+        const DeadlineMap d = random_deadlines(gen, g, all, huge);
+        RankOptions opts;
+        opts.split_long_ops = split;
+
+        const RankResult got = scheduler.run(all, d, opts);
+        const RefRunResult want = ref_run(scheduler, all, d, opts);
+        EXPECT_EQ(got.feasible, want.feasible);
+        expect_same_ranks(got.rank, want.rank, all);
+        expect_same_schedule(got.schedule, want.schedule, all);
+      }
+    }
+  }
+}
+
+/// A long-lived session fed a random deadline mutation sequence must match
+/// a fresh reference computation at every step — this drives the O(1)
+/// deadline-only rerank path, reposition(), and the full incremental sweep.
+TEST(Differential, SessionIncrementalMatchesFresh) {
+  for (const Regime& regime : regimes()) {
+    Prng prng(0x5e55 + static_cast<std::uint64_t>(regime.max_latency));
+    RandomBlockParams params;
+    params.num_nodes = 36;
+    params.edge_prob = 0.15;
+    params.max_latency = regime.max_latency;
+    const DepGraph g = random_block(prng, params);
+    const RankScheduler scheduler(g, regime.machine);
+    const NodeSet all = NodeSet::all(g.num_nodes());
+    const Time huge = huge_deadline(g, all);
+
+    RankSession session(scheduler, all);
+    DeadlineMap d = uniform_deadlines(g, huge);
+    const RankOptions opts;
+
+    for (int step = 0; step < 40; ++step) {
+      // Mutate a random subset; sometimes a single node (the O(1) path),
+      // sometimes a swath (the incremental sweep + repositioning).
+      const int touched =
+          step % 3 == 0 ? 1 : static_cast<int>(prng.uniform(2, 12));
+      for (int k = 0; k < touched; ++k) {
+        const NodeId id =
+            static_cast<NodeId>(prng.uniform(0, g.num_nodes() - 1));
+        d[id] = prng.uniform(g.node(id).exec_time, huge);
+      }
+
+      bool got_ok = true;
+      bool want_ok = true;
+      const std::vector<Time>& got = session.compute_ranks(d, opts, &got_ok);
+      const std::vector<Time> want =
+          ref_compute_ranks(scheduler, all, d, opts, &want_ok);
+      expect_same_ranks(got, want, all);
+      EXPECT_EQ(got_ok, want_ok) << regime.name << " step " << step;
+
+      if (step % 4 == 1) {
+        const RankResult got_run = session.run(d, opts);
+        const RefRunResult want_run = ref_run(scheduler, all, d, opts);
+        EXPECT_EQ(got_run.feasible, want_run.feasible);
+        expect_same_schedule(got_run.schedule, want_run.schedule, all);
+      }
+
+      // Exercise snapshot/restore: take a snapshot, wander off to other
+      // deadlines, restore, and verify the next computation still matches
+      // the reference for *current* deadlines.
+      if (step % 5 == 2) {
+        session.snapshot();
+        DeadlineMap detour = d;
+        for (const NodeId id : all.ids()) {
+          detour[id] = std::max<Time>(g.node(id).exec_time, d[id] / 2);
+        }
+        (void)session.compute_ranks(detour, opts);
+        session.restore_snapshot();
+        const std::vector<Time>& back = session.compute_ranks(d, opts);
+        expect_same_ranks(back, want, all);
+      }
+    }
+  }
+}
+
+/// Galloping + bisection in the restricted case must return exactly the
+/// relax amount, deadlines and schedule of the +1 linear scan.
+TEST(Differential, MergeMatchesLinearReferenceRestricted) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Prng prng(0x3a6e + seed * 53);
+    RandomTraceParams params;
+    params.num_blocks = 2;
+    params.block.num_nodes = 16;
+    params.block.edge_prob = 0.25;
+    params.block.max_latency = 1;
+    params.cross_edges = 3;
+    const DepGraph g = random_trace(prng, params);
+    const MachineModel machine = scalar01();
+    const RankScheduler scheduler(g, machine);
+    const std::vector<NodeSet> blocks = blocks_of(g);
+    ASSERT_EQ(blocks.size(), 2u);
+    const Time huge = huge_deadline(g, NodeSet::all(g.num_nodes()));
+    DeadlineMap deadlines = uniform_deadlines(g, huge);
+    const RankResult old_alone = scheduler.run(blocks[0], deadlines, {});
+    ASSERT_TRUE(old_alone.feasible);
+    // Two deadline setups: pinned-to-completions forces relax > 0, huge
+    // leaves relax == 0 — both ends of the gallop.
+    for (const bool pinned : {true, false}) {
+      DeadlineMap d = deadlines;
+      if (pinned) {
+        for (const NodeId id : blocks[0].ids()) {
+          d[id] = old_alone.schedule.completion(id);
+        }
+      }
+      const NodeSet cur = set_union(blocks[0], blocks[1]);
+      const MergeResult got = merge_blocks(scheduler, blocks[0], blocks[1], d,
+                                           old_alone.makespan, huge, {});
+      const RefMergeResult want = ref_merge_blocks(
+          scheduler, blocks[0], blocks[1], d, old_alone.makespan, huge, {});
+      EXPECT_EQ(got.relax, want.relax) << "seed " << seed;
+      EXPECT_EQ(got.makespan, want.makespan);
+      expect_same_schedule(got.schedule, want.schedule, cur);
+      for (const NodeId id : cur.ids()) {
+        EXPECT_EQ(got.deadlines[id], want.deadlines[id]) << "node " << id;
+      }
+    }
+  }
+}
+
+/// In heuristic regimes (typed units, latencies > 1) the optimized merge
+/// takes the legacy +1 scan — results must still match the reference.
+TEST(Differential, MergeMatchesReferenceHeuristic) {
+  struct Case {
+    MachineModel machine;
+    bool typed;
+    int max_latency;
+  };
+  const std::vector<Case> cases = {
+      {deep_pipeline(), false, 3},
+      {rs6000_like(), true, 1},
+  };
+  for (const Case& c : cases) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      Prng prng(0x8e07 + seed * 17);
+      DepGraph g = [&] {
+        if (c.typed) {
+          return random_machine_trace(prng, c.machine, 2, 12, 0.3, 2);
+        }
+        RandomTraceParams params;
+        params.num_blocks = 2;
+        params.block.num_nodes = 12;
+        params.block.edge_prob = 0.3;
+        params.block.max_latency = c.max_latency;
+        params.cross_edges = 2;
+        return random_trace(prng, params);
+      }();
+      const RankScheduler scheduler(g, c.machine);
+      const std::vector<NodeSet> blocks = blocks_of(g);
+      ASSERT_EQ(blocks.size(), 2u);
+      const NodeSet cur = set_union(blocks[0], blocks[1]);
+      const Time huge = huge_deadline(g, NodeSet::all(g.num_nodes()));
+      DeadlineMap d = uniform_deadlines(g, huge);
+      const RankResult old_alone = scheduler.run(blocks[0], d, {});
+      ASSERT_TRUE(old_alone.feasible);
+      for (const NodeId id : blocks[0].ids()) {
+        d[id] = old_alone.schedule.completion(id);
+      }
+      for (const bool split : {false, true}) {
+        RankOptions opts;
+        opts.split_long_ops = split;
+        const MergeResult got = merge_blocks(scheduler, blocks[0], blocks[1],
+                                             d, old_alone.makespan, huge,
+                                             opts);
+        const RefMergeResult want =
+            ref_merge_blocks(scheduler, blocks[0], blocks[1], d,
+                             old_alone.makespan, huge, opts);
+        EXPECT_EQ(got.relax, want.relax);
+        EXPECT_EQ(got.makespan, want.makespan);
+        expect_same_schedule(got.schedule, want.schedule, cur);
+        for (const NodeId id : cur.ids()) {
+          EXPECT_EQ(got.deadlines[id], want.deadlines[id]);
+        }
+      }
+    }
+  }
+}
+
+/// The ready-queue greedy pass must place exactly like the front-rescan
+/// formulation for *any* priority list, not just rank-sorted ones.
+TEST(Differential, GreedyQueueMatchesFrontRescan) {
+  for (const MachineModel& machine :
+       {scalar01(), rs6000_like(), vliw4(), deep_pipeline()}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      Prng prng(0x96ee + seed * 271);
+      const DepGraph g =
+          random_machine_block(prng, machine, /*num_nodes=*/30,
+                               /*edge_prob=*/0.2);
+      const RankScheduler scheduler(g, machine);
+      const NodeSet all = NodeSet::all(g.num_nodes());
+
+      // Random priority list: sort ids by a random key.
+      std::vector<NodeId> list = all.ids();
+      std::vector<std::uint64_t> key(list.size());
+      for (auto& k : key) k = prng();
+      std::sort(list.begin(), list.end(), [&](NodeId a, NodeId b) {
+        return std::tie(key[a], a) < std::tie(key[b], b);
+      });
+
+      const Schedule got = scheduler.greedy_from_list(all, list);
+      const Schedule want = ref_greedy_from_list(scheduler, all, list);
+      expect_same_schedule(got, want, all);
+    }
+  }
+}
+
+/// delay_idle_slots drives move_idle_slot's speculative snapshot/restore
+/// machinery; its output must be independent of the session caching (the
+/// one-shot move_idle_slot overload constructs a fresh session per call).
+TEST(Differential, DelayIdleSlotsSessionIndependent) {
+  Prng prng(0xde1a);
+  RandomBlockParams params;
+  params.num_nodes = 28;
+  params.layers = 14;
+  params.edge_prob = 0.8;
+  params.max_latency = 3;
+  const DepGraph g = random_block(prng, params);
+  const MachineModel machine = deep_pipeline();
+  const RankScheduler scheduler(g, machine);
+  const NodeSet all = NodeSet::all(g.num_nodes());
+  DeadlineMap base = uniform_deadlines(g, huge_deadline(g, all));
+  const RankResult r = scheduler.run(all, base, {});
+  ASSERT_TRUE(r.feasible);
+  DeadlineMap d1 = base;
+  for (const NodeId id : all.ids()) d1[id] = r.makespan;
+  DeadlineMap d2 = d1;
+
+  // Sweep once through the shared-session driver...
+  Schedule via_driver = delay_idle_slots(scheduler, r.schedule, d1, {});
+
+  // ...and once slot-by-slot through fresh sessions.
+  Schedule s = r.schedule;
+  std::size_t i = 0;
+  while (true) {
+    const auto& slots = s.idle_slots();
+    if (i >= slots.size()) break;
+    IdleSlot slot = slots[i];
+    while (true) {
+      MoveIdleResult res = move_idle_slot(scheduler, s, d2, slot, {});
+      s = std::move(res.schedule);
+      if (!res.moved || res.slot.time >= s.makespan()) break;
+      slot = res.slot;
+    }
+    ++i;
+  }
+
+  expect_same_schedule(via_driver, s, all);
+  EXPECT_EQ(d1, d2);
+}
+
+}  // namespace
+}  // namespace ais

@@ -45,6 +45,38 @@ TEST(Schedule, IdleSlotsAndTail) {
   EXPECT_EQ(s.tail_node(0, 3), kInvalidNode);
 }
 
+TEST(Schedule, IdleSlotsMemoInvalidatedByPlace) {
+  const DepGraph g = fig1_bb1();
+  Schedule s(&g, NodeSet::all(g.num_nodes()), 1);
+  s.place(g.find("e"), 0, 0);
+  s.place(g.find("x"), 1, 0);
+  s.place(g.find("w"), 3, 0);
+  // The memoized list must be stable across repeated reads...
+  const auto& first = s.idle_slots();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0], (IdleSlot{0, 2}));
+  EXPECT_EQ(&s.idle_slots(), &first);  // same cached vector
+  // ...and recomputed after a placement changes the schedule.
+  s.place(g.find("b"), 5, 0);
+  const auto& second = s.idle_slots();
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0], (IdleSlot{0, 2}));
+  EXPECT_EQ(second[1], (IdleSlot{0, 4}));
+}
+
+TEST(Schedule, IdleSlotIndexFindsEverySlot) {
+  const DepGraph g = fig1_bb1();
+  Schedule s(&g, NodeSet::all(g.num_nodes()), 1);
+  s.place(g.find("e"), 0, 0);
+  s.place(g.find("x"), 2, 0);
+  s.place(g.find("w"), 5, 0);
+  const auto& slots = s.idle_slots();
+  ASSERT_EQ(slots.size(), 3u);  // t = 1, 3, 4
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(s.idle_slot_index(slots[i]), i);
+  }
+}
+
 TEST(Schedule, USets) {
   const DepGraph g = fig1_bb1();
   const Schedule s = fig1_like(g);

@@ -1,7 +1,12 @@
-// Unit tests for the support substrate: PRNG, bitset, strings, tables, CLI.
+// Unit tests for the support substrate: PRNG, bitset, strings, tables, CLI,
+// thread pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "support/bitset.hpp"
 #include "support/cli.hpp"
@@ -9,6 +14,7 @@
 #include "support/prng.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ais {
 namespace {
@@ -152,6 +158,73 @@ TEST(Cli, ParsesFormsAndDefaults) {
   EXPECT_EQ(args.get_string("s", "dft"), "dft");
   EXPECT_TRUE(args.has("p"));
   EXPECT_FALSE(args.has("q"));
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> sum{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    for (int i = 1; i <= 100; ++i) {
+      pool.submit([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(sum.load(), 5050);
+    // The pool is reusable after wait_idle.
+    pool.submit([&sum] { sum.fetch_add(1, std::memory_order_relaxed); });
+  }  // destructor drains the queue
+  EXPECT_EQ(sum.load(), 5051);
+}
+
+TEST(ThreadPool, ClampJobs) {
+  EXPECT_GE(clamp_jobs(0), 1);
+  EXPECT_GE(clamp_jobs(-3), 1);
+  EXPECT_EQ(clamp_jobs(1), 1);
+  EXPECT_EQ(clamp_jobs(7), 7);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const int jobs : {1, 2, 4}) {
+    constexpr std::size_t kN = 257;
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto& h : hits) h.store(0);
+    parallel_for(jobs, kN, [&hits](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "jobs=" << jobs << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelFor, ZeroAndOneElementDegenerate) {
+  int calls = 0;
+  parallel_for(8, 0, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(8, 1, [&calls](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, TasksOverlapInTime) {
+  // Two tasks that each wait for the other to start can only finish if the
+  // pool genuinely runs them concurrently (a serial loop would deadlock the
+  // first task; the generous timeout turns that into a visible failure).
+  std::atomic<int> started{0};
+  std::atomic<bool> both_seen{false};
+  parallel_for(2, 2, [&](std::size_t) {
+    started.fetch_add(1);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (started.load() < 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+    if (started.load() == 2) both_seen.store(true);
+  });
+  EXPECT_TRUE(both_seen.load());
 }
 
 TEST(Csv, WritesEscapedRows) {

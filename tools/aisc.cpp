@@ -12,6 +12,8 @@
 //   --mode MODE      trace (default) | loop | cfg
 //   --machine NAME   scalar01 | rs6000 (default) | deep | vliw4
 //   --window N       lookahead window (0 = machine default)
+//   --jobs N         cfg mode: compile traces on N threads (0 = all
+//                    hardware threads; output identical at every N)
 //   --rename         run local register renaming first
 //   --report         print cycle counts (before/after) to stderr
 //   --verify         re-check the emitted schedule with the independent
@@ -96,8 +98,8 @@ int main(int argc, char** argv) {
   const std::string path = args.get_string("in", "");
   if (path.empty()) {
     std::fprintf(stderr, "usage: aisc --in FILE [--mode trace|loop|cfg] "
-                         "[--machine NAME] [--window N] [--rename] "
-                         "[--report] [--verify] [--profile] "
+                         "[--machine NAME] [--window N] [--jobs N] "
+                         "[--rename] [--report] [--verify] [--profile] "
                          "[--trace-json FILE]\n");
     return 1;
   }
@@ -128,8 +130,9 @@ int main(int argc, char** argv) {
 
   if (mode == "cfg") {
     const Cfg cfg(prog);
+    const int jobs = static_cast<int>(args.get_int("jobs", 1));
     const CompiledProgram compiled =
-        compile_program(cfg, machine, window, do_verify);
+        compile_program(cfg, machine, window, do_verify, jobs);
     emit(compiled.program.blocks);
     if (report) {
       std::fprintf(stderr,

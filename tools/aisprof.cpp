@@ -6,14 +6,15 @@
 // stall-cycle attribution and window-occupancy histogram.
 //
 //   aisprof --in prog.s [--mode trace|loop|cfg] [--machine NAME]
-//           [--window N] [--repeat N] [--trace-json FILE] [--json FILE]
+//           [--window N] [--repeat N] [--jobs N] [--trace-json FILE]
+//           [--json FILE]
 //
 // A second mode quantifies the ROADMAP `window-span` open item over random
 // traces (how often Merge's planning order carries inversions spanning
 // more than W list positions):
 //
 //   aisprof --random-traces N [--blocks B] [--nodes K] [--window W]
-//           [--machine NAME] [--seed S]
+//           [--machine NAME] [--seed S] [--jobs N]
 //
 // Flags:
 //   --in FILE          input assembly
@@ -28,6 +29,8 @@
 //   --edge-prob P      intra-block edge probability (default 0.35)
 //   --max-latency L    maximum edge latency (default 3; 1 = restricted case)
 //   --seed S           PRNG seed for the survey (default 42)
+//   --jobs N           compile traces on N threads (0 = all hardware
+//                      threads; results are identical at every N)
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -47,6 +50,7 @@
 #include "support/stopwatch.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 #include "workloads/random_graphs.hpp"
 
 namespace {
@@ -120,20 +124,30 @@ int run_random_survey(const CliArgs& args) {
       static_cast<int>(args.get_int("max-latency", 3));
   params.cross_edges = 2;
 
+  const int jobs = static_cast<int>(args.get_int("jobs", 1));
+
+  // The trace set is pregenerated serially from the single PRNG stream so
+  // it is identical at every --jobs; each trace then compiles into its own
+  // result slot, and the aggregation below is a serial reduction.
+  std::vector<DepGraph> graphs;
+  graphs.reserve(static_cast<std::size_t>(std::max(n, 0)));
+  for (int i = 0; i < n; ++i) graphs.push_back(random_trace(prng, params));
+
+  std::vector<std::size_t> spans(graphs.size(), 0);
+  parallel_for(jobs, graphs.size(), [&](std::size_t i) {
+    const RankScheduler scheduler(graphs[i], machine);
+    LookaheadOptions opts;
+    opts.window = window;
+    spans[i] = schedule_trace(scheduler, opts).diag.max_inversion_span;
+  });
+
   int over = 0;
   std::size_t max_span = 0;
   double span_sum = 0;
-  for (int i = 0; i < n; ++i) {
-    const DepGraph g = random_trace(prng, params);
-    const RankScheduler scheduler(g, machine);
-    LookaheadOptions opts;
-    opts.window = window;
-    const LookaheadResult res = schedule_trace(scheduler, opts);
-    if (res.diag.max_inversion_span > static_cast<std::size_t>(window)) {
-      ++over;
-    }
-    max_span = std::max(max_span, res.diag.max_inversion_span);
-    span_sum += static_cast<double>(res.diag.max_inversion_span);
+  for (const std::size_t span : spans) {
+    if (span > static_cast<std::size_t>(window)) ++over;
+    max_span = std::max(max_span, span);
+    span_sum += static_cast<double>(span);
   }
 
   TextTable t({"metric", "value"});
@@ -169,10 +183,10 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     std::fprintf(stderr,
                  "usage: aisprof --in FILE [--mode trace|loop|cfg] "
-                 "[--machine NAME] [--window N] [--repeat N] "
+                 "[--machine NAME] [--window N] [--repeat N] [--jobs N] "
                  "[--trace-json FILE] [--json FILE]\n"
                  "       aisprof --random-traces N [--blocks B] [--nodes K] "
-                 "[--window W] [--machine NAME] [--seed S]\n");
+                 "[--window W] [--machine NAME] [--seed S] [--jobs N]\n");
     return 2;
   }
   std::ifstream in(path);
@@ -229,10 +243,11 @@ int main(int argc, char** argv) {
     cycles_per_iteration = scheduled.cycles_per_iteration;
   } else if (mode == "cfg") {
     const Cfg cfg(prog);
+    const int jobs = static_cast<int>(args.get_int("jobs", 1));
     CompiledProgram compiled;
     compile_ms = timed_ms([&] {
       for (int r = 0; r < repeat; ++r) {
-        compiled = compile_program(cfg, machine, window);
+        compiled = compile_program(cfg, machine, window, false, jobs);
       }
     });
     cycles_before = compiled.hot_trace_cycles_before;
