@@ -14,6 +14,8 @@
 #include "core/merge.hpp"
 #include "core/move_idle.hpp"
 #include "core/rank.hpp"
+#include "core/schedule_cache.hpp"
+#include "driver/anticipatory.hpp"
 #include "driver/function_compiler.hpp"
 #include "ir/asm_parser.hpp"
 #include "machine/machine_model.hpp"
@@ -140,10 +142,14 @@ void BM_ParallelTraces(benchmark::State& state) {
   }
   const MachineModel machine = deep_pipeline();
   const int jobs = static_cast<int>(state.range(0));
+  // Measure the raw solver: the bypass must reach the pool's worker
+  // threads, so flip the global switch rather than the thread-local one.
+  ScheduleCache::global().set_enabled(false);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         compile_program(cfg, machine, /*window=*/4, /*verify=*/true, jobs));
   }
+  ScheduleCache::global().set_enabled(true);
 }
 BENCHMARK(BM_ParallelTraces)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
@@ -165,6 +171,7 @@ void BM_LookaheadChoppable(benchmark::State& state) {
   const RankScheduler scheduler(g, machine);
   LookaheadOptions opts;
   opts.window = 4;
+  const ScheduleCache::ScopedBypass bypass;  // measure the raw solver
   for (auto _ : state) {
     benchmark::DoNotOptimize(schedule_trace(scheduler, opts));
   }
@@ -188,11 +195,86 @@ void BM_LookaheadDense(benchmark::State& state) {
   const RankScheduler scheduler(g, machine);
   LookaheadOptions opts;
   opts.window = 4;
+  const ScheduleCache::ScopedBypass bypass;  // measure the raw solver
   for (auto _ : state) {
     benchmark::DoNotOptimize(schedule_trace(scheduler, opts));
   }
   state.SetComplexityN(blocks);
 }
 BENCHMARK(BM_LookaheadDense)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+// --- schedule cache -------------------------------------------------------
+
+/// Warm trace-level hit: the first iteration populates the cache, every
+/// further iteration is served from it (key build + certificate-free memory
+/// hit + id remap).  Same workload as BM_LookaheadChoppable, so the
+/// cold-vs-warm gap is read directly against that bench.
+void BM_ScheduleCacheWarm(benchmark::State& state) {
+  const int blocks = static_cast<int>(state.range(0));
+  Prng prng(0x7ace + static_cast<std::uint64_t>(blocks));
+  RandomTraceParams params;
+  params.num_blocks = blocks;
+  params.block.num_nodes = 12;
+  params.block.edge_prob = 0.35;
+  params.block.max_latency = 3;
+  params.cross_edges = 2;
+  const DepGraph g = random_trace(prng, params);
+  const MachineModel machine = deep_pipeline();
+  const RankScheduler scheduler(g, machine);
+  LookaheadOptions opts;
+  opts.window = 4;
+  ScheduleCache::global().set_enabled(true);
+  ScheduleCache::global().clear();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_trace(scheduler, opts));
+  }
+  state.SetComplexityN(blocks);
+}
+BENCHMARK(BM_ScheduleCacheWarm)
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Complexity();
+
+/// The §5 compile shape the cache exists for: the same loop body scheduled
+/// again and again (wrap-around clone inside one compile, recompiles across
+/// iterations of the bench loop).  Multi-block body so the compile takes
+/// the schedule_loop_trace wrap-around path; latency-rich so the bypassed
+/// solve does real Merge/Delay_Idle/Chop work.
+Loop make_bench_loop() {
+  std::string text;
+  for (const char* label : {"head", "mid1", "mid2", "tail"}) {
+    text += std::string("block ") + label + ":\n";
+    for (int round = 0; round < 12; ++round) {
+      text += "  LDU r1, a[r9+" + std::to_string(8 * round) + "]\n";
+      text += "  MUL r3, r1, r2\n  ADD r4, r3, r1\n  SUB r5, r4, r2\n";
+      text += "  MUL r6, r5, r1\n  ADD r7, r6, r3\n  ADD r2, r7, r5\n";
+    }
+  }
+  text += "  CMP c1, r2, 0\n  BT  c1, head\n";
+  Loop loop;
+  loop.body = Trace{parse_program(text).blocks};
+  return loop;
+}
+
+void BM_LoopRepeatedBody_CacheOff(benchmark::State& state) {
+  const Loop loop = make_bench_loop();
+  const MachineModel machine = deep_pipeline();
+  const ScheduleCache::ScopedBypass bypass;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule(loop, machine, /*window=*/4));
+  }
+}
+BENCHMARK(BM_LoopRepeatedBody_CacheOff);
+
+void BM_LoopRepeatedBody_CacheWarm(benchmark::State& state) {
+  const Loop loop = make_bench_loop();
+  const MachineModel machine = deep_pipeline();
+  ScheduleCache::global().set_enabled(true);
+  ScheduleCache::global().clear();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule(loop, machine, /*window=*/4));
+  }
+}
+BENCHMARK(BM_LoopRepeatedBody_CacheWarm);
 
 }  // namespace

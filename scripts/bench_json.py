@@ -11,7 +11,7 @@ scheduler wall time per compile.
 
 Compare mode checks a fresh snapshot against a committed baseline:
 
-    bench_json.py --compare BENCH_PR2.json --current BENCH_PR3.json \
+    bench_json.py --compare BENCH_PR3.json --current BENCH_PR4.json \
         --max-regress 1.15
 
 fails (exit 1) when any benchmark present in both files got slower than
@@ -107,7 +107,7 @@ def main():
                         help="aisprof --json output files")
     parser.add_argument("--google-benchmark",
                         help="google-benchmark --benchmark_format=json file")
-    parser.add_argument("--out", default="BENCH_PR3.json")
+    parser.add_argument("--out", default="BENCH_PR4.json")
     parser.add_argument("--compare", metavar="BASELINE",
                         help="baseline snapshot to diff --current against")
     parser.add_argument("--current", metavar="SNAPSHOT",

@@ -97,10 +97,22 @@ RankSession::RankSession(const RankScheduler& scheduler, const NodeSet& active)
       active_(active),
       active_ids_(active.ids()),
       closure_(scheduler.graph(), active),
+      exec_(ArenaAllocator<Time>(arena_)),
+      fu_class_(ArenaAllocator<std::int32_t>(arena_)),
+      succ_begin_(ArenaAllocator<std::uint32_t>(arena_)),
+      succ_to_(ArenaAllocator<NodeId>(arena_)),
+      succ_lat_(ArenaAllocator<Time>(arena_)),
       rank_(scheduler.graph().num_nodes(), kInf),
+      desc_part_(ArenaAllocator<Time>(arena_)),
+      desc_entries_(ArenaAllocator<DescEntry>(arena_)),
+      desc_keys_(ArenaAllocator<std::uint64_t>(arena_)),
+      by_rank_(ArenaAllocator<DescEntry>(arena_)),
+      back_start_(ArenaAllocator<Time>(arena_)),
       packer_lanes_(BackwardPacker::make_lanes(scheduler.machine())),
       changed_(scheduler.graph().num_nodes()),
-      rank_changed_(scheduler.graph().num_nodes()) {
+      rank_changed_(scheduler.graph().num_nodes()),
+      snap_desc_part_(ArenaAllocator<Time>(arena_)),
+      snap_by_rank_(ArenaAllocator<DescEntry>(arena_)) {
   const auto order = topo_order(scheduler.graph(), active);
   AIS_CHECK(order.has_value(), "rank computation requires an acyclic graph");
   order_ = std::move(*order);
@@ -120,6 +132,8 @@ RankSession::RankSession(const RankScheduler& scheduler, const NodeSet& active)
     fu_class_[id] = g.node(id).fu_class;
   }
   succ_begin_.assign(n + 1, 0);
+  succ_to_.reserve(g.num_edges());
+  succ_lat_.reserve(g.num_edges());
   for (NodeId x = 0; x < n; ++x) {
     succ_begin_[x + 1] = succ_begin_[x];
     if (!active_.contains(x)) continue;

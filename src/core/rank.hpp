@@ -39,6 +39,7 @@
 #include "graph/depgraph.hpp"
 #include "graph/nodeset.hpp"
 #include "machine/machine_model.hpp"
+#include "support/arena.hpp"
 #include "support/bitset.hpp"
 
 namespace ais {
@@ -165,16 +166,23 @@ class RankSession {
   std::vector<NodeId> active_ids_;  // == active_.ids(), materialized once
   DescendantClosure closure_;
 
+  // Backing store for the session-internal scratch vectors below: they are
+  // sized once to the active set and die with the session, so their growth
+  // is pointer bumps instead of a dozen mallocs per session.  Members the
+  // API exposes by reference (order_, active_ids_, rank_, snap_rank_,
+  // deadline maps) stay ordinary vectors.
+  Arena arena_;
+
   // Flat copies of the per-node fields the backward pass touches — NodeInfo
   // drags a std::string through the cache per access, these do not.
   bool single_lane_ = false;  // machine has exactly one unit overall
-  std::vector<Time> exec_;
-  std::vector<std::int32_t> fu_class_;
+  ArenaVector<Time> exec_;
+  ArenaVector<std::int32_t> fu_class_;
   // CSR of distance-0 out-edges between active nodes: targets/latencies of
   // node x live at [succ_begin_[x], succ_begin_[x + 1]).
-  std::vector<std::uint32_t> succ_begin_;
-  std::vector<NodeId> succ_to_;
-  std::vector<Time> succ_lat_;
+  ArenaVector<std::uint32_t> succ_begin_;
+  ArenaVector<NodeId> succ_to_;
+  ArenaVector<Time> succ_lat_;
 
   // Rank cache: valid while has_ranks_, for deadlines cached_deadlines_ and
   // the split_long_ops setting cached_split_.  rank_[x] ==
@@ -185,21 +193,21 @@ class RankSession {
   bool cached_split_ = false;
   DeadlineMap cached_deadlines_;
   std::vector<Time> rank_;
-  std::vector<Time> desc_part_;
+  ArenaVector<Time> desc_part_;
 
   // Scratch hoisted out of the per-node backward pass.
   struct DescEntry {
     Time rank;
     NodeId id;
   };
-  std::vector<DescEntry> desc_entries_;
-  std::vector<std::uint64_t> desc_keys_;
+  ArenaVector<DescEntry> desc_entries_;
+  ArenaVector<std::uint64_t> desc_keys_;
   // Active nodes in (rank desc, id asc) order, maintained across passes
   // (full pass rebuilds it; incremental passes reposition changed nodes),
   // so a node's descendants come out of one membership-filtered scan
   // already sorted — no per-node sort anywhere in the backward pass.
-  std::vector<DescEntry> by_rank_;
-  std::vector<Time> back_start_;
+  ArenaVector<DescEntry> by_rank_;
+  ArenaVector<Time> back_start_;
   std::vector<std::vector<Time>> packer_lanes_;  // [class][lane]
   DynamicBitset changed_;       // deadline-changed nodes, per call
   DynamicBitset rank_changed_;  // rank-moved nodes, per call
@@ -208,8 +216,8 @@ class RankSession {
   bool snap_valid_ = false;
   bool snap_split_ = false;
   std::vector<Time> snap_rank_;
-  std::vector<Time> snap_desc_part_;
-  std::vector<DescEntry> snap_by_rank_;
+  ArenaVector<Time> snap_desc_part_;
+  ArenaVector<DescEntry> snap_by_rank_;
   DeadlineMap snap_deadlines_;
 };
 

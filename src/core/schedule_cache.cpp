@@ -1,0 +1,974 @@
+#include "core/schedule_cache.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <list>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "support/arena.hpp"
+#include "support/assert.hpp"
+
+namespace ais {
+namespace {
+
+// --- byte-buffer serialization (native-endian; keys and values never leave
+// --- the machine except through the disk tier, whose header is validated
+// --- byte-for-byte, so a foreign-endian file is simply a miss) ------------
+
+template <typename T>
+void put_raw(std::string& b, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  b.append(buf, sizeof(T));
+}
+
+void put_u8(std::string& b, std::uint8_t v) { put_raw(b, v); }
+void put_u32(std::string& b, std::uint32_t v) { put_raw(b, v); }
+void put_u64(std::string& b, std::uint64_t v) { put_raw(b, v); }
+void put_i64(std::string& b, std::int64_t v) { put_raw(b, v); }
+
+/// Bounds-checked forward reader over a byte string.  Every accessor
+/// returns a zero value once ok() has gone false, so a truncated buffer
+/// cannot walk past the end — callers check ok() after a parse, not after
+/// every field.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes)
+      : p_(bytes.data()), end_(bytes.data() + bytes.size()) {}
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return ok_ && p_ == end_; }
+
+  std::uint8_t u8() { return get<std::uint8_t>(); }
+  std::uint32_t u32() { return get<std::uint32_t>(); }
+  std::uint64_t u64() { return get<std::uint64_t>(); }
+  std::int64_t i64() { return get<std::int64_t>(); }
+
+  std::string_view bytes(std::size_t n) {
+    if (!ok_ || static_cast<std::size_t>(end_ - p_) < n) {
+      ok_ = false;
+      return {};
+    }
+    std::string_view v(p_, n);
+    p_ += n;
+    return v;
+  }
+
+ private:
+  template <typename T>
+  T get() {
+    if (!ok_ || static_cast<std::size_t>(end_ - p_) < sizeof(T)) {
+      ok_ = false;
+      return T{};
+    }
+    T v;
+    std::memcpy(&v, p_, sizeof(T));
+    p_ += sizeof(T);
+    return v;
+  }
+
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+// --- hashing --------------------------------------------------------------
+
+/// splitmix64 finalizer: the bijective mixer every label and accumulator
+/// goes through, so commutative sums of mixed values stay well-distributed.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over raw bytes; seeds the structural hash with the scalar
+/// (node-id-free) prefix of the key.
+std::uint64_t hash_bytes(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kInSalt = 0x8e2a4f7d9c1b3e55ULL;
+constexpr std::uint64_t kOutSalt = 0x41c64e6da3b59f21ULL;
+constexpr char kTraceKind = 'T';
+constexpr char kStepKind = 'S';
+constexpr std::uint32_t kNoBlock = 0xffffffffU;
+
+/// Flag bits of the key prefix's `flags` byte.
+constexpr std::uint8_t kFlagDelayIdle = 1U << 0U;
+constexpr std::uint8_t kFlagMergeCaps = 1U << 1U;
+constexpr std::uint8_t kFlagDoChop = 1U << 2U;
+constexpr std::uint8_t kFlagSplitLongOps = 1U << 3U;
+constexpr std::uint8_t kFlagHasTie = 1U << 4U;
+
+/// One node of the dense instance, attributes only — ids are positional.
+struct DenseNode {
+  std::uint32_t exec = 0;
+  std::uint32_t fu = 0;
+  std::uint32_t block_pos = 0;  // trace keys
+  std::uint8_t is_new = 0;      // step keys
+  std::int64_t deadline = 0;    // step keys
+  std::int64_t tie = 0;         // when the instance has a tie-break vector
+};
+
+struct DenseEdge {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint32_t latency = 0;
+};
+
+/// The Weisfeiler–Leman-style structural hash: per-node labels from local
+/// attributes, refined by two rounds of commutative in/out-neighborhood
+/// accumulation, folded into an order-independent digest.  Invariant under
+/// any isomorphic relabeling of the dense instance (sums and xors commute;
+/// nothing reads a node's positional id).
+std::uint64_t wl_hash(std::uint64_t seed, char kind, bool has_tie,
+                      const DenseNode* nodes, std::size_t n,
+                      const DenseEdge* edges, std::size_t m, Arena& scratch) {
+  std::uint64_t* cur = scratch.alloc_array<std::uint64_t>(n);
+  std::uint64_t* nxt = scratch.alloc_array<std::uint64_t>(n);
+  std::uint64_t* in_acc = scratch.alloc_array<std::uint64_t>(n);
+  std::uint64_t* out_acc = scratch.alloc_array<std::uint64_t>(n);
+
+  for (std::size_t v = 0; v < n; ++v) {
+    const DenseNode& node = nodes[v];
+    std::uint64_t h = mix64(seed ^ ((static_cast<std::uint64_t>(node.exec)
+                                     << 32U) |
+                                    node.fu));
+    if (kind == kTraceKind) {
+      h = mix64(h ^ node.block_pos);
+    } else {
+      h = mix64(mix64(h ^ node.is_new) ^
+                static_cast<std::uint64_t>(node.deadline));
+    }
+    if (has_tie) h = mix64(h ^ static_cast<std::uint64_t>(node.tie));
+    cur[v] = h;
+  }
+
+  for (int round = 0; round < 2; ++round) {
+    std::fill_n(in_acc, n, std::uint64_t{0});
+    std::fill_n(out_acc, n, std::uint64_t{0});
+    for (std::size_t e = 0; e < m; ++e) {
+      const DenseEdge& edge = edges[e];
+      const std::uint64_t lat = mix64(edge.latency);
+      out_acc[edge.from] += mix64(cur[edge.to] ^ lat ^ kOutSalt);
+      in_acc[edge.to] += mix64(cur[edge.from] ^ lat ^ kInSalt);
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      nxt[v] = mix64(cur[v] + 3 * mix64(in_acc[v]) + 5 * mix64(out_acc[v]));
+    }
+    std::swap(cur, nxt);
+  }
+
+  std::uint64_t sum = 0;
+  std::uint64_t xored = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint64_t h = mix64(cur[v]);
+    sum += h;
+    xored ^= h;
+  }
+  return mix64(seed ^ sum) ^
+         mix64(xored + (static_cast<std::uint64_t>(n) << 32U) + m);
+}
+
+/// Per-thread scratch for key building and hashing; reset at every use, so
+/// it converges on the peak instance size and stops allocating.
+Arena& key_scratch() {
+  thread_local Arena arena;
+  return arena;
+}
+
+// --- key serialization ----------------------------------------------------
+
+std::uint8_t flags_of(const CacheInstanceParams& params, bool has_tie) {
+  std::uint8_t flags = 0;
+  if (params.delay_idle) flags |= kFlagDelayIdle;
+  if (params.merge_deadline_caps) flags |= kFlagMergeCaps;
+  if (params.do_chop) flags |= kFlagDoChop;
+  if (params.split_long_ops) flags |= kFlagSplitLongOps;
+  if (has_tie) flags |= kFlagHasTie;
+  return flags;
+}
+
+/// The scalar, node-id-free key prefix: kind, versions, the machine
+/// fingerprint (shape and full timing table; names are dropped — scheduling
+/// is name-independent), window, huge horizon and the algorithm switches.
+void serialize_prefix(std::string& b, char kind,
+                      const CacheInstanceParams& params, bool has_tie) {
+  put_u8(b, static_cast<std::uint8_t>(kind));
+  put_u32(b, kScheduleCacheFormatVersion);
+  put_u32(b, kScheduleCacheAlgoVersion);
+  const MachineModel& machine = *params.machine;
+  put_u32(b, static_cast<std::uint32_t>(machine.issue_width()));
+  put_u32(b, static_cast<std::uint32_t>(machine.num_fu_classes()));
+  for (const FuClassInfo& fu : machine.fu_classes()) {
+    put_u32(b, static_cast<std::uint32_t>(fu.count));
+  }
+  put_u32(b, static_cast<std::uint32_t>(kNumOpClasses));
+  for (std::size_t cls = 0; cls < kNumOpClasses; ++cls) {
+    const OpTiming& t = machine.timing(static_cast<OpClass>(cls));
+    put_u32(b, static_cast<std::uint32_t>(t.fu_class));
+    put_u32(b, static_cast<std::uint32_t>(t.exec_time));
+    put_u32(b, static_cast<std::uint32_t>(t.latency));
+  }
+  put_i64(b, static_cast<std::int64_t>(params.window));
+  put_i64(b, params.huge);
+  put_u8(b, flags_of(params, has_tie));
+}
+
+bool params_have_tie(const CacheInstanceParams& params) {
+  return params.tie_break != nullptr && !params.tie_break->empty();
+}
+
+std::int64_t tie_value(const CacheInstanceParams& params, NodeId id) {
+  if (id < params.tie_break->size()) return (*params.tie_break)[id];
+  return static_cast<std::int64_t>(id);
+}
+
+void sort_edges(DenseEdge* edges, std::size_t m) {
+  std::sort(edges, edges + m, [](const DenseEdge& a, const DenseEdge& b) {
+    if (a.from != b.from) return a.from < b.from;
+    if (a.to != b.to) return a.to < b.to;
+    return a.latency < b.latency;
+  });
+}
+
+/// Serializes the node/edge sections shared by both key kinds and computes
+/// the structural hash.  `b` already holds the kind-specific prefix.
+void finish_key(CacheKey& key, char kind, bool has_tie,
+                const DenseNode* nodes, std::size_t n, DenseEdge* edges,
+                std::size_t m, Arena& scratch) {
+  std::string& b = key.bytes;
+  const std::uint64_t seed = hash_bytes(std::string_view(b.data(), b.size()));
+
+  sort_edges(edges, m);
+  put_u32(b, static_cast<std::uint32_t>(n));
+  for (std::size_t v = 0; v < n; ++v) {
+    put_u32(b, nodes[v].exec);
+    put_u32(b, nodes[v].fu);
+    if (kind == kTraceKind) {
+      put_u32(b, nodes[v].block_pos);
+    } else {
+      put_u8(b, nodes[v].is_new);
+      put_i64(b, nodes[v].deadline);
+    }
+  }
+  if (has_tie) {
+    for (std::size_t v = 0; v < n; ++v) put_i64(b, nodes[v].tie);
+  }
+  put_u32(b, static_cast<std::uint32_t>(m));
+  for (std::size_t e = 0; e < m; ++e) {
+    put_u32(b, edges[e].from);
+    put_u32(b, edges[e].to);
+    put_u32(b, edges[e].latency);
+  }
+
+  key.hash = wl_hash(seed, kind, has_tie, nodes, n, edges, m, scratch);
+}
+
+/// Decoded form of a key's node/edge sections, for certification and for
+/// recomputing the structural hash in tests.
+struct DecodedKey {
+  char kind = 0;
+  bool has_tie = false;
+  std::size_t num_nodes = 0;
+  std::vector<DenseNode> nodes;
+  std::vector<DenseEdge> edges;
+};
+
+/// Sanity cap on node/edge counts read from (possibly corrupt) disk bytes.
+constexpr std::uint32_t kMaxDecodedCount = 1U << 26U;
+
+bool decode_key(std::string_view bytes, DecodedKey& out) {
+  Reader r(bytes);
+  out.kind = static_cast<char>(r.u8());
+  if (out.kind != kTraceKind && out.kind != kStepKind) return false;
+  if (r.u32() != kScheduleCacheFormatVersion) return false;
+  if (r.u32() != kScheduleCacheAlgoVersion) return false;
+  r.u32();  // issue width
+  const std::uint32_t num_classes = r.u32();
+  if (!r.ok() || num_classes > kMaxDecodedCount) return false;
+  for (std::uint32_t i = 0; i < num_classes; ++i) r.u32();
+  const std::uint32_t num_timings = r.u32();
+  if (!r.ok() || num_timings != kNumOpClasses) return false;
+  for (std::uint32_t i = 0; i < 3 * num_timings; ++i) r.u32();
+  r.i64();  // window
+  r.i64();  // huge
+  const std::uint8_t flags = r.u8();
+  out.has_tie = (flags & kFlagHasTie) != 0;
+  if (out.kind == kTraceKind) {
+    r.u32();  // raw block count
+  } else {
+    r.i64();  // t_old
+  }
+
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > kMaxDecodedCount) return false;
+  out.num_nodes = n;
+  out.nodes.assign(n, DenseNode{});
+  for (DenseNode& node : out.nodes) {
+    node.exec = r.u32();
+    node.fu = r.u32();
+    if (out.kind == kTraceKind) {
+      node.block_pos = r.u32();
+    } else {
+      node.is_new = r.u8();
+      node.deadline = r.i64();
+    }
+  }
+  if (out.has_tie) {
+    for (DenseNode& node : out.nodes) node.tie = r.i64();
+  }
+  const std::uint32_t m = r.u32();
+  if (!r.ok() || m > kMaxDecodedCount) return false;
+  out.edges.assign(m, DenseEdge{});
+  for (DenseEdge& edge : out.edges) {
+    edge.from = r.u32();
+    edge.to = r.u32();
+    edge.latency = r.u32();
+    if (edge.from >= n || edge.to >= n) return false;
+  }
+  return r.at_end();
+}
+
+/// Offset where the node section starts (end of the seed-hashed prefix):
+/// everything before the `n` field.
+std::size_t prefix_length(char kind, std::uint32_t num_classes) {
+  std::size_t len = 1 + 4 + 4;                       // kind + versions
+  len += 4 + 4 + 4ULL * num_classes;                 // machine shape
+  len += 4 + 12ULL * kNumOpClasses;                  // timing table
+  len += 8 + 8 + 1;                                  // window, huge, flags
+  len += kind == kTraceKind ? 4 : 8;                 // block count / t_old
+  return len;
+}
+
+// --- certification --------------------------------------------------------
+
+/// True iff `order` (dense ids, possibly the concatenation of two runs) is
+/// a permutation of 0..n-1 that places every edge's source before its sink.
+/// O(n + m); the only property a consumer needs for memory safety and for
+/// the tail-end AIS_CHECKs of schedule_trace to pass.
+bool order_respects_key(const DecodedKey& dk,
+                        const std::vector<std::uint32_t>& head,
+                        const std::vector<std::uint32_t>& tail) {
+  const std::size_t n = dk.num_nodes;
+  if (head.size() + tail.size() != n) return false;
+  std::vector<std::uint32_t> pos(n, kNoBlock);
+  std::uint32_t next = 0;
+  for (const std::uint32_t v : head) {
+    if (v >= n || pos[v] != kNoBlock) return false;
+    pos[v] = next++;
+  }
+  for (const std::uint32_t v : tail) {
+    if (v >= n || pos[v] != kNoBlock) return false;
+    pos[v] = next++;
+  }
+  for (const DenseEdge& e : dk.edges) {
+    if (pos[e.from] >= pos[e.to]) return false;
+  }
+  return true;
+}
+
+bool certify_trace(const CacheKey& key, const TraceCacheValue& value) {
+  DecodedKey dk;
+  if (!decode_key(key.bytes, dk) || dk.kind != kTraceKind) return false;
+  if (!key.ids.empty() && key.ids.size() != dk.num_nodes) return false;
+  static const std::vector<std::uint32_t> kEmpty;
+  return order_respects_key(dk, value.order, kEmpty);
+}
+
+bool certify_step(const CacheKey& key, const StepCacheValue& value) {
+  DecodedKey dk;
+  if (!decode_key(key.bytes, dk) || dk.kind != kStepKind) return false;
+  if (!key.ids.empty() && key.ids.size() != dk.num_nodes) return false;
+  if (value.suffix_deadlines.size() != value.suffix_order.size()) return false;
+  return order_respects_key(dk, value.emitted, value.suffix_order);
+}
+
+// --- value serialization --------------------------------------------------
+
+void put_u32_vec(std::string& b, const std::vector<std::uint32_t>& v) {
+  put_u32(b, static_cast<std::uint32_t>(v.size()));
+  for (const std::uint32_t x : v) put_u32(b, x);
+}
+
+void put_time_vec(std::string& b, const std::vector<Time>& v) {
+  put_u32(b, static_cast<std::uint32_t>(v.size()));
+  for (const Time x : v) put_i64(b, x);
+}
+
+void put_counters(std::string& b, const CounterDeltaMap& deltas) {
+  put_u32(b, static_cast<std::uint32_t>(deltas.size()));
+  for (const auto& [name, delta] : deltas) {
+    put_u32(b, static_cast<std::uint32_t>(name.size()));
+    b.append(name);
+    put_u64(b, delta);
+  }
+}
+
+bool read_u32_vec(Reader& r, std::vector<std::uint32_t>& v) {
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > kMaxDecodedCount) return false;
+  v.assign(n, 0);
+  for (std::uint32_t& x : v) x = r.u32();
+  return r.ok();
+}
+
+bool read_time_vec(Reader& r, std::vector<Time>& v) {
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > kMaxDecodedCount) return false;
+  v.assign(n, 0);
+  for (Time& x : v) x = r.i64();
+  return r.ok();
+}
+
+bool read_counters(Reader& r, CounterDeltaMap& deltas) {
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > kMaxDecodedCount) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t len = r.u32();
+    if (!r.ok() || len > kMaxDecodedCount) return false;
+    const std::string_view name = r.bytes(len);
+    const std::uint64_t delta = r.u64();
+    if (!r.ok()) return false;
+    deltas.emplace(std::string(name), delta);
+  }
+  return true;
+}
+
+std::string encode_trace_value(const TraceCacheValue& v) {
+  std::string b;
+  put_u32_vec(b, v.order);
+  put_time_vec(b, v.merged_makespans);
+  put_u64(b, v.prefixes_emitted);
+  put_counters(b, v.counter_deltas);
+  return b;
+}
+
+bool decode_trace_value(std::string_view bytes, TraceCacheValue& v) {
+  Reader r(bytes);
+  if (!read_u32_vec(r, v.order)) return false;
+  if (!read_time_vec(r, v.merged_makespans)) return false;
+  v.prefixes_emitted = r.u64();
+  if (!read_counters(r, v.counter_deltas)) return false;
+  return r.at_end();
+}
+
+std::string encode_step_value(const StepCacheValue& v) {
+  std::string b;
+  put_u32_vec(b, v.emitted);
+  put_u32_vec(b, v.suffix_order);
+  put_time_vec(b, v.suffix_deadlines);
+  put_i64(b, v.suffix_makespan);
+  put_i64(b, v.merged_makespan);
+  put_counters(b, v.counter_deltas);
+  return b;
+}
+
+bool decode_step_value(std::string_view bytes, StepCacheValue& v) {
+  Reader r(bytes);
+  if (!read_u32_vec(r, v.emitted)) return false;
+  if (!read_u32_vec(r, v.suffix_order)) return false;
+  if (!read_time_vec(r, v.suffix_deadlines)) return false;
+  v.suffix_makespan = r.i64();
+  v.merged_makespan = r.i64();
+  if (!read_counters(r, v.counter_deltas)) return false;
+  return r.at_end();
+}
+
+// --- disk tier ------------------------------------------------------------
+
+constexpr char kDiskMagic[4] = {'A', 'I', 'S', 'C'};
+
+std::string disk_file_name(std::uint64_t hash) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx.aisc",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::optional<std::string> disk_load(const std::string& dir,
+                                     const CacheKey& key) {
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / disk_file_name(key.hash);
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return std::nullopt;
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) return std::nullopt;
+
+  Reader r(blob);
+  const std::string_view magic = r.bytes(sizeof kDiskMagic);
+  if (!r.ok() || std::memcmp(magic.data(), kDiskMagic, sizeof kDiskMagic) != 0)
+    return std::nullopt;
+  if (r.u32() != kScheduleCacheFormatVersion) return std::nullopt;
+  if (r.u32() != kScheduleCacheAlgoVersion) return std::nullopt;
+  if (r.u64() != key.hash) return std::nullopt;
+  const std::uint64_t key_size = r.u64();
+  if (!r.ok() || key_size != key.bytes.size()) return std::nullopt;
+  const std::string_view key_bytes = r.bytes(key_size);
+  if (!r.ok() || key_bytes != key.bytes) return std::nullopt;
+  const std::uint64_t value_size = r.u64();
+  const std::string_view value = r.bytes(value_size);
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return std::string(value);
+}
+
+/// Atomic publish: write a unique temp file, then rename over the final
+/// name.  A reader never sees a torn file; a lost race just rewrites the
+/// same (deterministic) bytes.  Returns false when any step fails — the
+/// cache degrades to memory-only for that entry.
+bool disk_store(const std::string& dir, const CacheKey& key,
+                const std::string& value, std::uint64_t seq) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+
+  std::string blob;
+  blob.reserve(40 + key.bytes.size() + value.size());
+  blob.append(kDiskMagic, sizeof kDiskMagic);
+  put_u32(blob, kScheduleCacheFormatVersion);
+  put_u32(blob, kScheduleCacheAlgoVersion);
+  put_u64(blob, key.hash);
+  put_u64(blob, key.bytes.size());
+  blob.append(key.bytes);
+  put_u64(blob, value.size());
+  blob.append(value);
+
+  const std::uint64_t nonce =
+      mix64(seq ^ static_cast<std::uint64_t>(
+                      std::chrono::steady_clock::now().time_since_epoch()
+                          .count()));
+  char tmp_name[64];
+  std::snprintf(tmp_name, sizeof tmp_name, ".tmp-%016llx-%016llx",
+                static_cast<unsigned long long>(key.hash),
+                static_cast<unsigned long long>(nonce));
+  const fs::path tmp = fs::path(dir) / tmp_name;
+  const fs::path final_path = fs::path(dir) / disk_file_name(key.hash);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return false;
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!out.good()) {
+      out.close();
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+thread_local int t_bypass_depth = 0;
+
+}  // namespace
+
+// --- key builders ---------------------------------------------------------
+
+CacheKey build_trace_key(const DepGraph& g, const std::vector<NodeSet>& blocks,
+                         const CacheInstanceParams& params) {
+  AIS_CHECK(params.machine != nullptr, "cache key needs a machine model");
+  CacheKey key;
+  Arena& scratch = key_scratch();
+  scratch.reset();
+
+  const std::size_t domain = g.num_nodes();
+  std::uint32_t* block_pos = scratch.alloc_array<std::uint32_t>(domain);
+  std::fill_n(block_pos, domain, kNoBlock);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (const NodeId id : blocks[b].ids()) {
+      if (block_pos[id] == kNoBlock) {
+        block_pos[id] = static_cast<std::uint32_t>(b);
+      }
+    }
+  }
+  std::uint32_t* dense_of = scratch.alloc_array<std::uint32_t>(domain);
+  for (NodeId id = 0; id < domain; ++id) {
+    if (block_pos[id] != kNoBlock) {
+      dense_of[id] = static_cast<std::uint32_t>(key.ids.size());
+      key.ids.push_back(id);
+    }
+  }
+  const std::size_t n = key.ids.size();
+
+  const bool has_tie = params_have_tie(params);
+  DenseNode* nodes = scratch.alloc_array<DenseNode>(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const NodeId id = key.ids[v];
+    const NodeInfo& info = g.node(id);
+    nodes[v] = DenseNode{};
+    nodes[v].exec = static_cast<std::uint32_t>(info.exec_time);
+    nodes[v].fu = static_cast<std::uint32_t>(info.fu_class);
+    nodes[v].block_pos = block_pos[id];
+    if (has_tie) nodes[v].tie = tie_value(params, id);
+  }
+
+  DenseEdge* edges = scratch.alloc_array<DenseEdge>(g.num_edges());
+  std::size_t m = 0;
+  for (const DepEdge& e : g.edges()) {
+    if (e.distance != 0) continue;
+    if (block_pos[e.from] == kNoBlock || block_pos[e.to] == kNoBlock) continue;
+    edges[m++] = DenseEdge{dense_of[e.from], dense_of[e.to],
+                           static_cast<std::uint32_t>(e.latency)};
+  }
+
+  key.bytes.reserve(256 + n * 12 + m * 12);
+  serialize_prefix(key.bytes, kTraceKind, params, has_tie);
+  put_u32(key.bytes, static_cast<std::uint32_t>(blocks.size()));
+  finish_key(key, kTraceKind, has_tie, nodes, n, edges, m, scratch);
+  return key;
+}
+
+CacheKey build_step_key(const DepGraph& g, const NodeSet& old,
+                        const NodeSet& new_nodes, const DeadlineMap& deadlines,
+                        Time t_old, const CacheInstanceParams& params) {
+  AIS_CHECK(params.machine != nullptr, "cache key needs a machine model");
+  CacheKey key;
+  Arena& scratch = key_scratch();
+  scratch.reset();
+
+  const std::size_t domain = g.num_nodes();
+  std::uint32_t* dense_of = scratch.alloc_array<std::uint32_t>(domain);
+  for (NodeId id = 0; id < domain; ++id) {
+    if (old.contains(id) || new_nodes.contains(id)) {
+      dense_of[id] = static_cast<std::uint32_t>(key.ids.size());
+      key.ids.push_back(id);
+    } else {
+      dense_of[id] = kNoBlock;
+    }
+  }
+  const std::size_t n = key.ids.size();
+
+  const bool has_tie = params_have_tie(params);
+  DenseNode* nodes = scratch.alloc_array<DenseNode>(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const NodeId id = key.ids[v];
+    const NodeInfo& info = g.node(id);
+    nodes[v] = DenseNode{};
+    nodes[v].exec = static_cast<std::uint32_t>(info.exec_time);
+    nodes[v].fu = static_cast<std::uint32_t>(info.fu_class);
+    nodes[v].is_new = new_nodes.contains(id) ? 1 : 0;
+    nodes[v].deadline = id < deadlines.size() ? deadlines[id] : 0;
+    if (has_tie) nodes[v].tie = tie_value(params, id);
+  }
+
+  DenseEdge* edges = scratch.alloc_array<DenseEdge>(g.num_edges());
+  std::size_t m = 0;
+  for (const DepEdge& e : g.edges()) {
+    if (e.distance != 0) continue;
+    if (dense_of[e.from] == kNoBlock || dense_of[e.to] == kNoBlock) continue;
+    edges[m++] = DenseEdge{dense_of[e.from], dense_of[e.to],
+                           static_cast<std::uint32_t>(e.latency)};
+  }
+
+  key.bytes.reserve(256 + n * 21 + m * 12);
+  serialize_prefix(key.bytes, kStepKind, params, has_tie);
+  put_i64(key.bytes, t_old);
+  finish_key(key, kStepKind, has_tie, nodes, n, edges, m, scratch);
+  return key;
+}
+
+std::uint64_t structural_hash(const CacheKey& key) {
+  DecodedKey dk;
+  AIS_CHECK(decode_key(key.bytes, dk), "structural_hash: undecodable key");
+  // Recover the seed the builder used: the hash of the scalar prefix.
+  std::uint32_t num_classes = 0;
+  {
+    Reader r(key.bytes);
+    r.u8();
+    r.u32();
+    r.u32();
+    r.u32();
+    num_classes = r.u32();
+  }
+  const std::size_t prefix = prefix_length(dk.kind, num_classes);
+  const std::uint64_t seed =
+      hash_bytes(std::string_view(key.bytes.data(), prefix));
+  Arena& scratch = key_scratch();
+  scratch.reset();
+  return wl_hash(seed, dk.kind, dk.has_tie, dk.nodes.data(), dk.nodes.size(),
+                 dk.edges.data(), dk.edges.size(), scratch);
+}
+
+// --- the cache ------------------------------------------------------------
+
+struct ScheduleCache::Impl {
+  /// Owned key: the map node keeps `bytes` and `hash` at stable addresses
+  /// (unordered_map is node-based), so the LRU list stores key pointers.
+  struct StoredKey {
+    std::string bytes;
+    std::uint64_t hash = 0;
+  };
+  struct KeyView {
+    std::string_view bytes;
+    std::uint64_t hash = 0;
+  };
+  struct KeyHash {
+    using is_transparent = void;
+    std::size_t operator()(const StoredKey& k) const { return k.hash; }
+    std::size_t operator()(const KeyView& k) const { return k.hash; }
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    bool operator()(const StoredKey& a, const StoredKey& b) const {
+      return a.bytes == b.bytes;
+    }
+    bool operator()(const StoredKey& a, const KeyView& b) const {
+      return a.bytes == b.bytes;
+    }
+    bool operator()(const KeyView& a, const StoredKey& b) const {
+      return a.bytes == b.bytes;
+    }
+  };
+  struct Entry {
+    std::string value;
+    std::list<const StoredKey*>::iterator lru_it;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<StoredKey, Entry, KeyHash, KeyEq> map;
+    std::list<const StoredKey*> lru;  // front = most recently used
+    std::size_t bytes = 0;
+  };
+
+  /// Fixed per-entry overhead charged against the byte budget (map node,
+  /// list node, string headers) on top of the actual key/value bytes.
+  static constexpr std::size_t kEntryOverhead = 128;
+
+  std::array<Shard, kNumShards> shards;
+  std::atomic<bool> enabled{true};
+  std::atomic<std::size_t> capacity{kDefaultCapacityBytes};
+  mutable std::mutex dir_mu;
+  std::string dir;
+  std::atomic<std::uint64_t> tmp_seq{0};
+
+  Shard& shard_for(std::uint64_t hash) {
+    // High bits select the shard; the map's buckets use the full hash.
+    return shards[(hash >> 60U) & (kNumShards - 1)];
+  }
+
+  std::string dir_copy() const {
+    std::lock_guard<std::mutex> lock(dir_mu);
+    return dir;
+  }
+};
+
+ScheduleCache::ScheduleCache(std::size_t capacity_bytes)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->capacity.store(capacity_bytes, std::memory_order_relaxed);
+}
+
+ScheduleCache::~ScheduleCache() = default;
+
+ScheduleCache& ScheduleCache::global() {
+  static ScheduleCache* cache = [] {
+    auto* c = new ScheduleCache();  // leaked: usable during static teardown
+    const char* env = std::getenv("AIS_CACHE");
+    if (env != nullptr &&
+        (std::string_view(env) == "0" || std::string_view(env) == "off")) {
+      c->set_enabled(false);
+    }
+    const char* dir = std::getenv("AIS_CACHE_DIR");
+    if (dir != nullptr && dir[0] != '\0') c->set_disk_dir(dir);
+    return c;
+  }();
+  return *cache;
+}
+
+ScheduleCache* ScheduleCache::active() {
+  if (t_bypass_depth > 0) return nullptr;
+  ScheduleCache& c = global();
+  return c.enabled() ? &c : nullptr;
+}
+
+ScheduleCache::ScopedBypass::ScopedBypass() { ++t_bypass_depth; }
+ScheduleCache::ScopedBypass::~ScopedBypass() { --t_bypass_depth; }
+
+void ScheduleCache::set_enabled(bool on) {
+  impl_->enabled.store(on, std::memory_order_relaxed);
+}
+
+bool ScheduleCache::enabled() const {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+void ScheduleCache::set_capacity(std::size_t bytes) {
+  impl_->capacity.store(bytes, std::memory_order_relaxed);
+}
+
+void ScheduleCache::set_disk_dir(std::string dir) {
+  std::lock_guard<std::mutex> lock(impl_->dir_mu);
+  impl_->dir = std::move(dir);
+}
+
+std::string ScheduleCache::disk_dir() const { return impl_->dir_copy(); }
+
+void ScheduleCache::clear() {
+  for (Impl::Shard& s : impl_->shards) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.map.clear();
+    s.lru.clear();
+    s.bytes = 0;
+  }
+}
+
+std::optional<std::string> ScheduleCache::lookup_bytes(const CacheKey& key,
+                                                       bool* from_disk) {
+  *from_disk = false;
+  Impl::Shard& s = impl_->shard_for(key.hash);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.map.find(Impl::KeyView{key.bytes, key.hash});
+    if (it != s.map.end()) {
+      s.lru.splice(s.lru.begin(), s.lru, it->second.lru_it);
+      return it->second.value;
+    }
+  }
+  const std::string dir = impl_->dir_copy();
+  if (dir.empty()) return std::nullopt;
+  std::optional<std::string> value = disk_load(dir, key);
+  if (value) *from_disk = true;
+  return value;
+}
+
+void ScheduleCache::insert_bytes(const CacheKey& key, std::string value,
+                                 bool write_disk) {
+  if (write_disk) {
+    const std::string dir = impl_->dir_copy();
+    if (!dir.empty() &&
+        disk_store(dir, key, value,
+                   impl_->tmp_seq.fetch_add(1, std::memory_order_relaxed))) {
+      AIS_OBS_COUNT(obs::ctr::kCacheDiskWrites);
+    }
+  }
+
+  const std::size_t entry_bytes =
+      key.bytes.size() + value.size() + Impl::kEntryOverhead;
+  const std::size_t shard_budget =
+      impl_->capacity.load(std::memory_order_relaxed) / kNumShards;
+  std::uint64_t evictions = 0;
+  Impl::Shard& s = impl_->shard_for(key.hash);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.map.find(Impl::KeyView{key.bytes, key.hash});
+    if (it != s.map.end()) {
+      // Deterministic values: an existing entry already holds these bytes.
+      s.lru.splice(s.lru.begin(), s.lru, it->second.lru_it);
+      return;
+    }
+    const auto [pos, inserted] =
+        s.map.emplace(Impl::StoredKey{key.bytes, key.hash}, Impl::Entry{});
+    static_cast<void>(inserted);
+    pos->second.value = std::move(value);
+    s.lru.push_front(&pos->first);
+    pos->second.lru_it = s.lru.begin();
+    s.bytes += entry_bytes;
+
+    // Evict from the cold end, but never the entry just inserted: one
+    // oversized instance must not make the cache permanently empty.
+    while (s.bytes > shard_budget && s.lru.size() > 1) {
+      const Impl::StoredKey* victim = s.lru.back();
+      const auto vit = s.map.find(Impl::KeyView{victim->bytes, victim->hash});
+      AIS_CHECK(vit != s.map.end(), "cache LRU points at a missing entry");
+      s.bytes -= victim->bytes.size() + vit->second.value.size() +
+                 Impl::kEntryOverhead;
+      s.lru.pop_back();
+      s.map.erase(vit);
+      ++evictions;
+    }
+  }
+  AIS_OBS_COUNT(obs::ctr::kCacheBytes, entry_bytes);
+  if (evictions > 0) AIS_OBS_COUNT(obs::ctr::kCacheEvictions, evictions);
+}
+
+void ScheduleCache::erase_bytes(const CacheKey& key) {
+  Impl::Shard& s = impl_->shard_for(key.hash);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(Impl::KeyView{key.bytes, key.hash});
+  if (it == s.map.end()) return;
+  s.bytes -= it->first.bytes.size() + it->second.value.size() +
+             Impl::kEntryOverhead;
+  s.lru.erase(it->second.lru_it);
+  s.map.erase(it);
+}
+
+std::optional<TraceCacheValue> ScheduleCache::lookup_trace(
+    const CacheKey& key) {
+  bool from_disk = false;
+  std::optional<std::string> raw = lookup_bytes(key, &from_disk);
+  TraceCacheValue value;
+  if (!raw || !decode_trace_value(*raw, value)) {
+    if (raw) erase_bytes(key);  // undecodable entries can only rot away
+    AIS_OBS_COUNT(obs::ctr::kCacheMisses);
+    return std::nullopt;
+  }
+  if (from_disk) {
+    if (!certify_trace(key, value)) {
+      AIS_OBS_COUNT(obs::ctr::kCacheMisses);
+      return std::nullopt;
+    }
+    insert_bytes(key, std::move(*raw), /*write_disk=*/false);
+    AIS_OBS_COUNT(obs::ctr::kCacheDiskHits);
+  } else {
+    AIS_OBS_COUNT(obs::ctr::kCacheHits);
+  }
+  return value;
+}
+
+void ScheduleCache::insert_trace(const CacheKey& key,
+                                 const TraceCacheValue& value) {
+  if (!certify_trace(key, value)) return;
+  insert_bytes(key, encode_trace_value(value), /*write_disk=*/true);
+}
+
+std::optional<StepCacheValue> ScheduleCache::lookup_step(const CacheKey& key) {
+  bool from_disk = false;
+  std::optional<std::string> raw = lookup_bytes(key, &from_disk);
+  StepCacheValue value;
+  if (!raw || !decode_step_value(*raw, value)) {
+    if (raw) erase_bytes(key);
+    AIS_OBS_COUNT(obs::ctr::kCacheMisses);
+    return std::nullopt;
+  }
+  if (from_disk) {
+    if (!certify_step(key, value)) {
+      AIS_OBS_COUNT(obs::ctr::kCacheMisses);
+      return std::nullopt;
+    }
+    insert_bytes(key, std::move(*raw), /*write_disk=*/false);
+    AIS_OBS_COUNT(obs::ctr::kCacheDiskHits);
+  } else {
+    AIS_OBS_COUNT(obs::ctr::kCacheHits);
+  }
+  return value;
+}
+
+void ScheduleCache::insert_step(const CacheKey& key,
+                                const StepCacheValue& value) {
+  if (!certify_step(key, value)) return;
+  insert_bytes(key, encode_step_value(value), /*write_disk=*/true);
+}
+
+}  // namespace ais

@@ -1,10 +1,48 @@
 #include "graph/depgraph.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <utility>
 
 #include "support/assert.hpp"
 
 namespace ais {
+
+DepGraph::DepGraph(const DepGraph& other)
+    : nodes_(other.nodes_),
+      edges_(other.edges_),
+      out_(other.nodes_.size()),
+      in_(other.nodes_.size()),
+      carried_edge_count_(other.carried_edge_count_),
+      max_latency_(other.max_latency_),
+      max_exec_time_(other.max_exec_time_),
+      total_work_(other.total_work_) {
+  for (std::uint32_t idx = 0; idx < edges_.size(); ++idx) {
+    adj_push(out_[edges_[idx].from], idx);
+    adj_push(in_[edges_[idx].to], idx);
+  }
+}
+
+DepGraph& DepGraph::operator=(const DepGraph& other) {
+  if (this != &other) {
+    DepGraph copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+void DepGraph::adj_push(AdjList& adj, std::uint32_t edge_idx) {
+  if (adj.size == adj.cap) {
+    const std::uint32_t new_cap = adj.cap == 0 ? 4 : 2 * adj.cap;
+    auto* grown = adj_arena_.alloc_array<std::uint32_t>(new_cap);
+    if (adj.size > 0) {
+      std::memcpy(grown, adj.data, adj.size * sizeof(std::uint32_t));
+    }
+    adj.data = grown;
+    adj.cap = new_cap;
+  }
+  adj.data[adj.size++] = edge_idx;
+}
 
 NodeId DepGraph::add_node(std::string name, int exec_time, int fu_class,
                           int block) {
@@ -28,8 +66,8 @@ void DepGraph::add_edge(NodeId from, NodeId to, int latency, int distance) {
             "loop-independent self-dependence is a cycle");
   const auto idx = static_cast<std::uint32_t>(edges_.size());
   edges_.push_back(DepEdge{from, to, latency, distance});
-  out_[from].push_back(idx);
-  in_[to].push_back(idx);
+  adj_push(out_[from], idx);
+  adj_push(in_[to], idx);
   if (distance > 0) ++carried_edge_count_;
   max_latency_ = std::max(max_latency_, latency);
 }
@@ -49,14 +87,14 @@ const DepEdge& DepGraph::edge(std::size_t idx) const {
   return edges_[idx];
 }
 
-const std::vector<std::uint32_t>& DepGraph::out_edges(NodeId id) const {
+std::span<const std::uint32_t> DepGraph::out_edges(NodeId id) const {
   AIS_CHECK(id < nodes_.size(), "node id out of range");
-  return out_[id];
+  return {out_[id].data, out_[id].size};
 }
 
-const std::vector<std::uint32_t>& DepGraph::in_edges(NodeId id) const {
+std::span<const std::uint32_t> DepGraph::in_edges(NodeId id) const {
   AIS_CHECK(id < nodes_.size(), "node id out of range");
-  return in_[id];
+  return {in_[id].data, in_[id].size};
 }
 
 NodeId DepGraph::find(const std::string& name) const {

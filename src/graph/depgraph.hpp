@@ -10,8 +10,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
+
+#include "support/arena.hpp"
 
 namespace ais {
 
@@ -61,9 +64,10 @@ class DepGraph {
   NodeInfo& node(NodeId id);
   const DepEdge& edge(std::size_t idx) const;
 
-  /// Indices into edges() of edges leaving / entering `id`.
-  const std::vector<std::uint32_t>& out_edges(NodeId id) const;
-  const std::vector<std::uint32_t>& in_edges(NodeId id) const;
+  /// Indices into edges() of edges leaving / entering `id`.  Views into
+  /// arena-backed adjacency storage; invalidated by add_edge on that node.
+  std::span<const std::uint32_t> out_edges(NodeId id) const;
+  std::span<const std::uint32_t> in_edges(NodeId id) const;
 
   const std::vector<DepEdge>& edges() const { return edges_; }
 
@@ -82,11 +86,34 @@ class DepGraph {
   /// Sum of execution times; the serial lower bound on any 1-FU makespan.
   Time total_work() const { return total_work_; }
 
+  DepGraph() = default;
+  DepGraph(DepGraph&&) noexcept = default;
+  DepGraph& operator=(DepGraph&&) noexcept = default;
+  /// Copies rebuild the adjacency lists in the copy's own arena (the lists
+  /// are derived data — a replay of edges_ — so deep-copying chunks would
+  /// only clone abandoned growth blocks).
+  DepGraph(const DepGraph& other);
+  DepGraph& operator=(const DepGraph& other);
+  ~DepGraph() = default;
+
  private:
+  /// One node's adjacency: a doubling array carved from adj_arena_.  Growth
+  /// abandons the old block (bounded 2x waste), which turns the two heap
+  /// allocations per node + realloc-per-few-edges of the vector-of-vectors
+  /// representation into pointer bumps — the dominant malloc traffic of
+  /// small-block compiles (see support/arena.hpp).
+  struct AdjList {
+    std::uint32_t* data = nullptr;
+    std::uint32_t size = 0;
+    std::uint32_t cap = 0;
+  };
+  void adj_push(AdjList& adj, std::uint32_t edge_idx);
+
   std::vector<NodeInfo> nodes_;
   std::vector<DepEdge> edges_;
-  std::vector<std::vector<std::uint32_t>> out_;
-  std::vector<std::vector<std::uint32_t>> in_;
+  Arena adj_arena_;
+  std::vector<AdjList> out_;
+  std::vector<AdjList> in_;
   std::size_t carried_edge_count_ = 0;
   int max_latency_ = 0;
   int max_exec_time_ = 1;

@@ -107,4 +107,13 @@ MachineModel deep_pipeline();
 /// model" / VLIW special case discussed in §6.
 MachineModel vliw4();
 
+/// Memoized preset lookup by CLI name (the short tool spellings and the
+/// models' own names are both accepted: "scalar01", "rs6000" /
+/// "rs6000-like", "deep" / "deep-pipeline", "vliw4").  The four presets are
+/// built once per process and shared — tools that construct one scheduler
+/// per random trace stop re-parsing the timing table in their hot loop.
+/// Returns nullptr for an unknown name.  Callers needing their own mutable
+/// copy can copy the referenced model (it is small).
+const MachineModel* machine_preset(const std::string& name);
+
 }  // namespace ais

@@ -88,4 +88,18 @@ MachineModel vliw4() {
   return m;
 }
 
+const MachineModel* machine_preset(const std::string& name) {
+  // Built on first use, shared for the life of the process (thread-safe
+  // function-local statics); lookups after that are string compares only.
+  static const MachineModel kScalar01 = scalar01();
+  static const MachineModel kRs6000 = rs6000_like();
+  static const MachineModel kDeep = deep_pipeline();
+  static const MachineModel kVliw4 = vliw4();
+  if (name == "scalar01") return &kScalar01;
+  if (name == "rs6000" || name == "rs6000-like") return &kRs6000;
+  if (name == "deep" || name == "deep-pipeline") return &kDeep;
+  if (name == "vliw4") return &kVliw4;
+  return nullptr;
+}
+
 }  // namespace ais

@@ -60,6 +60,11 @@ int thread_index() {
 /// Span nesting depth of the current thread (opened, not yet closed).
 thread_local int t_depth = 0;
 
+/// Active CounterRecorders of the current thread, innermost last.  A plain
+/// vector of non-owning pointers: recorders are stack-allocated RAII objects,
+/// so push/pop order is guaranteed.
+thread_local std::vector<CounterRecorder*> t_recorders;
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -119,8 +124,34 @@ void init_from_env() {
 const std::string& env_trace_path() { return g_env_trace_path; }
 
 void count(std::string_view name, std::uint64_t delta) {
+  if (!t_recorders.empty()) {
+    for (CounterRecorder* r : t_recorders) r->record(name, delta);
+  }
   if (!enabled()) return;
   counter_slot(name).fetch_add(delta, std::memory_order_relaxed);
+}
+
+CounterRecorder::CounterRecorder(bool active) : active_(active) {
+  if (active_) t_recorders.push_back(this);
+}
+
+CounterRecorder::~CounterRecorder() {
+  if (active_) t_recorders.pop_back();
+}
+
+void CounterRecorder::record(std::string_view name, std::uint64_t delta) {
+  if (name.substr(0, 6) == ctr::kCachePrefix) return;
+  const auto it = deltas_.find(name);
+  if (it == deltas_.end()) {
+    deltas_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void CounterRecorder::replay(
+    const std::map<std::string, std::uint64_t, std::less<>>& deltas) {
+  for (const auto& [name, delta] : deltas) count(name, delta);
 }
 
 std::uint64_t counter_value(std::string_view name) {

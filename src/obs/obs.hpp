@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -56,8 +57,47 @@ const std::string& env_trace_path();
 /// Adds `delta` to the counter `name`, creating it at zero on first touch
 /// (so a delta of 0 registers a counter without changing it).  Counters are
 /// process-global, thread-safe and monotone: there is no decrement.
-/// No-op while !enabled().
+/// No-op while !enabled(), except that deltas are still delivered to any
+/// CounterRecorder active on the calling thread (the schedule cache records
+/// counter deltas even in untraced runs, so a later traced run replaying a
+/// cached entry reports the same numbers a fresh solve would).  A fully
+/// disabled hook costs one thread-local load plus one relaxed atomic load.
 void count(std::string_view name, std::uint64_t delta = 1);
+
+/// RAII capture of every count() issued by the *calling thread* while alive,
+/// independent of enabled().  Recorders nest (a stack per thread; each
+/// delivery goes to all of them, so an outer recorder sees deltas replayed
+/// by an inner cache hit) and skip counters prefixed "cache." — cache
+/// traffic describes the run, not the schedule, and replaying it would
+/// double-count.  Used by core/schedule_cache to make cached results
+/// counter-identical to fresh solves.
+class CounterRecorder {
+ public:
+  /// An inactive recorder records nothing and costs nothing (the cache
+  /// passes active=false when caching is bypassed).
+  explicit CounterRecorder(bool active = true);
+  ~CounterRecorder();
+  CounterRecorder(const CounterRecorder&) = delete;
+  CounterRecorder& operator=(const CounterRecorder&) = delete;
+
+  /// The captured (name, summed delta) pairs, sorted by name.
+  const std::map<std::string, std::uint64_t, std::less<>>& deltas() const {
+    return deltas_;
+  }
+
+  /// Re-issues every recorded delta through count() on the calling thread
+  /// (delivering to the global registry while enabled() and to any recorder
+  /// active *outside* this one).
+  static void replay(
+      const std::map<std::string, std::uint64_t, std::less<>>& deltas);
+
+  /// Internal: called by count() for each delivery.
+  void record(std::string_view name, std::uint64_t delta);
+
+ private:
+  bool active_;
+  std::map<std::string, std::uint64_t, std::less<>> deltas_;
+};
 
 /// Current value of `name`; 0 if it was never touched.
 std::uint64_t counter_value(std::string_view name);
@@ -143,6 +183,16 @@ inline constexpr const char* kSimRuns = "sim.runs";
 inline constexpr const char* kSimCycles = "sim.cycles";
 inline constexpr const char* kSimStallLatency = "sim.stall.latency";
 inline constexpr const char* kSimStallWindow = "sim.stall.window";
+/// Schedule-cache counters (core/schedule_cache).  The "cache." prefix is
+/// load-bearing: CounterRecorder filters it, and the differential tests
+/// exclude it when asserting cache-on/off counter identity.
+inline constexpr const char* kCachePrefix = "cache.";
+inline constexpr const char* kCacheHits = "cache.hits";
+inline constexpr const char* kCacheMisses = "cache.misses";
+inline constexpr const char* kCacheEvictions = "cache.evictions";
+inline constexpr const char* kCacheBytes = "cache.bytes";
+inline constexpr const char* kCacheDiskHits = "cache.disk_hits";
+inline constexpr const char* kCacheDiskWrites = "cache.disk_writes";
 /// Prefix for per-diagnostic-code verifier counters ("verify.diag.<code>").
 inline constexpr const char* kVerifyDiagPrefix = "verify.diag.";
 }  // namespace ctr

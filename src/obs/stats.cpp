@@ -27,6 +27,12 @@ ScheduleStats ScheduleStats::capture() {
   s.sim_cycles = counter_value(ctr::kSimCycles);
   s.sim_stall_latency = counter_value(ctr::kSimStallLatency);
   s.sim_stall_window = counter_value(ctr::kSimStallWindow);
+  s.cache_hits = counter_value(ctr::kCacheHits);
+  s.cache_misses = counter_value(ctr::kCacheMisses);
+  s.cache_evictions = counter_value(ctr::kCacheEvictions);
+  s.cache_bytes = counter_value(ctr::kCacheBytes);
+  s.cache_disk_hits = counter_value(ctr::kCacheDiskHits);
+  s.cache_disk_writes = counter_value(ctr::kCacheDiskWrites);
   return s;
 }
 
@@ -50,6 +56,12 @@ ScheduleStats ScheduleStats::delta(const ScheduleStats& since) const {
   d.sim_cycles = sim_cycles - since.sim_cycles;
   d.sim_stall_latency = sim_stall_latency - since.sim_stall_latency;
   d.sim_stall_window = sim_stall_window - since.sim_stall_window;
+  d.cache_hits = cache_hits - since.cache_hits;
+  d.cache_misses = cache_misses - since.cache_misses;
+  d.cache_evictions = cache_evictions - since.cache_evictions;
+  d.cache_bytes = cache_bytes - since.cache_bytes;
+  d.cache_disk_hits = cache_disk_hits - since.cache_disk_hits;
+  d.cache_disk_writes = cache_disk_writes - since.cache_disk_writes;
   return d;
 }
 
@@ -75,6 +87,12 @@ std::string ScheduleStats::to_string() const {
   row(ctr::kSimCycles, sim_cycles);
   row(ctr::kSimStallLatency, sim_stall_latency);
   row(ctr::kSimStallWindow, sim_stall_window);
+  row(ctr::kCacheHits, cache_hits);
+  row(ctr::kCacheMisses, cache_misses);
+  row(ctr::kCacheEvictions, cache_evictions);
+  row(ctr::kCacheBytes, cache_bytes);
+  row(ctr::kCacheDiskHits, cache_disk_hits);
+  row(ctr::kCacheDiskWrites, cache_disk_writes);
   return t.to_string();
 }
 
@@ -87,7 +105,9 @@ void register_builtin_counters() {
         ctr::kIdleMoveAttempts, ctr::kIdleSlotsMoved, ctr::kDeadlinesTightened,
         ctr::kChopCalls, ctr::kChopPoints, ctr::kLookaheadBlocks,
         ctr::kWindowSpanOverW, ctr::kSimRuns, ctr::kSimCycles,
-        ctr::kSimStallLatency, ctr::kSimStallWindow}) {
+        ctr::kSimStallLatency, ctr::kSimStallWindow,
+        ctr::kCacheHits, ctr::kCacheMisses, ctr::kCacheEvictions,
+        ctr::kCacheBytes, ctr::kCacheDiskHits, ctr::kCacheDiskWrites}) {
     count(name, 0);
   }
 }

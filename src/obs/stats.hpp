@@ -30,6 +30,12 @@ struct ScheduleStats {
   std::uint64_t sim_cycles = 0;
   std::uint64_t sim_stall_latency = 0;
   std::uint64_t sim_stall_window = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_bytes = 0;
+  std::uint64_t cache_disk_hits = 0;
+  std::uint64_t cache_disk_writes = 0;
 
   /// Snapshot of the current counter registry.
   static ScheduleStats capture();

@@ -43,55 +43,98 @@ LoopSimResult simulate_loop(const DepGraph& g, const MachineModel& machine,
        1) *
       iterations;
 
-  auto instance_ready = [&](std::size_t q, Time t) {
-    const int iter = static_cast<int>(q / body);
-    const NodeId id = per_iteration_list[q % body];
+  // Incremental readiness: every dependence edge is touched exactly twice --
+  // once here to seed the per-instance unresolved-dependence count, and once
+  // when its source instance issues (out-edge propagation below).  The hot
+  // per-cycle scan then runs in O(window) with no edge walks at all.
+  //
+  // deps_left[q]: dependences of instance q whose source has not issued yet
+  //               (edges reaching before the first iteration are satisfied by
+  //               pre-loop state and never counted).
+  // ready[q]:     earliest issue cycle imposed by already-resolved
+  //               dependences; authoritative once deps_left[q] == 0.
+  std::vector<std::uint32_t> deps_left(total, 0);
+  std::vector<Time> ready(total, 0);
+  for (std::size_t p = 0; p < body; ++p) {
+    const NodeId id = per_iteration_list[p];
     for (const auto eidx : g.in_edges(id)) {
       const DepEdge& e = g.edge(eidx);
-      const int src_iter = iter - e.distance;
-      if (src_iter < 0) continue;  // satisfied by pre-loop state
-      const std::size_t src_q =
-          static_cast<std::size_t>(src_iter) * body + pos[e.from];
-      const Time it = issue[src_q];
-      if (it < 0 || it + g.node(e.from).exec_time + e.latency > t) {
-        return false;
+      // Edge <latency, distance> constrains iteration i against iteration
+      // i - distance, so it is live for every instance with iter >= distance.
+      for (int iter = e.distance; iter < iterations; ++iter) {
+        ++deps_left[static_cast<std::size_t>(iter) * body + p];
       }
     }
-    return true;
-  };
+  }
 
   Time t = 0;
   while (remaining > 0) {
     AIS_CHECK(t <= t_limit, "loop simulator failed to make progress");
+    // Dependences resolve no earlier than one cycle after an issue
+    // (exec_time >= 1, latency >= 0), so issuing an instance can never make
+    // another one ready within the same cycle: a single forward sweep visits
+    // each candidate exactly once.  The window limit is re-evaluated every
+    // step because advancing `head` exposes new instances at the tail.
     int issued_this_cycle = 0;
-    bool progressed = true;
-    while (progressed && issued_this_cycle < machine.issue_width()) {
-      progressed = false;
-      const std::size_t limit =
-          std::min(total, head + static_cast<std::size_t>(window));
-      for (std::size_t q = head; q < limit; ++q) {
-        if (issue[q] >= 0) continue;
-        if (!instance_ready(q, t)) continue;
-        const NodeInfo& info = g.node(per_iteration_list[q % body]);
-        const int base = unit_base[static_cast<std::size_t>(info.fu_class)];
-        int chosen = -1;
-        for (int k = 0; k < machine.fu_count(info.fu_class); ++k) {
-          if (unit_free[static_cast<std::size_t>(base + k)] <= t) {
-            chosen = base + k;
-            break;
-          }
+    for (std::size_t q = head;
+         q < std::min(total, head + static_cast<std::size_t>(window)) &&
+         issued_this_cycle < machine.issue_width();
+         ++q) {
+      if (issue[q] >= 0) continue;
+      if (deps_left[q] != 0 || ready[q] > t) continue;
+      const NodeId id = per_iteration_list[q % body];
+      const NodeInfo& info = g.node(id);
+      const int base = unit_base[static_cast<std::size_t>(info.fu_class)];
+      int chosen = -1;
+      for (int k = 0; k < machine.fu_count(info.fu_class); ++k) {
+        if (unit_free[static_cast<std::size_t>(base + k)] <= t) {
+          chosen = base + k;
+          break;
         }
-        if (chosen < 0) continue;
-        issue[q] = t;
-        unit_free[static_cast<std::size_t>(chosen)] = t + info.exec_time;
-        --remaining;
-        ++issued_this_cycle;
-        while (head < total && issue[head] >= 0) ++head;
-        progressed = true;
-        break;
+      }
+      if (chosen < 0) continue;
+      issue[q] = t;
+      unit_free[static_cast<std::size_t>(chosen)] = t + info.exec_time;
+      --remaining;
+      ++issued_this_cycle;
+      while (head < total && issue[head] >= 0) ++head;
+      // Resolve the out-edges of the freshly issued instance.
+      const int iter = static_cast<int>(q / body);
+      const Time done = t + info.exec_time;
+      for (const auto eidx : g.out_edges(id)) {
+        const DepEdge& e = g.edge(eidx);
+        const int dst_iter = iter + e.distance;
+        if (dst_iter >= iterations) continue;
+        const std::size_t dst_q =
+            static_cast<std::size_t>(dst_iter) * body + pos[e.to];
+        ready[dst_q] = std::max(ready[dst_q], done + e.latency);
+        --deps_left[dst_q];
       }
     }
-    ++t;
+    // Event-driven time advance: machine state only changes when an
+    // instruction issues, so instead of stepping one cycle at a time we jump
+    // straight to the earliest cycle at which some window instance could
+    // issue.  An instance whose dependences are all satisfied can issue no
+    // earlier than max(its ready time, the earliest free unit of its class),
+    // and instances with unissued dependences must wait for a future issue
+    // event anyway.  Skipped cycles provably issue nothing, so the computed
+    // issue times are identical to the one-cycle-at-a-time walk.
+    Time next_t = t_limit + 1;
+    const std::size_t limit =
+        std::min(total, head + static_cast<std::size_t>(window));
+    for (std::size_t q = head; q < limit && remaining > 0; ++q) {
+      if (issue[q] >= 0 || deps_left[q] != 0) continue;
+      const NodeInfo& info = g.node(per_iteration_list[q % body]);
+      const int base = unit_base[static_cast<std::size_t>(info.fu_class)];
+      Time unit_t = t_limit + 1;
+      for (int k = 0; k < machine.fu_count(info.fu_class); ++k) {
+        unit_t =
+            std::min(unit_t, unit_free[static_cast<std::size_t>(base + k)]);
+      }
+      // t + 1 floor: this cycle's issue opportunities are already spent.
+      next_t = std::min(next_t, std::max({ready[q], t + 1, unit_t}));
+    }
+    t = remaining > 0 ? next_t : t + 1;
   }
 
   LoopSimResult result;

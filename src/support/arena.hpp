@@ -1,0 +1,115 @@
+// Chunked bump allocator for hot-path scratch memory.
+//
+// The compile-time profile of small-block compiles is dominated by malloc
+// traffic: graph build makes two heap allocations per node (adjacency
+// vectors) plus a realloc per few edges, and every RankSession construction
+// allocates a dozen scratch vectors that die with the session.  An Arena
+// replaces those with pointer bumps inside a few large chunks: allocation is
+// an add + compare, deallocation is free (memory is reclaimed wholesale by
+// reset() or the destructor).
+//
+// Use it through alloc_array<T>() for fixed-size scratch, through
+// ArenaAllocator<T> / ArenaVector<T> for std::vector-shaped scratch whose
+// growth should stop hitting malloc, or through raw allocate() for anything
+// else.  Only trivially destructible element types make sense: the arena
+// never runs destructors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace ais {
+
+class Arena {
+ public:
+  /// `chunk_bytes` is the default size of each backing chunk; allocations
+  /// larger than it get a dedicated chunk of exactly their size.
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes);
+
+  Arena(Arena&& other) noexcept;
+  Arena& operator=(Arena&& other) noexcept;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  ~Arena() = default;
+
+  /// `bytes` of storage aligned to `align` (a power of two).  Never returns
+  /// nullptr; a zero-byte request yields a valid unique pointer.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Uninitialized storage for `n` objects of trivially destructible T.
+  template <typename T>
+  T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "the arena never runs destructors");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds every chunk to empty without releasing any memory, so a reused
+  /// arena (e.g. a thread-local scratch arena) stops allocating from the OS
+  /// once it has seen its peak load.
+  void reset();
+
+  /// Bytes handed out since construction / the last reset().
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Bytes of backing memory currently held (survives reset()).
+  std::size_t bytes_reserved() const { return bytes_reserved_; }
+
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  /// Chunk with at least `bytes` free at alignment `align`, bumping
+  /// current_ past exhausted chunks (reset() rewinds it).
+  Chunk& chunk_for(std::size_t bytes, std::size_t align);
+
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;  // index of the chunk being bumped
+  std::size_t chunk_bytes_;
+  std::size_t bytes_allocated_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+/// std-compatible allocator over an Arena.  deallocate() is a no-op: memory
+/// comes back only via Arena::reset() or arena destruction, so containers
+/// that grow abandon their old blocks (bounded waste — reserve() up front
+/// where the final size is known).  The arena must outlive every container.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  explicit ArenaAllocator(Arena& arena) : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) {}
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace ais

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <limits>
 #include <optional>
+#include <string>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -22,10 +23,13 @@
 #include "core/merge.hpp"
 #include "core/move_idle.hpp"
 #include "core/rank.hpp"
+#include "core/schedule_cache.hpp"
 #include "graph/closure.hpp"
 #include "graph/topo.hpp"
 #include "machine/machine_model.hpp"
+#include "obs/obs.hpp"
 #include "support/prng.hpp"
+#include "support/thread_pool.hpp"
 #include "workloads/random_graphs.hpp"
 
 namespace ais {
@@ -648,6 +652,130 @@ TEST(Differential, DelayIdleSlotsSessionIndependent) {
 
   expect_same_schedule(via_driver, s, all);
   EXPECT_EQ(d1, d2);
+}
+
+void expect_same_lookahead(const LookaheadResult& got,
+                           const LookaheadResult& want,
+                           const std::string& what) {
+  EXPECT_EQ(got.order, want.order) << what;
+  EXPECT_EQ(got.per_block, want.per_block) << what;
+  EXPECT_EQ(got.diag.merged_makespans, want.diag.merged_makespans) << what;
+  EXPECT_EQ(got.diag.prefixes_emitted, want.diag.prefixes_emitted) << what;
+  EXPECT_EQ(got.diag.max_inversion_span, want.diag.max_inversion_span) << what;
+}
+
+/// The schedule cache must be output-invisible: every trace compile with
+/// the cache on — cold misses, warm trace hits, step hits inside cold
+/// traces — produces byte-identical schedules, diagnostics and counter
+/// deltas (cache.* excluded by the recorder) to a bypassed solve.  Seeds
+/// repeat so the sequence genuinely contains trace- and step-level hits.
+TEST(Differential, CacheOnMatchesCacheOffSerial) {
+  ScheduleCache& cache = ScheduleCache::global();
+  const bool was_enabled = cache.enabled();
+  cache.set_enabled(true);
+  cache.clear();
+
+  struct CacheRegime {
+    const char* name;
+    MachineModel machine;
+    int max_latency;
+    int window;
+  };
+  const std::vector<CacheRegime> cache_regimes = {
+      {"scalar01-unit", scalar01(), 1, 4},
+      {"deep-lat3", deep_pipeline(), 3, 6},
+      {"vliw4-lat2", vliw4(), 2, 4},
+  };
+
+  for (const CacheRegime& regime : cache_regimes) {
+    for (int round = 0; round < 8; ++round) {
+      // Half the rounds replay an earlier seed: those traces must be
+      // served from the cache, and still match the bypassed reference.
+      Prng prng(0xcac4e + static_cast<std::uint64_t>(round % 4) * 769);
+      RandomTraceParams params;
+      params.num_blocks = 4;
+      params.block.num_nodes = 12;
+      params.block.edge_prob = 0.3;
+      params.block.max_latency = regime.max_latency;
+      params.cross_edges = 2;
+      const DepGraph g = random_trace(prng, params);
+      const RankScheduler scheduler(g, regime.machine);
+      LookaheadOptions opts;
+      opts.window = regime.window;
+
+      LookaheadResult want;
+      CounterDeltaMap want_deltas;
+      {
+        ScheduleCache::ScopedBypass bypass;
+        obs::CounterRecorder rec;
+        want = schedule_trace(scheduler, opts);
+        want_deltas = rec.deltas();
+      }
+
+      LookaheadResult got;
+      CounterDeltaMap got_deltas;
+      {
+        obs::CounterRecorder rec;
+        got = schedule_trace(scheduler, opts);
+        got_deltas = rec.deltas();
+      }
+
+      const std::string what =
+          std::string(regime.name) + " round " + std::to_string(round);
+      expect_same_lookahead(got, want, what);
+      EXPECT_EQ(got_deltas, want_deltas) << what;
+    }
+  }
+  cache.set_enabled(was_enabled);
+}
+
+/// Same property under parallel trace compilation: eight threads hammer
+/// the shared sharded cache (duplicated traces force cross-thread hits)
+/// and every result must equal its serial bypassed reference.
+TEST(Differential, CacheOnMatchesCacheOffParallel) {
+  ScheduleCache& cache = ScheduleCache::global();
+  const bool was_enabled = cache.enabled();
+  cache.set_enabled(true);
+  cache.clear();
+
+  const MachineModel machine = deep_pipeline();
+  LookaheadOptions opts;
+  opts.window = 6;
+
+  constexpr std::size_t kUnique = 6;
+  constexpr std::size_t kTotal = 24;
+  std::vector<DepGraph> graphs;
+  graphs.reserve(kTotal);
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    Prng prng(0xbeef + (i % kUnique) * 3571);
+    RandomTraceParams params;
+    params.num_blocks = 3;
+    params.block.num_nodes = 14;
+    params.block.edge_prob = 0.3;
+    params.block.max_latency = 3;
+    params.cross_edges = 2;
+    graphs.push_back(random_trace(prng, params));
+  }
+
+  std::vector<LookaheadResult> want(kTotal);
+  {
+    ScheduleCache::ScopedBypass bypass;
+    for (std::size_t i = 0; i < kTotal; ++i) {
+      const RankScheduler scheduler(graphs[i], machine);
+      want[i] = schedule_trace(scheduler, opts);
+    }
+  }
+
+  std::vector<LookaheadResult> got(kTotal);
+  parallel_for(8, kTotal, [&](std::size_t i) {
+    const RankScheduler scheduler(graphs[i], machine);
+    got[i] = schedule_trace(scheduler, opts);
+  });
+
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    expect_same_lookahead(got[i], want[i], "trace " + std::to_string(i));
+  }
+  cache.set_enabled(was_enabled);
 }
 
 }  // namespace

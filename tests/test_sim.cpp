@@ -164,6 +164,116 @@ TEST(LoopSim, SteadyStatePeriodBoundedByCarriedRecurrence) {
   }
 }
 
+/// Brute-force oracle for simulate_loop: materialize the completely
+/// unrolled trace as an ordinary DAG — instance v[k] constrained against
+/// u[k - distance] per <latency, distance> edge, early iterations'
+/// out-of-range sources satisfied by pre-loop state — and run it through
+/// the straight-line simulator.  Paper §5's equivalence, checked exactly.
+DepGraph unroll_loop(const DepGraph& g, int iterations) {
+  DepGraph u;
+  const NodeId body = g.num_nodes();
+  for (int k = 0; k < iterations; ++k) {
+    for (NodeId id = 0; id < body; ++id) {
+      const NodeInfo& info = g.node(id);
+      u.add_node(info.name + "#" + std::to_string(k), info.exec_time,
+                 info.fu_class, k);
+    }
+  }
+  for (int k = 0; k < iterations; ++k) {
+    for (std::size_t idx = 0; idx < g.num_edges(); ++idx) {
+      const DepEdge& e = g.edge(idx);
+      const int src_iter = k - e.distance;
+      if (src_iter < 0) continue;
+      u.add_edge(static_cast<NodeId>(src_iter) * body + e.from,
+                 static_cast<NodeId>(k) * body + e.to, e.latency,
+                 /*distance=*/0);
+    }
+  }
+  return u;
+}
+
+TEST(LoopSim, MatchesUnrolledBruteForce) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Prng prng(0x10095 + seed * 401);
+    RandomLoopParams params;
+    params.block.num_nodes = static_cast<int>(prng.uniform(4, 9));
+    params.block.edge_prob = 0.35;
+    params.block.max_latency = 2;
+    params.carried_edges = 3;
+    const DepGraph g = random_loop(prng, params);
+    std::vector<NodeId> list;
+    for (NodeId id = 0; id < g.num_nodes(); ++id) list.push_back(id);
+
+    for (const int window : {1, 2, 4}) {
+      for (const int iterations : {1, 3, 7}) {
+        const LoopSimResult got =
+            simulate_loop(g, scalar01(), list, window, iterations);
+
+        const DepGraph u = unroll_loop(g, iterations);
+        std::vector<NodeId> unrolled_list;
+        for (int k = 0; k < iterations; ++k) {
+          for (const NodeId id : list) {
+            unrolled_list.push_back(
+                static_cast<NodeId>(k) * g.num_nodes() + id);
+          }
+        }
+        const SimResult want =
+            simulate_list(u, scalar01(), unrolled_list, window);
+
+        EXPECT_EQ(got.completion, want.completion)
+            << "seed " << seed << " W=" << window << " n=" << iterations;
+        ASSERT_EQ(got.iteration_finish.size(),
+                  static_cast<std::size_t>(iterations));
+        for (int k = 0; k < iterations; ++k) {
+          Time finish = 0;
+          for (NodeId id = 0; id < g.num_nodes(); ++id) {
+            const NodeId q = static_cast<NodeId>(k) * g.num_nodes() + id;
+            finish = std::max(finish,
+                              want.issue_time[q] + u.node(q).exec_time);
+          }
+          EXPECT_EQ(got.iteration_finish[static_cast<std::size_t>(k)], finish)
+              << "seed " << seed << " W=" << window << " iteration " << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(LoopSim, SteadyStatePeriodMatchesUnrolledSlope) {
+  Prng prng(0x57ead);
+  RandomLoopParams params;
+  params.block.num_nodes = 6;
+  params.block.edge_prob = 0.4;
+  params.block.max_latency = 2;
+  params.carried_edges = 2;
+  const DepGraph g = random_loop(prng, params);
+  std::vector<NodeId> list;
+  for (NodeId id = 0; id < g.num_nodes(); ++id) list.push_back(id);
+
+  constexpr int kIters = 16;
+  const DepGraph u = unroll_loop(g, kIters);
+  std::vector<NodeId> unrolled_list;
+  for (int k = 0; k < kIters; ++k) {
+    for (const NodeId id : list) {
+      unrolled_list.push_back(static_cast<NodeId>(k) * g.num_nodes() + id);
+    }
+  }
+  for (const int window : {1, 4}) {
+    const SimResult flat = simulate_list(u, scalar01(), unrolled_list, window);
+    std::vector<Time> finish(kIters, 0);
+    for (NodeId q = 0; q < u.num_nodes(); ++q) {
+      auto& f = finish[q / g.num_nodes()];
+      f = std::max(f, flat.issue_time[q] + u.node(q).exec_time);
+    }
+    const double want =
+        static_cast<double>(finish[kIters - 1] - finish[(kIters - 1) / 2]) /
+        static_cast<double>(kIters - 1 - (kIters - 1) / 2);
+    EXPECT_DOUBLE_EQ(
+        steady_state_period(g, scalar01(), list, window, kIters), want)
+        << "W=" << window;
+  }
+}
+
 TEST(LoopSim, WiderWindowNeverSlowsLoops) {
   Prng prng(0x100b);
   for (int trial = 0; trial < 8; ++trial) {

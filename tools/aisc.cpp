@@ -22,9 +22,14 @@
 //                    stderr after compiling (see docs/OBSERVABILITY.md)
 //   --trace-json F   write a Chrome trace-event JSON of the compile to F
 //                    (loadable in Perfetto); implies telemetry collection
+//   --cache BOOL     enable/disable the in-memory schedule cache (default
+//                    on; see docs/CACHING.md)
+//   --cache-dir DIR  also persist cache entries under DIR and reuse them
+//                    across runs (content-addressed, safe to share)
 //
 // The AIS_TRACE / AIS_TRACE_JSON environment variables enable the same
-// telemetry without touching the command line.
+// telemetry without touching the command line; AIS_CACHE / AIS_CACHE_DIR
+// mirror --cache / --cache-dir.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -36,6 +41,7 @@
 #include "ir/asm_parser.hpp"
 #include "ir/depbuild.hpp"
 #include "ir/rename.hpp"
+#include "core/schedule_cache.hpp"
 #include "machine/machine_model.hpp"
 #include "obs/obs.hpp"
 #include "obs/stats.hpp"
@@ -47,13 +53,13 @@ namespace {
 
 using namespace ais;
 
-MachineModel machine_by_name(const std::string& name) {
-  if (name == "scalar01") return scalar01();
-  if (name == "rs6000") return rs6000_like();
-  if (name == "deep") return deep_pipeline();
-  if (name == "vliw4") return vliw4();
-  std::fprintf(stderr, "aisc: unknown machine '%s'\n", name.c_str());
-  std::exit(1);
+const MachineModel& machine_by_name(const std::string& name) {
+  const MachineModel* m = machine_preset(name);
+  if (m == nullptr) {
+    std::fprintf(stderr, "aisc: unknown machine '%s'\n", name.c_str());
+    std::exit(1);
+  }
+  return *m;
 }
 
 void emit(const std::vector<BasicBlock>& blocks) {
@@ -100,7 +106,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: aisc --in FILE [--mode trace|loop|cfg] "
                          "[--machine NAME] [--window N] [--jobs N] "
                          "[--rename] [--report] [--verify] [--profile] "
-                         "[--trace-json FILE]\n");
+                         "[--trace-json FILE] [--cache BOOL] "
+                         "[--cache-dir DIR]\n");
     return 1;
   }
   std::ifstream in(path);
@@ -112,13 +119,19 @@ int main(int argc, char** argv) {
   text << in.rdbuf();
 
   const Program prog = parse_program(text.str());
-  const MachineModel machine =
+  const MachineModel& machine =
       machine_by_name(args.get_string("machine", "rs6000"));
   const int window = static_cast<int>(args.get_int("window", 0));
   const std::string mode = args.get_string("mode", "trace");
   const bool do_rename = args.get_bool("rename", false);
   const bool report = args.get_bool("report", false);
   const bool do_verify = args.get_bool("verify", false);
+
+  if (args.has("cache")) {
+    ScheduleCache::global().set_enabled(args.get_bool("cache", true));
+  }
+  const std::string cache_dir = args.get_string("cache-dir", "");
+  if (!cache_dir.empty()) ScheduleCache::global().set_disk_dir(cache_dir);
 
   obs::init_from_env();
   TelemetryFinalizer telemetry;

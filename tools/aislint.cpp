@@ -43,13 +43,13 @@ namespace {
 
 using namespace ais;
 
-MachineModel machine_by_name(const std::string& name) {
-  if (name == "scalar01") return scalar01();
-  if (name == "rs6000") return rs6000_like();
-  if (name == "deep") return deep_pipeline();
-  if (name == "vliw4") return vliw4();
-  std::fprintf(stderr, "aislint: unknown machine '%s'\n", name.c_str());
-  std::exit(2);
+const MachineModel& machine_by_name(const std::string& name) {
+  const MachineModel* m = machine_preset(name);
+  if (m == nullptr) {
+    std::fprintf(stderr, "aislint: unknown machine '%s'\n", name.c_str());
+    std::exit(2);
+  }
+  return *m;
 }
 
 Program parse_file(const std::string& path) {
@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const MachineModel machine =
+  const MachineModel& machine =
       machine_by_name(args.get_string("machine", "rs6000"));
   const int window = static_cast<int>(args.get_int("window", 0));
   const std::string mode = args.get_string("mode", "trace");

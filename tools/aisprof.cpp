@@ -31,6 +31,10 @@
 //   --seed S           PRNG seed for the survey (default 42)
 //   --jobs N           compile traces on N threads (0 = all hardware
 //                      threads; results are identical at every N)
+//   --cache BOOL       enable/disable the in-memory schedule cache (default
+//                      on; see docs/CACHING.md).  Note --repeat with the
+//                      cache on measures warm-hit compiles after the first.
+//   --cache-dir DIR    persist cache entries under DIR across runs
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -39,6 +43,7 @@
 
 #include "baselines/block_schedulers.hpp"
 #include "cfg/cfg.hpp"
+#include "core/schedule_cache.hpp"
 #include "driver/anticipatory.hpp"
 #include "driver/function_compiler.hpp"
 #include "ir/asm_parser.hpp"
@@ -57,13 +62,13 @@ namespace {
 
 using namespace ais;
 
-MachineModel machine_by_name(const std::string& name) {
-  if (name == "scalar01") return scalar01();
-  if (name == "rs6000") return rs6000_like();
-  if (name == "deep") return deep_pipeline();
-  if (name == "vliw4") return vliw4();
-  std::fprintf(stderr, "aisprof: unknown machine '%s'\n", name.c_str());
-  std::exit(2);
+const MachineModel& machine_by_name(const std::string& name) {
+  const MachineModel* m = machine_preset(name);
+  if (m == nullptr) {
+    std::fprintf(stderr, "aisprof: unknown machine '%s'\n", name.c_str());
+    std::exit(2);
+  }
+  return *m;
 }
 
 void print_stall_table(const SimResult& sim) {
@@ -110,7 +115,7 @@ int run_random_survey(const CliArgs& args) {
   const int nodes = static_cast<int>(args.get_int("nodes", 12));
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.get_int("seed", 42));
-  const MachineModel machine =
+  const MachineModel& machine =
       machine_by_name(args.get_string("machine", "deep"));
   int window = static_cast<int>(args.get_int("window", 0));
   if (window == 0) window = machine.default_window();
@@ -173,6 +178,11 @@ int run_random_survey(const CliArgs& args) {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  if (args.has("cache")) {
+    ScheduleCache::global().set_enabled(args.get_bool("cache", true));
+  }
+  const std::string cache_dir = args.get_string("cache-dir", "");
+  if (!cache_dir.empty()) ScheduleCache::global().set_disk_dir(cache_dir);
   obs::init_from_env();
   obs::set_enabled(true);
   obs::register_builtin_counters();
@@ -184,7 +194,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: aisprof --in FILE [--mode trace|loop|cfg] "
                  "[--machine NAME] [--window N] [--repeat N] [--jobs N] "
-                 "[--trace-json FILE] [--json FILE]\n"
+                 "[--trace-json FILE] [--json FILE] [--cache BOOL] "
+                 "[--cache-dir DIR]\n"
                  "       aisprof --random-traces N [--blocks B] [--nodes K] "
                  "[--window W] [--machine NAME] [--seed S] [--jobs N]\n");
     return 2;
@@ -198,7 +209,7 @@ int main(int argc, char** argv) {
   text << in.rdbuf();
 
   const Program prog = parse_program(text.str());
-  const MachineModel machine =
+  const MachineModel& machine =
       machine_by_name(args.get_string("machine", "rs6000"));
   const int window = static_cast<int>(args.get_int("window", 0));
   const std::string mode = args.get_string("mode", "trace");
