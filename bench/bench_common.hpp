@@ -25,23 +25,18 @@ struct SchedulerRow {
   double compile_ms = 0;
 };
 
-inline std::vector<SchedulerRow> compare_schedulers(const DepGraph& g,
-                                                    const MachineModel& machine,
-                                                    int window) {
-  std::vector<SchedulerRow> rows;
+/// A compiled priority list awaiting simulation (see simulate_many).
+struct ScheduledList {
+  std::string name;
+  std::vector<NodeId> list;
+  double compile_ms = 0;
+};
 
-  LookaheadResult res;
-  const double anticipatory_ms = timed_ms([&] {
-    const RankScheduler scheduler(g, machine);
-    LookaheadOptions opts;
-    opts.window = window;
-    res = schedule_trace(scheduler, opts);
-  });
-  rows.push_back({"anticipatory",
-                  simulated_completion(g, machine, res.priority_list(),
-                                       window),
-                  anticipatory_ms});
-
+/// The per-block baseline lists, in compare_schedulers' baseline order.
+/// Window-independent: callers sweeping W compile these once per trace.
+inline std::vector<ScheduledList> schedule_baselines(
+    const DepGraph& g, const MachineModel& machine) {
+  std::vector<ScheduledList> lists;
   for (const BlockScheduler kind :
        {BlockScheduler::kRankDelayed, BlockScheduler::kRank,
         BlockScheduler::kCriticalPathList, BlockScheduler::kGibbonsMuchnick,
@@ -49,8 +44,46 @@ inline std::vector<SchedulerRow> compare_schedulers(const DepGraph& g,
     std::vector<NodeId> list;
     const double ms = timed_ms(
         [&] { list = schedule_trace_per_block(g, machine, kind); });
-    rows.push_back({block_scheduler_name(kind),
-                    simulated_completion(g, machine, list, window), ms});
+    lists.push_back({block_scheduler_name(kind), std::move(list), ms});
+  }
+  return lists;
+}
+
+/// Anticipatory (compiled at `window`) followed by every baseline.
+inline std::vector<ScheduledList> schedule_all(const DepGraph& g,
+                                               const MachineModel& machine,
+                                               int window) {
+  std::vector<ScheduledList> lists;
+  LookaheadResult res;
+  const double anticipatory_ms = timed_ms([&] {
+    const RankScheduler scheduler(g, machine);
+    LookaheadOptions opts;
+    opts.window = window;
+    res = schedule_trace(scheduler, opts);
+  });
+  lists.push_back({"anticipatory", res.priority_list(), anticipatory_ms});
+  for (ScheduledList& baseline : schedule_baselines(g, machine)) {
+    lists.push_back(std::move(baseline));
+  }
+  return lists;
+}
+
+inline std::vector<SchedulerRow> compare_schedulers(const DepGraph& g,
+                                                    const MachineModel& machine,
+                                                    int window,
+                                                    int sim_threads = 1) {
+  const std::vector<ScheduledList> lists = schedule_all(g, machine, window);
+  std::vector<SimJob> jobs;
+  jobs.reserve(lists.size());
+  for (const ScheduledList& l : lists) {
+    jobs.push_back({&g, &machine, &l.list, window});
+  }
+  const std::vector<SimResult> sims = simulate_many(jobs, sim_threads);
+
+  std::vector<SchedulerRow> rows;
+  rows.reserve(lists.size());
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    rows.push_back({lists[i].name, sims[i].completion, lists[i].compile_ms});
   }
   return rows;
 }

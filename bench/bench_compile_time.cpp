@@ -19,6 +19,7 @@
 #include "driver/function_compiler.hpp"
 #include "ir/asm_parser.hpp"
 #include "machine/machine_model.hpp"
+#include "sim/lookahead_sim.hpp"
 #include "workloads/random_graphs.hpp"
 
 namespace {
@@ -255,6 +256,77 @@ Loop make_bench_loop() {
   loop.body = Trace{parse_program(text).blocks};
   return loop;
 }
+
+// --- lookahead simulator --------------------------------------------------
+
+/// Latency-rich shape for the simulator benchmarks: a single dependence
+/// chain with uniform [0, 3] edge latencies.  No reordering can hide the
+/// latency, so most cycles are stalls and the cycle count dwarfs n — the
+/// regime where the original engine's per-cycle window rescan and, worse,
+/// its per-stall-cycle attribution scan over every remaining instruction
+/// (O(n × edges) per stall) dominate survey and sweep runs.
+DepGraph make_latency_chain_block(int n) {
+  Prng prng(0x1a7e + static_cast<std::uint64_t>(n));
+  RandomBlockParams params;
+  params.num_nodes = n;
+  params.layers = n;  // one node per layer: a chain
+  params.edge_prob = 1.0;
+  params.max_latency = 3;
+  return random_block(prng, params);
+}
+
+/// The evaluation hot path: every paper-figure benchmark, window sweep and
+/// `aisprof --random-traces` survey executes emitted code on the §2.3 window
+/// simulator.
+void BM_SimulateList(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const DepGraph g = make_latency_chain_block(n);
+  const MachineModel machine = deep_pipeline();
+  const RankScheduler scheduler(g, machine);
+  LookaheadOptions opts;
+  opts.window = 4;
+  const ScheduleCache::ScopedBypass bypass;
+  const std::vector<NodeId> list =
+      schedule_trace(scheduler, opts).priority_list();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate_list(g, machine, list, opts.window));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SimulateList)->Arg(64)->Arg(256)->Arg(1024);
+
+/// The batched survey API: a mixed-size batch of latency-chain lists
+/// through one simulate_many call.  Serial (threads = 1) so the number
+/// measures the engine plus SimScratch reuse, not pool scaling — the
+/// thread fan-out is exercised by the TSan CI job and the aisprof
+/// surveys, where wall clock is the metric.
+void BM_SimulateMany(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const MachineModel machine = deep_pipeline();
+  const ScheduleCache::ScopedBypass bypass;
+  std::vector<DepGraph> graphs;
+  graphs.reserve(static_cast<std::size_t>(batch));
+  for (int i = 0; i < batch; ++i) {
+    graphs.push_back(make_latency_chain_block(96 + 8 * (i % 9)));
+  }
+  std::vector<std::vector<NodeId>> lists;
+  lists.reserve(graphs.size());
+  for (const DepGraph& g : graphs) {
+    const RankScheduler scheduler(g, machine);
+    LookaheadOptions opts;
+    opts.window = 4;
+    lists.push_back(schedule_trace(scheduler, opts).priority_list());
+  }
+  std::vector<SimJob> jobs;
+  jobs.reserve(graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    jobs.push_back({&graphs[i], &machine, &lists[i], 4});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate_many(jobs, 1));
+  }
+}
+BENCHMARK(BM_SimulateMany)->Arg(16)->Arg(64);
 
 void BM_LoopRepeatedBody_CacheOff(benchmark::State& state) {
   const Loop loop = make_bench_loop();

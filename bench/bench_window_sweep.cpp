@@ -9,6 +9,7 @@
 // Rows: per scheduler and window size, geometric-mean cycles normalized to
 // anticipatory (1.000 = equal; > 1 = slower than anticipatory).
 #include <cstdio>
+#include <iterator>
 #include <map>
 
 #include "bench_common.hpp"
@@ -49,12 +50,36 @@ int main(int argc, char** argv) {
     params.block.latency1_prob = 0.6;
     params.cross_edges = 2;
     const DepGraph g = random_trace(prng, params);
+    // One batched simulate_many over the whole scheduler x window grid: the
+    // baselines are window-independent, so they compile once per trace, and
+    // the anticipatory list is recompiled per W; every (list, W) execution
+    // becomes one SimJob.
+    const auto baselines = benchutil::schedule_baselines(g, machine);
+    std::vector<std::vector<NodeId>> anticipatory;
+    std::vector<SimJob> jobs;
     for (const int w : windows) {
-      const auto rows = benchutil::compare_schedulers(g, machine, w);
-      const double base = static_cast<double>(rows[0].cycles);
+      const RankScheduler scheduler(g, machine);
+      LookaheadOptions opts;
+      opts.window = w;
+      anticipatory.push_back(schedule_trace(scheduler, opts).priority_list());
+    }
+    for (std::size_t wi = 0; wi < std::size(windows); ++wi) {
+      jobs.push_back({&g, &machine, &anticipatory[wi], windows[wi]});
+      for (const auto& b : baselines) {
+        jobs.push_back({&g, &machine, &b.list, windows[wi]});
+      }
+    }
+    const auto sims = simulate_many(jobs, 4);
+    std::size_t job = 0;
+    for (const int w : windows) {
+      const double base = static_cast<double>(sims[job].completion);
       absolute[w].add(base);
-      for (const auto& row : rows) {
-        ratios[row.name][w].add(static_cast<double>(row.cycles) / base);
+      ratios["anticipatory"][w].add(1.0);
+      ++job;
+      for (const auto& b : baselines) {
+        ratios[b.name][w].add(static_cast<double>(sims[job].completion) /
+                              base);
+        ++job;
       }
     }
   }
@@ -91,12 +116,33 @@ int main(int argc, char** argv) {
       BoundaryTraceParams bp;
       bp.boundary_latency = lat;
       const DepGraph g = boundary_trace(bprng, bp);
+      const MachineModel bmachine = deep_pipeline();
+      const auto baselines = benchutil::schedule_baselines(g, bmachine);
+      std::vector<std::vector<NodeId>> anticipatory;
+      std::vector<SimJob> jobs;
       for (const int w : windows) {
-        const auto rows =
-            benchutil::compare_schedulers(g, deep_pipeline(), w);
-        const double base = static_cast<double>(rows[0].cycles);
-        for (const auto& row : rows) {
-          bratios[row.name][w].add(static_cast<double>(row.cycles) / base);
+        const RankScheduler scheduler(g, bmachine);
+        LookaheadOptions opts;
+        opts.window = w;
+        anticipatory.push_back(
+            schedule_trace(scheduler, opts).priority_list());
+      }
+      for (std::size_t wi = 0; wi < std::size(windows); ++wi) {
+        jobs.push_back({&g, &bmachine, &anticipatory[wi], windows[wi]});
+        for (const auto& b : baselines) {
+          jobs.push_back({&g, &bmachine, &b.list, windows[wi]});
+        }
+      }
+      const auto sims = simulate_many(jobs, 4);
+      std::size_t job = 0;
+      for (const int w : windows) {
+        const double base = static_cast<double>(sims[job].completion);
+        bratios["anticipatory"][w].add(1.0);
+        ++job;
+        for (const auto& b : baselines) {
+          bratios[b.name][w].add(static_cast<double>(sims[job].completion) /
+                                 base);
+          ++job;
         }
       }
     }

@@ -201,13 +201,19 @@ Time optimal_trace_completion(const DepGraph& g, const MachineModel& machine,
 
   Time best = std::numeric_limits<Time>::max();
   std::vector<std::size_t> pick(options.size(), 0);
+  // One scratch across the whole cartesian product: the enumeration runs
+  // thousands of simulations of identically-sized instances, so the
+  // buffers are allocated once and reused verbatim.
+  SimScratch scratch;
+  std::vector<NodeId> list;
   while (true) {
-    std::vector<NodeId> list;
+    list.clear();
     for (std::size_t b = 0; b < options.size(); ++b) {
       const auto& o = options[b][pick[b]];
       list.insert(list.end(), o.begin(), o.end());
     }
-    best = std::min(best, simulated_completion(g, machine, list, window));
+    best = std::min(best,
+                    simulated_completion(g, machine, list, window, scratch));
 
     std::size_t b = 0;
     while (b < options.size() && ++pick[b] == options[b].size()) {

@@ -70,7 +70,7 @@ namespace ais {
 /// older scheduler can never be served.
 inline constexpr std::uint32_t kScheduleCacheAlgoVersion = 1;
 /// Bump when the key or value serialization layout changes.
-inline constexpr std::uint32_t kScheduleCacheFormatVersion = 1;
+inline constexpr std::uint32_t kScheduleCacheFormatVersion = 2;
 
 /// A canonical scheduling-instance key plus the remap table for its hits.
 struct CacheKey {
@@ -92,6 +92,9 @@ struct CacheInstanceParams {
   bool merge_deadline_caps = true;
   bool do_chop = true;
   bool split_long_ops = false;
+  /// LookaheadOptions::fill_cap: caps how deep Merge fills new-block nodes
+  /// into the retained suffix.  Changes emitted code, hence part of the key.
+  int fill_cap = 0;
   /// RankOptions::tie_break, indexed by caller NodeId; empty = id order.
   const std::vector<int>* tie_break = nullptr;
 };

@@ -51,7 +51,7 @@ Time ScheduledTrace::simulated_cycles(const MachineModel& machine) const {
 }
 
 ScheduledTrace schedule(const Trace& trace, const MachineModel& machine,
-                        int window, const DepBuildOptions& deps) {
+                        int window, const DepBuildOptions& deps, int jobs) {
   AIS_OBS_SPAN("compile.trace");
   const int w = resolve_window(machine, window);
   DepGraph g = [&] {
@@ -61,6 +61,7 @@ ScheduledTrace schedule(const Trace& trace, const MachineModel& machine,
   const RankScheduler scheduler(g, machine);
   LookaheadOptions opts;
   opts.window = w;
+  opts.jobs = jobs;
   LookaheadResult detail = schedule_trace(scheduler, opts);
 
   ScheduledTrace out{

@@ -6,6 +6,16 @@
 namespace ais {
 
 DescendantClosure::DescendantClosure(const DepGraph& g, const NodeSet& active)
+    : DescendantClosure(g, active, nullptr, nullptr) {}
+
+DescendantClosure::DescendantClosure(const DepGraph& g, const NodeSet& active,
+                                     const DescendantClosure& donor,
+                                     const NodeSet& donor_nodes)
+    : DescendantClosure(g, active, &donor, &donor_nodes) {}
+
+DescendantClosure::DescendantClosure(const DepGraph& g, const NodeSet& active,
+                                     const DescendantClosure* donor,
+                                     const NodeSet* donor_nodes)
     : domain_(g.num_nodes()),
       desc_(g.num_nodes(), DynamicBitset(g.num_nodes())),
       member_(g.num_nodes(), false) {
@@ -15,8 +25,15 @@ DescendantClosure::DescendantClosure(const DepGraph& g, const NodeSet& active)
   for (const NodeId id : *order) member_[id] = true;
 
   // Reverse topological order: successors' closures are complete first.
+  // Donated rows never read other rows, so copying them in this order is
+  // trivially safe; computed rows may read donated ones, which is exactly
+  // the point of the donation.
   for (auto it = order->rbegin(); it != order->rend(); ++it) {
     const NodeId id = *it;
+    if (donor != nullptr && donor_nodes->contains(id)) {
+      desc_[id] = donor->descendants(id);
+      continue;
+    }
     DynamicBitset& mine = desc_[id];
     for (const auto eidx : g.out_edges(id)) {
       const DepEdge& e = g.edge(eidx);

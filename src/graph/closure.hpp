@@ -19,6 +19,14 @@ class DescendantClosure {
   /// between active nodes.  The induced subgraph must be acyclic.
   DescendantClosure(const DepGraph& g, const NodeSet& active);
 
+  /// Same, but the rows of `donor_nodes` (a subset of `active`) are copied
+  /// out of `donor` instead of recomputed.  The caller must guarantee each
+  /// donated node's descendant set within `active` equals its `donor` row —
+  /// in the lookahead prescheduler that holds because no distance-0 edge
+  /// leaves the donated block into the rest of the active set.
+  DescendantClosure(const DepGraph& g, const NodeSet& active,
+                    const DescendantClosure& donor, const NodeSet& donor_nodes);
+
   /// Bitset of descendants of `id` (excluding `id` itself).  `id` must be a
   /// member of the active set this closure was built from.
   const DynamicBitset& descendants(NodeId id) const;
@@ -27,6 +35,9 @@ class DescendantClosure {
   bool reaches(NodeId ancestor, NodeId descendant) const;
 
  private:
+  DescendantClosure(const DepGraph& g, const NodeSet& active,
+                    const DescendantClosure* donor, const NodeSet* donor_nodes);
+
   std::size_t domain_;
   std::vector<DynamicBitset> desc_;
   std::vector<bool> member_;

@@ -183,6 +183,11 @@ inline constexpr const char* kSimRuns = "sim.runs";
 inline constexpr const char* kSimCycles = "sim.cycles";
 inline constexpr const char* kSimStallLatency = "sim.stall.latency";
 inline constexpr const char* kSimStallWindow = "sim.stall.window";
+/// Event-driven simulator internals: kSimEvents counts the event-loop
+/// iterations (cycles the engine actually examined); kSimCyclesJumped counts
+/// the idle cycles skipped by next-event jumps.  Their sum equals kSimCycles.
+inline constexpr const char* kSimEvents = "sim.events";
+inline constexpr const char* kSimCyclesJumped = "sim.cycles_jumped";
 /// Schedule-cache counters (core/schedule_cache).  The "cache." prefix is
 /// load-bearing: CounterRecorder filters it, and the differential tests
 /// exclude it when asserting cache-on/off counter identity.

@@ -105,7 +105,8 @@ void register_builtin_counters() {
         ctr::kIdleMoveAttempts, ctr::kIdleSlotsMoved, ctr::kDeadlinesTightened,
         ctr::kChopCalls, ctr::kChopPoints, ctr::kLookaheadBlocks,
         ctr::kWindowSpanOverW, ctr::kSimRuns, ctr::kSimCycles,
-        ctr::kSimStallLatency, ctr::kSimStallWindow,
+        ctr::kSimStallLatency, ctr::kSimStallWindow, ctr::kSimEvents,
+        ctr::kSimCyclesJumped,
         ctr::kCacheHits, ctr::kCacheMisses, ctr::kCacheEvictions,
         ctr::kCacheBytes, ctr::kCacheDiskHits, ctr::kCacheDiskWrites}) {
     count(name, 0);

@@ -10,14 +10,27 @@
 //
 // This simulator is the paper's missing testbed: every benchmark measures
 // completion times by executing emitted code on it.
+//
+// The engine is event-driven (see docs/PERFORMANCE.md, "Event-driven list
+// simulation"): per-position unsatisfied-predecessor counters are decremented
+// when a producer issues, a woken position is examined only when its last
+// operand arrives (wake-time heaps), per-FU-class availability heaps replace
+// the linear unit scan, and the clock jumps straight over provably idle gaps
+// — with the stall attribution and the window-occupancy histogram accumulated
+// in bulk across the jumped cycles, since neither readiness nor occupancy can
+// change between events.  Outputs are byte-exact against the original
+// cycle-stepping formulation, which tests/test_differential.cpp keeps
+// verbatim as an in-test oracle.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/schedule.hpp"
 #include "graph/depgraph.hpp"
 #include "graph/nodeset.hpp"
 #include "machine/machine_model.hpp"
+#include "support/arena.hpp"
 
 namespace ais {
 
@@ -43,14 +56,80 @@ struct SimResult {
   std::vector<Time> window_occupancy;
 };
 
+/// Reusable buffers for simulate_list: the per-position readiness state, the
+/// per-class availability and wake-time heaps and the id→position map, all
+/// arena-backed so a caller running thousands of simulations (surveys,
+/// window sweeps, bruteforce enumeration) pays the allocations once and
+/// converges on the peak instance size.  A scratch carries no results across
+/// calls — every simulate_list call fully re-initializes what it reads — and
+/// is single-threaded state: concurrent simulations use one scratch each
+/// (simulate_many hands one to every pool worker).
+class SimScratch {
+ public:
+  SimScratch();
+
+  /// A dep-satisfied but not yet ready position, keyed by the cycle its
+  /// last operand arrives (min-heap order).
+  struct WakeEntry {
+    Time ready;
+    std::uint32_t pos;
+  };
+
+ private:
+  friend SimResult simulate_list(const DepGraph& g, const MachineModel& machine,
+                                 const std::vector<NodeId>& list, int window,
+                                 SimScratch& scratch);
+  Arena arena_;
+  ArenaVector<std::size_t> pos_;        // id -> list position
+  ArenaVector<std::int32_t> deps_left_;  // per position
+  ArenaVector<Time> ready_;              // per position; final once deps == 0
+  ArenaVector<char> issued_;             // per position
+  ArenaVector<char> awake_;              // per position
+  ArenaVector<std::int32_t> klass_;      // per position: FU class
+  ArenaVector<std::int32_t> free_count_;  // per class
+  ArenaVector<std::int32_t> awake_in_;    // per class, inside the window
+  ArenaVector<std::int32_t> awake_beyond_;  // per class, beyond the window
+  // Per class: min-heaps of busy-until times and of sleeping dep-satisfied
+  // positions (in-window / beyond-window), keyed by resolved ready time.
+  std::vector<std::vector<Time>> busy_;
+  std::vector<std::vector<WakeEntry>> sleep_in_;
+  std::vector<std::vector<WakeEntry>> sleep_beyond_;
+};
+
 /// Executes priority list `list` (each active node exactly once) with window
 /// size `window` on `machine`.  Dependences are the distance-0 edges of `g`
 /// between listed nodes.
 SimResult simulate_list(const DepGraph& g, const MachineModel& machine,
                         const std::vector<NodeId>& list, int window);
 
+/// Same, reusing `scratch`'s buffers (no per-call allocations after the
+/// first use at a given instance size).
+SimResult simulate_list(const DepGraph& g, const MachineModel& machine,
+                        const std::vector<NodeId>& list, int window,
+                        SimScratch& scratch);
+
 /// Convenience: completion time only.
 Time simulated_completion(const DepGraph& g, const MachineModel& machine,
                           const std::vector<NodeId>& list, int window);
+Time simulated_completion(const DepGraph& g, const MachineModel& machine,
+                          const std::vector<NodeId>& list, int window,
+                          SimScratch& scratch);
+
+/// One simulation request for the batched survey API.  All pointed-to data
+/// must outlive the simulate_many call.
+struct SimJob {
+  const DepGraph* graph = nullptr;
+  const MachineModel* machine = nullptr;
+  const std::vector<NodeId>* list = nullptr;
+  int window = 0;
+};
+
+/// Runs every job and returns the results in job order.  `threads > 1` fans
+/// the batch out over a ThreadPool with one SimScratch per worker; results
+/// are deterministic and independent of the thread count (each simulation is
+/// pure).  `threads <= 1` runs serially on the calling thread through one
+/// reused scratch.
+std::vector<SimResult> simulate_many(const std::vector<SimJob>& jobs,
+                                     int threads = 1);
 
 }  // namespace ais

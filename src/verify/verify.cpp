@@ -169,8 +169,9 @@ Report check_emitted(const Trace& original, const Trace& scheduled,
     for (const int orig : scheduled_to_original) {
       list.push_back(static_cast<NodeId>(orig));
     }
+    SimScratch scratch;
     const Time achieved =
-        simulated_completion(g, machine, list, opts.window);
+        simulated_completion(g, machine, list, opts.window, scratch);
     report_certificate(report,
                        certify_trace_completion(g, machine, opts.window,
                                                 achieved,

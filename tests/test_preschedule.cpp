@@ -1,0 +1,460 @@
+// Differential tests for the cold-path pre-scheduling pipeline
+// (LookaheadOptions::jobs / preschedule) and the Merge fill-depth cap
+// (LookaheadOptions::fill_cap).
+//
+// The pipeline contract is byte identity: schedule_trace must produce the
+// same planning order, per-block code, diagnostics and counter deltas at
+// every jobs value, with the substrate donors adopted, seeded, or rejected
+// by the backward-edge gate.  fill_cap changes emitted code by design, so
+// its tests check the depth bound it promises and its membership in the
+// schedule-cache key instead.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/lookahead.hpp"
+#include "core/rank.hpp"
+#include "core/schedule_cache.hpp"
+#include "graph/depgraph.hpp"
+#include "graph/nodeset.hpp"
+#include "machine/machine_model.hpp"
+#include "obs/obs.hpp"
+#include "support/prng.hpp"
+#include "workloads/random_graphs.hpp"
+
+namespace ais {
+namespace {
+
+void expect_same_lookahead(const LookaheadResult& got,
+                           const LookaheadResult& want,
+                           const std::string& what) {
+  EXPECT_EQ(got.order, want.order) << what;
+  EXPECT_EQ(got.per_block, want.per_block) << what;
+  EXPECT_EQ(got.diag.merged_makespans, want.diag.merged_makespans) << what;
+  EXPECT_EQ(got.diag.prefixes_emitted, want.diag.prefixes_emitted) << what;
+  EXPECT_EQ(got.diag.max_inversion_span, want.diag.max_inversion_span) << what;
+}
+
+/// One serial reference and one parallel run over the same scheduler, both
+/// bypassing the cache, both under a CounterRecorder; asserts byte and
+/// counter-stream identity.
+void expect_jobs_identity(const RankScheduler& scheduler,
+                          const LookaheadOptions& base, int jobs,
+                          const std::string& what) {
+  ScheduleCache::ScopedBypass bypass;
+
+  LookaheadOptions serial = base;
+  serial.jobs = 1;
+  LookaheadResult want;
+  CounterDeltaMap want_deltas;
+  {
+    obs::CounterRecorder rec;
+    want = schedule_trace(scheduler, serial);
+    want_deltas = rec.deltas();
+  }
+
+  LookaheadOptions parallel = base;
+  parallel.jobs = jobs;
+  LookaheadResult got;
+  CounterDeltaMap got_deltas;
+  {
+    obs::CounterRecorder rec;
+    got = schedule_trace(scheduler, parallel);
+    got_deltas = rec.deltas();
+  }
+
+  const std::string tag = what + " jobs=" + std::to_string(jobs);
+  expect_same_lookahead(got, want, tag);
+  EXPECT_EQ(got_deltas, want_deltas) << tag;
+}
+
+struct Regime {
+  const char* name;
+  MachineModel machine;
+  int max_latency;
+  int window;
+};
+
+std::vector<Regime> regimes() {
+  return {
+      {"scalar01-unit", scalar01(), 1, 4},
+      {"rs6000-lat2", rs6000_like(), 2, 4},
+      {"deep-lat3", deep_pipeline(), 3, 6},
+      {"vliw4-lat2", vliw4(), 2, 4},
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Byte identity across jobs values.
+// ---------------------------------------------------------------------------
+
+TEST(Preschedule, JobsByteIdenticalOnRandomTraces) {
+  for (const Regime& regime : regimes()) {
+    for (int round = 0; round < 6; ++round) {
+      Prng prng(0x90b5 + static_cast<std::uint64_t>(round) * 7919);
+      RandomTraceParams params;
+      params.num_blocks = 5;
+      params.block.num_nodes = 12;
+      params.block.edge_prob = 0.3;
+      params.block.max_latency = regime.max_latency;
+      params.cross_edges = 3;
+      const DepGraph g = random_trace(prng, params);
+      const RankScheduler scheduler(g, regime.machine);
+
+      LookaheadOptions opts;
+      opts.window = regime.window;
+      const std::string what =
+          std::string(regime.name) + " round " + std::to_string(round);
+      for (const int jobs : {2, 3, 8}) {
+        expect_jobs_identity(scheduler, opts, jobs, what);
+      }
+    }
+  }
+}
+
+TEST(Preschedule, JobsByteIdenticalOnMachineAndBoundaryTraces) {
+  for (const Regime& regime : regimes()) {
+    for (int round = 0; round < 4; ++round) {
+      Prng prng(0xb0a7 + static_cast<std::uint64_t>(round) * 131);
+      const DepGraph g = (round % 2 == 0)
+          ? random_machine_trace(prng, regime.machine, 4, 10, 0.35, 2)
+          : boundary_trace(prng, BoundaryTraceParams{
+                .num_blocks = 5,
+                .chain_len = 4,
+                .independents = 4,
+                .boundary_latency = regime.max_latency + 1,
+            });
+      const RankScheduler scheduler(g, regime.machine);
+
+      LookaheadOptions opts;
+      opts.window = regime.window;
+      const std::string what = std::string(regime.name) + " gen-round " +
+                               std::to_string(round);
+      expect_jobs_identity(scheduler, opts, 8, what);
+    }
+  }
+}
+
+/// jobs <= 0 means "all hardware threads"; the degenerate block counts
+/// (one block, empty-ish blocks) exercise the pool-size clamp.
+TEST(Preschedule, JobsByteIdenticalOnDegenerateTraces) {
+  const MachineModel machine = rs6000_like();
+  {
+    Prng prng(0x51);
+    RandomTraceParams params;
+    params.num_blocks = 1;
+    params.block.num_nodes = 16;
+    params.block.edge_prob = 0.3;
+    params.block.max_latency = 2;
+    params.cross_edges = 0;
+    const DepGraph g = random_trace(prng, params);
+    const RankScheduler scheduler(g, machine);
+    LookaheadOptions opts;
+    opts.window = 4;
+    expect_jobs_identity(scheduler, opts, 8, "single-block");
+    expect_jobs_identity(scheduler, opts, 0, "single-block hw-threads");
+  }
+  {
+    Prng prng(0x52);
+    RandomTraceParams params;
+    params.num_blocks = 12;
+    params.block.num_nodes = 2;
+    params.block.edge_prob = 0.5;
+    params.block.max_latency = 3;
+    params.cross_edges = 1;
+    const DepGraph g = random_trace(prng, params);
+    const RankScheduler scheduler(g, machine);
+    LookaheadOptions opts;
+    opts.window = 2;
+    expect_jobs_identity(scheduler, opts, 16, "tiny-blocks");
+  }
+}
+
+/// preschedule = false must reduce jobs > 1 to the plain serial path.
+TEST(Preschedule, DisabledPipelineMatchesSerial) {
+  Prng prng(0x0ff);
+  RandomTraceParams params;
+  params.num_blocks = 4;
+  params.block.num_nodes = 12;
+  params.block.edge_prob = 0.3;
+  params.block.max_latency = 2;
+  params.cross_edges = 2;
+  const DepGraph g = random_trace(prng, params);
+  const RankScheduler scheduler(g, rs6000_like());
+
+  LookaheadOptions opts;
+  opts.window = 4;
+  opts.preschedule = false;
+  expect_jobs_identity(scheduler, opts, 8, "preschedule-off");
+}
+
+/// The ablation that disables merge deadline caps also disables the
+/// pipeline (the substrate contract assumes capped merges); jobs > 1 must
+/// still match jobs = 1 there.
+TEST(Preschedule, AblationWithoutDeadlineCapsMatchesSerial) {
+  Prng prng(0xab1a);
+  RandomTraceParams params;
+  params.num_blocks = 4;
+  params.block.num_nodes = 10;
+  params.block.edge_prob = 0.3;
+  params.block.max_latency = 2;
+  params.cross_edges = 2;
+  const DepGraph g = random_trace(prng, params);
+  const RankScheduler scheduler(g, rs6000_like());
+
+  LookaheadOptions opts;
+  opts.window = 4;
+  opts.merge_deadline_caps = false;
+  expect_jobs_identity(scheduler, opts, 8, "no-deadline-caps");
+}
+
+/// A distance-0 dependence from a later block back into an earlier one
+/// invalidates the donated substrate (the standalone closure rows differ
+/// from the union's); the seed gate must reject it and fall back to the
+/// unseeded solve, still byte-identical to serial.
+TEST(Preschedule, BackwardCrossEdgeGateFallsBack) {
+  DepGraph g;
+  const NodeId a0 = g.add_node("a0", 1, 0, 0);
+  const NodeId a1 = g.add_node("a1", 1, 0, 0);
+  const NodeId a2 = g.add_node("a2", 1, 0, 0);
+  const NodeId a3 = g.add_node("a3", 1, 0, 0);
+  const NodeId b0 = g.add_node("b0", 1, 0, 1);
+  const NodeId b1 = g.add_node("b1", 1, 0, 1);
+  const NodeId b2 = g.add_node("b2", 1, 0, 1);
+  const NodeId b3 = g.add_node("b3", 1, 0, 1);
+  g.add_edge(a0, a1, 2, 0);
+  g.add_edge(a1, a2, 1, 0);
+  g.add_edge(b0, b1, 2, 0);
+  g.add_edge(b1, b2, 1, 0);
+  g.add_edge(a0, b3, 1, 0);
+  // The gate trigger: new-block b0 must precede old-block a3 in-iteration.
+  g.add_edge(b0, a3, 1, 0);
+
+  for (const MachineModel& machine : {scalar01(), rs6000_like()}) {
+    const RankScheduler scheduler(g, machine);
+    for (const int window : {2, 4}) {
+      LookaheadOptions opts;
+      opts.window = window;
+      expect_jobs_identity(scheduler, opts, 8,
+                           "backward-edge W" + std::to_string(window));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cache interaction: jobs is not part of the key.
+// ---------------------------------------------------------------------------
+
+/// A trace compiled at jobs = 8 must populate the same cache entry a
+/// jobs = 1 compile consumes (and vice versa): outputs are identical, so
+/// jobs is deliberately absent from the key.
+TEST(Preschedule, CacheEntriesSharedAcrossJobs) {
+  ScheduleCache& cache = ScheduleCache::global();
+  const bool was_enabled = cache.enabled();
+  cache.set_enabled(true);
+  cache.clear();
+
+  Prng prng(0x5a5a);
+  RandomTraceParams params;
+  params.num_blocks = 4;
+  params.block.num_nodes = 12;
+  params.block.edge_prob = 0.3;
+  params.block.max_latency = 2;
+  params.cross_edges = 2;
+  const DepGraph g = random_trace(prng, params);
+  const RankScheduler scheduler(g, deep_pipeline());
+
+  LookaheadOptions opts;
+  opts.window = 6;
+
+  LookaheadResult want;
+  CounterDeltaMap want_deltas;
+  {
+    ScheduleCache::ScopedBypass bypass;
+    obs::CounterRecorder rec;
+    want = schedule_trace(scheduler, opts);
+    want_deltas = rec.deltas();
+  }
+
+  // Cold populate at jobs = 8.
+  opts.jobs = 8;
+  {
+    obs::CounterRecorder rec;
+    const LookaheadResult got = schedule_trace(scheduler, opts);
+    expect_same_lookahead(got, want, "cold jobs=8");
+    EXPECT_EQ(rec.deltas(), want_deltas) << "cold jobs=8";
+  }
+
+  // Warm consume at jobs = 1: a trace-level hit replaying identical bytes.
+  opts.jobs = 1;
+  const std::uint64_t hits_before = obs::counter_value(obs::ctr::kCacheHits);
+  {
+    obs::CounterRecorder rec;
+    const LookaheadResult got = schedule_trace(scheduler, opts);
+    expect_same_lookahead(got, want, "warm jobs=1");
+    EXPECT_EQ(rec.deltas(), want_deltas) << "warm jobs=1";
+  }
+  if (obs::enabled()) {
+    EXPECT_GT(obs::counter_value(obs::ctr::kCacheHits), hits_before);
+  }
+
+  cache.set_enabled(was_enabled);
+}
+
+// ---------------------------------------------------------------------------
+// fill_cap: the W-capped Merge fill depth.
+// ---------------------------------------------------------------------------
+
+/// Number of fill-depth violations in a planning order: pairs where an
+/// earlier-block node follows a later-block node by more than `cap`
+/// positions-of-old.  For every node, counts the earlier-block nodes that
+/// appear after it and checks the count against the cap.
+std::size_t fill_violations(const DepGraph& g,
+                            const std::vector<NodeId>& order, int cap) {
+  std::size_t violations = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const int my_block = g.node(order[i]).block;
+    int older_after = 0;
+    for (std::size_t j = i + 1; j < order.size(); ++j) {
+      if (g.node(order[j]).block < my_block) ++older_after;
+    }
+    if (older_after > cap) ++violations;
+  }
+  return violations;
+}
+
+/// With fill_cap = C on a two-block trace, at most C first-block nodes may
+/// follow any second-block node in the final planning order.  (Two blocks
+/// keep the bound exact: the capped iteration's planning order is the
+/// final order's tail, and every emitted first-block instruction precedes
+/// it.)  The uncapped runs must violate the bound somewhere across the
+/// sweep, or the cap would be vacuous here.
+TEST(FillCap, BoundsRetainedOldDepthOnTwoBlockTraces) {
+  ScheduleCache::ScopedBypass bypass;
+  std::size_t uncapped_violations = 0;
+  for (const Regime& regime : regimes()) {
+    for (int round = 0; round < 4; ++round) {
+      Prng prng(0xf111 + static_cast<std::uint64_t>(round) * 257);
+      const DepGraph g = boundary_trace(prng, BoundaryTraceParams{
+          .num_blocks = 2,
+          .chain_len = 6,
+          .independents = 6,
+          .boundary_latency = regime.max_latency + 2,
+      });
+      const RankScheduler scheduler(g, regime.machine);
+
+      LookaheadOptions opts;
+      opts.window = regime.window;
+      const LookaheadResult uncapped = schedule_trace(scheduler, opts);
+
+      for (const int cap : {1, 2, 4}) {
+        opts.fill_cap = cap;
+        const LookaheadResult capped = schedule_trace(scheduler, opts);
+        EXPECT_EQ(fill_violations(g, capped.order, cap), 0u)
+            << regime.name << " round " << round << " cap " << cap;
+        uncapped_violations += fill_violations(g, uncapped.order, cap);
+      }
+      opts.fill_cap = 0;
+    }
+  }
+  EXPECT_GT(uncapped_violations, 0u)
+      << "uncapped Merge never filled deeper than the smallest cap; the "
+         "cap tests above are vacuous";
+}
+
+/// A cap at least as large as the trace is a no-op: byte-identical to
+/// fill_cap = 0, diagnostics included.
+TEST(FillCap, LargeCapMatchesUncapped) {
+  ScheduleCache::ScopedBypass bypass;
+  for (const Regime& regime : regimes()) {
+    Prng prng(0xca9);
+    RandomTraceParams params;
+    params.num_blocks = 4;
+    params.block.num_nodes = 10;
+    params.block.edge_prob = 0.3;
+    params.block.max_latency = regime.max_latency;
+    params.cross_edges = 2;
+    const DepGraph g = random_trace(prng, params);
+    const RankScheduler scheduler(g, regime.machine);
+
+    LookaheadOptions opts;
+    opts.window = regime.window;
+    const LookaheadResult uncapped = schedule_trace(scheduler, opts);
+    opts.fill_cap = static_cast<int>(g.num_nodes());
+    const LookaheadResult capped = schedule_trace(scheduler, opts);
+    expect_same_lookahead(capped, uncapped, regime.name);
+  }
+}
+
+/// fill_cap is part of the schedule-cache key: a capped compile after an
+/// uncapped compile of the same instance must not be served the uncapped
+/// entry (and vice versa).
+TEST(FillCap, IsPartOfCacheKey) {
+  ScheduleCache& cache = ScheduleCache::global();
+  const bool was_enabled = cache.enabled();
+  cache.set_enabled(true);
+  cache.clear();
+
+  bool outputs_differed = false;
+  for (int round = 0; round < 4 && !outputs_differed; ++round) {
+    Prng prng(0x6e1 + static_cast<std::uint64_t>(round) * 101);
+    const DepGraph g = boundary_trace(prng, BoundaryTraceParams{
+        .num_blocks = 3,
+        .chain_len = 6,
+        .independents = 6,
+        .boundary_latency = 4,
+    });
+    const RankScheduler scheduler(g, vliw4());
+
+    LookaheadOptions opts;
+    opts.window = 4;
+
+    LookaheadResult uncapped_ref;
+    LookaheadResult capped_ref;
+    {
+      ScheduleCache::ScopedBypass bypass;
+      uncapped_ref = schedule_trace(scheduler, opts);
+      opts.fill_cap = 1;
+      capped_ref = schedule_trace(scheduler, opts);
+      opts.fill_cap = 0;
+    }
+    outputs_differed = capped_ref.order != uncapped_ref.order;
+
+    // Populate with the uncapped entry, then compile capped with the
+    // cache on: it must match the capped reference, not the cached
+    // uncapped schedule.
+    const LookaheadResult uncapped = schedule_trace(scheduler, opts);
+    expect_same_lookahead(uncapped, uncapped_ref, "uncapped cache-on");
+    opts.fill_cap = 1;
+    const LookaheadResult capped = schedule_trace(scheduler, opts);
+    expect_same_lookahead(capped, capped_ref, "capped cache-on");
+  }
+  EXPECT_TRUE(outputs_differed)
+      << "fill_cap never changed the schedule; the key-separation check "
+         "is vacuous";
+
+  cache.set_enabled(was_enabled);
+}
+
+/// jobs and fill_cap compose: the capped pipeline at jobs = 8 matches the
+/// capped serial path byte for byte.
+TEST(FillCap, ComposesWithPreschedule) {
+  Prng prng(0xc0de);
+  const DepGraph g = boundary_trace(prng, BoundaryTraceParams{
+      .num_blocks = 5,
+      .chain_len = 5,
+      .independents = 5,
+      .boundary_latency = 4,
+  });
+  const RankScheduler scheduler(g, deep_pipeline());
+
+  LookaheadOptions opts;
+  opts.window = 6;
+  opts.fill_cap = 2;
+  expect_jobs_identity(scheduler, opts, 8, "fill_cap=2");
+}
+
+}  // namespace
+}  // namespace ais

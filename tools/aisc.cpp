@@ -12,7 +12,9 @@
 //   --mode MODE      trace (default) | loop | cfg
 //   --machine NAME   scalar01 | rs6000 (default) | deep | vliw4
 //   --window N       lookahead window (0 = machine default)
-//   --jobs N         cfg mode: compile traces on N threads (0 = all
+//   --jobs N         cfg mode: compile traces on N threads; trace mode:
+//                    pre-schedule block substrates on N pool workers while
+//                    the serial Merge/Chop chain consumes them (0 = all
 //                    hardware threads; output identical at every N)
 //   --rename         run local register renaming first
 //   --report         print cycle counts (before/after) to stderr
@@ -179,7 +181,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "aisc: unknown mode '%s'\n", mode.c_str());
     return 1;
   }
-  const ScheduledTrace scheduled = schedule(trace, machine, window);
+  const ScheduledTrace scheduled =
+      schedule(trace, machine, window, {},
+               static_cast<int>(args.get_int("jobs", 1)));
   emit(scheduled.blocks);
   if (report) {
     const auto before = schedule_trace_per_block(
