@@ -61,6 +61,34 @@ def rows_from_google_benchmark(path):
     return rows
 
 
+def row_from_analysis(path, max_overhead):
+    """Folds a bench_analysis --json report into one snapshot row and
+    enforces the gating-overhead budget: the corpus-aggregate cost of the
+    exit-code-relevant analysis rules must stay below max_overhead percent
+    of end-to-end compile time (docs/PERFORMANCE.md).  Returns (row, ok).
+    The row intentionally carries neither compile_ms nor cycles so compare
+    mode never gates on these microsecond-scale, noise-dominated timings."""
+    with open(path) as f:
+        report = json.load(f)
+    total = report["total"]
+    ok = total["overhead_pct"] < max_overhead
+    status = "ok" if ok else "FAIL"
+    print(f"{status:4} analysis overhead: {total['overhead_pct']:.1f}% "
+          f"gating / {total['full_pct']:.1f}% full "
+          f"(budget {max_overhead}%)")
+    if not ok:
+        print(f"REGRESSION: analysis gating overhead "
+              f"{total['overhead_pct']:.1f}% exceeds {max_overhead}% budget",
+              file=sys.stderr)
+    row = {
+        "name": "analysis_overhead.corpus",
+        "analysis_ms": total["analysis_ms"],
+        "overhead_pct": round(total["overhead_pct"], 2),
+        "full_pct": round(total["full_pct"], 2),
+    }
+    return row, ok
+
+
 def load_rows(path):
     with open(path) as f:
         snapshot = json.load(f)
@@ -107,7 +135,12 @@ def main():
                         help="aisprof --json output files")
     parser.add_argument("--google-benchmark",
                         help="google-benchmark --benchmark_format=json file")
-    parser.add_argument("--out", default="BENCH_PR4.json")
+    parser.add_argument("--analysis",
+                        help="bench_analysis --json report file")
+    parser.add_argument("--max-analysis-overhead", type=float, default=5.0,
+                        help="allowed gating-analysis overhead as a percent "
+                             "of corpus compile time (default: 5)")
+    parser.add_argument("--out", default="BENCH_PR6.json")
     parser.add_argument("--compare", metavar="BASELINE",
                         help="baseline snapshot to diff --current against")
     parser.add_argument("--current", metavar="SNAPSHOT",
@@ -125,6 +158,11 @@ def main():
     benchmarks = [row_from_aisprof(p) for p in args.aisprof_reports]
     if args.google_benchmark:
         benchmarks += rows_from_google_benchmark(args.google_benchmark)
+    analysis_ok = True
+    if args.analysis:
+        row, analysis_ok = row_from_analysis(args.analysis,
+                                             args.max_analysis_overhead)
+        benchmarks.append(row)
     if not benchmarks:
         print("bench_json.py: no input reports", file=sys.stderr)
         return 2
@@ -132,7 +170,7 @@ def main():
     with open(args.out, "w") as f:
         json.dump({"schema": 1, "benchmarks": benchmarks}, f, indent=2)
         f.write("\n")
-    return 0
+    return 0 if analysis_ok else 1
 
 
 if __name__ == "__main__":

@@ -5,15 +5,15 @@
 #
 #   sh scripts/bench_json.sh [BUILD_DIR] [OUT_FILE]
 #
-# The committed BENCH_PR5.json at the repo root is this script's output;
+# The committed BENCH_PR6.json at the repo root is this script's output;
 # regenerate it after scheduler changes so the numbers stay honest.
-# BENCH_PR4.json is the frozen previous-PR baseline that CI's perf-smoke
+# BENCH_PR5.json is the frozen previous-PR baseline that CI's perf-smoke
 # job diffs fresh numbers against (bench_json.py --compare); the baseline
 # rolls forward one PR at a time (see docs/PERFORMANCE.md).
 set -eu
 
 BUILD=${1:-build}
-OUT=${2:-BENCH_PR5.json}
+OUT=${2:-BENCH_PR6.json}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -35,9 +35,15 @@ EXAMPLES=$(dirname "$0")/../examples
 "$BUILD/bench/bench_compile_time" --benchmark_format=json \
     --benchmark_min_time=0.2 > "$TMP/compile_time.json" 2> /dev/null
 
+# Static-analysis ride-along cost; bench_json.py asserts the gating rules
+# stay under 5% of corpus compile time.
+"$BUILD/bench/bench_analysis" --repeat 80 \
+    --json "$TMP/analysis.json" > /dev/null
+
 python3 "$(dirname "$0")/bench_json.py" \
     --out "$OUT" \
     --google-benchmark "$TMP/compile_time.json" \
+    --analysis "$TMP/analysis.json" \
     "$TMP"/fig3_loop.json "$TMP"/two_block_trace.json \
     "$TMP"/memory_alias.json "$TMP"/diamond_cfg.json
 

@@ -1,0 +1,97 @@
+#include "analysis/analysis.hpp"
+
+#include <algorithm>
+
+#include "analysis/rules.hpp"
+
+namespace ais::analysis {
+namespace internal {
+
+const std::vector<RuleImpl>& all_rules() {
+  static const std::vector<RuleImpl>* rules = [] {
+    auto* r = new std::vector<RuleImpl>;
+    append_ir_rules(*r);
+    append_graph_rules(*r);
+    return r;
+  }();
+  return *rules;
+}
+
+}  // namespace internal
+
+namespace {
+
+bool contains(const std::vector<std::string>& v, std::string_view s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+}  // namespace
+
+std::string Finding::to_string() const {
+  std::string out = verify::severity_name(severity);
+  out += "[";
+  out += rule;
+  out += "]";
+  if (block >= 0) out += " block " + std::to_string(block);
+  if (!subject.empty()) out += " (" + subject + ")";
+  out += ": ";
+  out += message;
+  return out;
+}
+
+const std::vector<RuleInfo>& rule_registry() {
+  static const std::vector<RuleInfo>* infos = [] {
+    auto* v = new std::vector<RuleInfo>;
+    for (const internal::RuleImpl& r : internal::all_rules()) {
+      v->push_back(r.info);
+    }
+    return v;
+  }();
+  return *infos;
+}
+
+const RuleInfo* find_rule(std::string_view id) {
+  for (const RuleInfo& info : rule_registry()) {
+    if (info.id == id) return &info;
+  }
+  return nullptr;
+}
+
+AnalysisResult run_analysis(const AnalysisInput& input,
+                            const AnalysisOptions& opts) {
+  AnalysisResult result;
+  internal::RuleContext ctx(input);
+  for (const internal::RuleImpl& rule : internal::all_rules()) {
+    const RuleInfo& info = rule.info;
+    if (!opts.only.empty() && !contains(opts.only, info.id)) continue;
+    if (contains(opts.disabled, info.id)) continue;
+
+    const bool runnable = (!info.needs_program || input.program != nullptr) &&
+                          (!info.needs_graph || input.graph != nullptr) &&
+                          (!info.needs_machine || input.machine != nullptr);
+    if (!runnable) {
+      result.rules_skipped.push_back(info.id);
+      continue;
+    }
+
+    Severity effective = info.default_severity;
+    if (effective == Severity::kWarning &&
+        (opts.warnings_as_errors || contains(opts.werror, info.id))) {
+      effective = Severity::kError;
+    }
+
+    rule.run(ctx, effective, result.findings);
+    result.rules_run.push_back(info.id);
+  }
+
+  for (const Finding& f : result.findings) {
+    switch (f.severity) {
+      case Severity::kError: ++result.num_errors; break;
+      case Severity::kWarning: ++result.num_warnings; break;
+      case Severity::kNote: ++result.num_notes; break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ais::analysis

@@ -1,0 +1,114 @@
+// Static-analysis framework over ir::Program + DepGraph.
+//
+// A pass manager runs registered rules against an AnalysisInput (program
+// and/or dependence graph and/or machine model — each rule declares what it
+// needs and is skipped when an ingredient is absent) and collects structured
+// Findings: rule id, effective severity, location (block / subject) and an
+// optional machine-applicable fix-it.  `aislint` is the CLI front end;
+// docs/ANALYSIS.md is the rule catalog.
+//
+// Severity model (docs/ANALYSIS.md):
+//   error    breaks scheduling or contradicts the machine model; exit 1
+//   warning  suspicious but schedulable; exit 1 only under --Werror
+//   note     advisory (optimization opportunities); never affects exit code
+//
+// "Analysis-clean at default severity" means zero errors and zero warnings;
+// notes are allowed (the transitive-redundancy and schedule-quality advisors
+// fire on virtually every real dependence graph by construction —
+// ir/depbuild.cpp intentionally does not transitively reduce).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/depgraph.hpp"
+#include "ir/asm_parser.hpp"
+#include "machine/machine_model.hpp"
+#include "verify/report.hpp"
+
+namespace ais::analysis {
+
+/// Shared with the verifier so diagnostics and findings rank identically.
+using Severity = verify::Severity;
+
+/// A machine-applicable repair: edge indices (into DepGraph::edges()) whose
+/// removal fixes the finding.  Applied only by `aislint --fix`, which proves
+/// schedule byte-identity before accepting it (see analysis/fix.hpp).
+struct FixIt {
+  std::string description;
+  std::vector<std::size_t> remove_edges;
+};
+
+struct Finding {
+  std::string rule;
+  Severity severity = Severity::kWarning;
+  std::string message;
+  /// Basic-block index the finding is anchored to (-1 = whole input).
+  int block = -1;
+  /// The offending entity (instruction, node or edge rendering).
+  std::string subject;
+  std::optional<FixIt> fixit;
+
+  /// "error[dep-cycle] block 1 (MUL r0, r6, r0): ..." rendering, matching
+  /// verify::Diagnostic::to_string so mixed output stays uniform.
+  std::string to_string() const;
+};
+
+struct RuleInfo {
+  std::string id;       // stable kebab-case identifier
+  std::string summary;  // one-line catalog entry (--list-rules)
+  Severity default_severity = Severity::kWarning;
+  bool needs_program = false;
+  bool needs_graph = false;
+  bool needs_machine = false;
+};
+
+/// What the rules see.  Null members are simply "not available": rules
+/// needing them are skipped (and listed in AnalysisResult::rules_skipped).
+struct AnalysisInput {
+  const Program* program = nullptr;
+  const DepGraph* graph = nullptr;
+  const MachineModel* machine = nullptr;
+};
+
+struct AnalysisOptions {
+  /// Run only these rules (empty = all registered rules).
+  std::vector<std::string> only;
+  /// Disable these rules (applied after `only`).
+  std::vector<std::string> disabled;
+  /// Promote all warnings to errors.
+  bool warnings_as_errors = false;
+  /// Promote specific rules' warnings to errors.
+  std::vector<std::string> werror;
+};
+
+struct AnalysisResult {
+  std::vector<Finding> findings;
+  std::vector<std::string> rules_run;
+  std::vector<std::string> rules_skipped;  // inputs missing
+  /// Counts after severity promotion (--Werror).
+  std::size_t num_errors = 0;
+  std::size_t num_warnings = 0;
+  std::size_t num_notes = 0;
+
+  /// Zero errors (warnings and notes allowed).
+  bool clean() const { return num_errors == 0; }
+  /// Deterministic exit-code contract: 0 clean, 1 findings at error
+  /// severity.  (2 is reserved for usage/IO errors, issued by the CLI.)
+  int exit_code() const { return num_errors == 0 ? 0 : 1; }
+};
+
+/// All registered rules, in canonical execution order.
+const std::vector<RuleInfo>& rule_registry();
+
+/// Registry entry for `id`, or nullptr.
+const RuleInfo* find_rule(std::string_view id);
+
+/// Runs every enabled rule whose inputs are available.  Deterministic:
+/// findings are ordered by (registry order, rule emission order).
+AnalysisResult run_analysis(const AnalysisInput& input,
+                            const AnalysisOptions& opts = {});
+
+}  // namespace ais::analysis

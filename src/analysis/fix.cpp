@@ -1,0 +1,182 @@
+#include "analysis/fix.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "core/lookahead.hpp"
+#include "core/rank.hpp"
+#include "core/schedule_cache.hpp"
+#include "graph/nodeset.hpp"
+#include "graph/topo.hpp"
+
+namespace ais::analysis {
+namespace {
+
+constexpr Time kNegInf = std::numeric_limits<Time>::min() / 4;
+
+/// Number of distance-0 out-edges of `u`.
+std::size_t dist0_outdeg(const DepGraph& g, NodeId u) {
+  std::size_t n = 0;
+  for (const auto eidx : g.out_edges(u)) {
+    if (g.edge(eidx).distance == 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::vector<std::size_t> redundant_edges(const DepGraph& g) {
+  std::vector<std::size_t> redundant;
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return redundant;
+  const auto order = topo_order(g, NodeSet::all(n));
+  if (!order) return redundant;  // cyclic: dep-cycle's input, not ours
+
+  std::vector<std::size_t> pos(n, 0);
+  for (std::size_t i = 0; i < order->size(); ++i) {
+    pos[(*order)[i]] = i;
+  }
+
+  // Per-source DP.  best1[x]: max weight of a single direct edge u -> x;
+  // best2[x]: max weight over paths u -> x with >= 2 edges.  Weight of a
+  // path = sum of edge latencies + sum of interior-node execution times, so
+  // a path of weight w enforces start(x) >= completion(u) + w — the same
+  // constraint shape a direct edge of latency w enforces.
+  std::vector<Time> best1(n), best2(n);
+  for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+    if (dist0_outdeg(g, u) < 2) continue;  // no alternative path can leave u
+
+    std::fill(best1.begin(), best1.end(), kNegInf);
+    std::fill(best2.begin(), best2.end(), kNegInf);
+    for (const auto eidx : g.out_edges(u)) {
+      const DepEdge& e = g.edge(eidx);
+      if (e.distance != 0 || e.to == u) continue;
+      best1[e.to] = std::max(best1[e.to], static_cast<Time>(e.latency));
+    }
+    for (std::size_t i = pos[u] + 1; i < order->size(); ++i) {
+      const NodeId x = (*order)[i];
+      const Time best = std::max(best1[x], best2[x]);
+      if (best == kNegInf) continue;
+      const Time through = best + g.node(x).exec_time;
+      for (const auto eidx : g.out_edges(x)) {
+        const DepEdge& e = g.edge(eidx);
+        if (e.distance != 0) continue;
+        best2[e.to] = std::max(best2[e.to], through + e.latency);
+      }
+    }
+
+    for (const auto eidx : g.out_edges(u)) {
+      const DepEdge& e = g.edge(eidx);
+      if (e.distance != 0 || e.to == u) continue;
+      if (best2[e.to] >= e.latency) {
+        redundant.push_back(eidx);
+        continue;
+      }
+      // Parallel duplicates: dominated by another direct u -> to edge (the
+      // earlier index survives a tie, so exactly one of a duplicate pair is
+      // flagged).
+      for (const auto oidx : g.out_edges(u)) {
+        if (oidx == eidx) continue;
+        const DepEdge& o = g.edge(oidx);
+        if (o.to != e.to || o.distance != 0) continue;
+        if (o.latency > e.latency ||
+            (o.latency == e.latency && oidx < eidx)) {
+          redundant.push_back(eidx);
+          break;
+        }
+      }
+    }
+  }
+  std::sort(redundant.begin(), redundant.end());
+  return redundant;
+}
+
+DepGraph remove_edges(const DepGraph& g,
+                      const std::vector<std::size_t>& remove) {
+  DepGraph out;
+  for (NodeId id = 0; id < static_cast<NodeId>(g.num_nodes()); ++id) {
+    const NodeInfo& info = g.node(id);
+    out.add_node(info.name, info.exec_time, info.fu_class, info.block);
+  }
+  for (std::size_t i = 0; i < g.num_edges(); ++i) {
+    if (std::binary_search(remove.begin(), remove.end(), i)) continue;
+    const DepEdge& e = g.edge(i);
+    out.add_edge(e.from, e.to, e.latency, e.distance);
+  }
+  return out;
+}
+
+FixResult reduce_and_prove(const DepGraph& g, const MachineModel& machine,
+                           int window) {
+  FixResult result;
+  if (!is_acyclic(g, NodeSet::all(g.num_nodes()))) {
+    result.graph = g;
+    result.detail = "distance-0 subgraph is cyclic; nothing reduced";
+    return result;
+  }
+
+  // Fixpoint reduction: each round re-derives redundancy against the edges
+  // that survived the previous round, so simultaneous removals can never
+  // rely on each other as the implying path.
+  DepGraph reduced = g;
+  std::vector<std::size_t> kept(g.num_edges());  // reduced idx -> original idx
+  for (std::size_t i = 0; i < g.num_edges(); ++i) kept[i] = i;
+  while (true) {
+    const std::vector<std::size_t> round = redundant_edges(reduced);
+    if (round.empty()) break;
+    std::vector<std::size_t> next_kept;
+    next_kept.reserve(kept.size() - round.size());
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      if (std::binary_search(round.begin(), round.end(), i)) {
+        result.removed.push_back(kept[i]);
+      } else {
+        next_kept.push_back(kept[i]);
+      }
+    }
+    kept = std::move(next_kept);
+    reduced = remove_edges(reduced, round);
+  }
+  std::sort(result.removed.begin(), result.removed.end());
+
+  if (result.removed.empty()) {
+    result.graph = g;
+    result.proven = true;
+    result.detail = "no transitively redundant edges; graph unchanged";
+    return result;
+  }
+
+  // Byte-identity proof: the production pipeline must emit the same
+  // schedule from both graphs.  The cache is bypassed so both runs compute
+  // from scratch — a hit keyed on the un-reduced graph must not vouch for
+  // the reduced one.
+  const ScheduleCache::ScopedBypass bypass;
+  LookaheadOptions opts;
+  opts.window = window > 0 ? window : machine.default_window();
+  const RankScheduler before(g, machine);
+  const RankScheduler after(reduced, machine);
+  const LookaheadResult lhs = schedule_trace(before, opts);
+  const LookaheadResult rhs = schedule_trace(after, opts);
+
+  const bool identical =
+      lhs.order == rhs.order && lhs.per_block == rhs.per_block;
+  if (!identical) {
+    result.detail =
+        "schedule changed after removing " +
+        std::to_string(result.removed.size()) +
+        " redundant edge(s); reduction rejected (graph unchanged)";
+    result.graph = g;
+    result.removed.clear();
+    return result;
+  }
+
+  result.graph = std::move(reduced);
+  result.proven = true;
+  result.detail =
+      "removed " + std::to_string(result.removed.size()) + " of " +
+      std::to_string(g.num_edges()) +
+      " edge(s); planning order and all per-block emissions byte-identical";
+  return result;
+}
+
+}  // namespace ais::analysis

@@ -1,0 +1,53 @@
+// Safe transitive reduction of dependence graphs (`aislint --fix`).
+//
+// Removing a transitively redundant edge cannot create an illegal schedule
+// (the implying path still orders the endpoints with at least the same
+// separation), but it CAN change which legal schedule the rank heuristic
+// picks: ranks depend on the edge multiset, not just the partial order.  So
+// the fix is not applied on faith — reduce_and_prove() schedules both graphs
+// through the production pipeline (schedule cache bypassed) and accepts the
+// reduction only when the planning permutation and every per-block emission
+// are byte-identical.  See docs/ANALYSIS.md, "fix-it safety argument".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/depgraph.hpp"
+#include "machine/machine_model.hpp"
+
+namespace ais::analysis {
+
+/// Indices into g.edges() of distance-0 edges implied by a longer-or-equal
+/// path of other distance-0 edges (path weight = sum of latencies plus the
+/// execution times of interior nodes), plus edges dominated by a parallel
+/// duplicate.  Deterministic order (ascending edge index).  Empty when the
+/// distance-0 subgraph is cyclic (the dep-cycle rule owns that input).
+std::vector<std::size_t> redundant_edges(const DepGraph& g);
+
+/// `g` minus the edges whose original indices appear in `remove`.
+DepGraph remove_edges(const DepGraph& g, const std::vector<std::size_t>& remove);
+
+struct FixResult {
+  /// The reduced graph (== input when nothing was removable).
+  DepGraph graph;
+  /// Original edge indices removed, ascending.
+  std::vector<std::size_t> removed;
+  /// True iff the byte-identity proof succeeded (always true when `removed`
+  /// is empty: an unchanged graph is trivially identical).
+  bool proven = false;
+  /// Human-readable proof summary or failure reason.
+  std::string detail;
+};
+
+/// Iterates redundant_edges to a fixpoint (each round recomputes against the
+/// already-reduced graph, so an edge is only removed when the *remaining*
+/// edges imply it), then proves schedule byte-identity by scheduling both
+/// graphs with Algorithm Lookahead at `window` (0 = machine default) under a
+/// cache bypass and comparing planning order and per-block emissions.
+/// On proof failure the input graph is returned unchanged with proven=false.
+FixResult reduce_and_prove(const DepGraph& g, const MachineModel& machine,
+                           int window = 0);
+
+}  // namespace ais::analysis

@@ -1,0 +1,183 @@
+#include "analysis/graph_text.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace ais::analysis {
+namespace {
+
+void set_error(std::string* error, std::size_t line, const std::string& msg) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line) + ": " + msg;
+  }
+}
+
+/// Splits on whitespace; strips '#'/';' comments first.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::string code = line;
+  const std::size_t hash = code.find_first_of("#;");
+  if (hash != std::string::npos) code.erase(hash);
+  std::istringstream in(code);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+/// Parses a "key=value" attribute token with an integer value.
+bool parse_attr(const std::string& tok, std::string* key, int* value) {
+  const std::size_t eq = tok.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == tok.size()) {
+    return false;
+  }
+  *key = tok.substr(0, eq);
+  char* end = nullptr;
+  const long v = std::strtol(tok.c_str() + eq + 1, &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *value = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
+std::optional<DepGraph> parse_graph_text(const std::string& text,
+                                         std::string* error) {
+  DepGraph g;
+  std::map<std::string, NodeId> by_name;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& kind = tokens[0];
+
+    if (kind == "graph") {
+      continue;  // informational header
+    }
+
+    if (kind == "node") {
+      if (tokens.size() < 2) {
+        set_error(error, lineno, "node needs a name");
+        return std::nullopt;
+      }
+      const std::string& name = tokens[1];
+      if (by_name.count(name) != 0) {
+        set_error(error, lineno, "duplicate node name '" + name + "'");
+        return std::nullopt;
+      }
+      int exec = 1, fu = 0, block = 0;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        std::string key;
+        int value = 0;
+        if (!parse_attr(tokens[i], &key, &value)) {
+          set_error(error, lineno, "bad attribute '" + tokens[i] + "'");
+          return std::nullopt;
+        }
+        if (key == "exec") {
+          exec = value;
+        } else if (key == "fu") {
+          fu = value;
+        } else if (key == "block") {
+          block = value;
+        } else {
+          set_error(error, lineno, "unknown node attribute '" + key + "'");
+          return std::nullopt;
+        }
+      }
+      by_name.emplace(name, g.add_node(name, exec, fu, block));
+      continue;
+    }
+
+    if (kind == "edge") {
+      if (tokens.size() < 3) {
+        set_error(error, lineno, "edge needs FROM and TO node names");
+        return std::nullopt;
+      }
+      const auto from = by_name.find(tokens[1]);
+      const auto to = by_name.find(tokens[2]);
+      if (from == by_name.end() || to == by_name.end()) {
+        set_error(error, lineno,
+                  "edge references undeclared node '" +
+                      (from == by_name.end() ? tokens[1] : tokens[2]) + "'");
+        return std::nullopt;
+      }
+      int lat = 0, dist = 0;
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        std::string key;
+        int value = 0;
+        if (!parse_attr(tokens[i], &key, &value)) {
+          set_error(error, lineno, "bad attribute '" + tokens[i] + "'");
+          return std::nullopt;
+        }
+        if (key == "lat") {
+          lat = value;
+        } else if (key == "dist") {
+          dist = value;
+        } else {
+          set_error(error, lineno, "unknown edge attribute '" + key + "'");
+          return std::nullopt;
+        }
+      }
+      g.add_edge(from->second, to->second, lat, dist);
+      continue;
+    }
+
+    set_error(error, lineno, "unknown declaration '" + kind + "'");
+    return std::nullopt;
+  }
+  return g;
+}
+
+std::string write_graph_text(const DepGraph& g, const std::string& name) {
+  // Node names come from instruction renderings ("MUL r0, r6, r0") when the
+  // graph was built by depbuild: whitespace-mangled and possibly duplicated.
+  // Emitted names must be single unique tokens to round-trip, so whitespace
+  // becomes '_' and duplicates get an id prefix.
+  std::vector<std::string> emitted(g.num_nodes());
+  std::map<std::string, int> uses;
+  for (NodeId id = 0; id < static_cast<NodeId>(g.num_nodes()); ++id) {
+    std::string s = g.node(id).name;
+    for (char& c : s) {
+      if (c == ' ' || c == '\t') c = '_';
+    }
+    if (s.empty()) {
+      s = "n";
+      s += std::to_string(id);
+    }
+    emitted[id] = s;
+    ++uses[s];
+  }
+  for (NodeId id = 0; id < static_cast<NodeId>(g.num_nodes()); ++id) {
+    if (uses[emitted[id]] > 1) {
+      std::string unique = "n";
+      unique += std::to_string(id);
+      unique += ".";
+      unique += emitted[id];
+      emitted[id] = std::move(unique);
+    }
+  }
+
+  std::string out;
+  if (!name.empty()) out += "graph " + name + "\n";
+  for (NodeId id = 0; id < static_cast<NodeId>(g.num_nodes()); ++id) {
+    const NodeInfo& n = g.node(id);
+    out += "node " + emitted[id];
+    if (n.exec_time != 1) out += " exec=" + std::to_string(n.exec_time);
+    if (n.fu_class != 0) out += " fu=" + std::to_string(n.fu_class);
+    if (n.block != 0) out += " block=" + std::to_string(n.block);
+    out += "\n";
+  }
+  for (const DepEdge& e : g.edges()) {
+    out += "edge " + emitted[e.from] + " " + emitted[e.to];
+    if (e.latency != 0) out += " lat=" + std::to_string(e.latency);
+    if (e.distance != 0) out += " dist=" + std::to_string(e.distance);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ais::analysis

@@ -1,0 +1,34 @@
+// Text serialization of dependence graphs (.dg files).
+//
+// The analysis fixture corpus (tests/analysis_corpus/) states graph-level
+// defects directly — a redundant edge, an impossible latency, a cycle —
+// without routing through depbuild, which by construction cannot produce
+// them.  Grammar (one declaration per line, '#' or ';' start comments):
+//
+//   graph NAME                     optional; informational
+//   node NAME [exec=E] [fu=F] [block=B]
+//   edge FROM TO [lat=L] [dist=D]
+//
+// Node declaration order is program order (ids are assigned 0, 1, ... in
+// order); FROM/TO refer to node names, which must be unique.  Defaults:
+// exec=1, fu=0, block=0, lat=0, dist=0.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "graph/depgraph.hpp"
+
+namespace ais::analysis {
+
+/// Parses .dg text.  Returns std::nullopt and sets *error (when non-null)
+/// with a "line N: ..." message on malformed input.
+std::optional<DepGraph> parse_graph_text(const std::string& text,
+                                         std::string* error = nullptr);
+
+/// Round-trippable rendering: nodes in id order, edges in insertion order,
+/// default-valued attributes omitted.
+std::string write_graph_text(const DepGraph& g,
+                             const std::string& name = "");
+
+}  // namespace ais::analysis

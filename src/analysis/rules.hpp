@@ -1,0 +1,53 @@
+// Internal rule table shared by the framework runner (analysis.cpp) and the
+// rule implementations (rules_ir.cpp, rules_graph.cpp).  Not installed API;
+// include analysis/analysis.hpp instead.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "verify/lint.hpp"
+
+namespace ais::analysis::internal {
+
+/// Per-run state shared by all rules: the inputs plus results that several
+/// rules want but only one should pay for.  The legacy lint rules all
+/// filter the same linear program scan, so run_analysis hands every rule
+/// the same context and lint() computes the report exactly once.
+class RuleContext {
+ public:
+  explicit RuleContext(const AnalysisInput& input) : input(input) {}
+
+  const AnalysisInput& input;
+
+  /// The shared lint_program report (input.program must be non-null).
+  const verify::Report& lint() {
+    if (!lint_) lint_ = verify::lint_program(*input.program);
+    return *lint_;
+  }
+
+ private:
+  std::optional<verify::Report> lint_;
+};
+
+struct RuleImpl {
+  RuleInfo info;
+  /// Emits findings at `effective` severity (the registry default unless
+  /// promoted by --Werror).  Inputs the rule declared in `info` are
+  /// guaranteed non-null by the runner.
+  std::function<void(RuleContext&, Severity, std::vector<Finding>&)> run;
+};
+
+/// IR rules: the legacy aislint program lints plus cross-block dead defs.
+void append_ir_rules(std::vector<RuleImpl>& rules);
+
+/// Graph rules: redundancy, machine-model consistency, cycles, loop
+/// distances and the schedule-quality advisor.
+void append_graph_rules(std::vector<RuleImpl>& rules);
+
+/// The full table, built once (canonical order: IR rules, then graph rules).
+const std::vector<RuleImpl>& all_rules();
+
+}  // namespace ais::analysis::internal

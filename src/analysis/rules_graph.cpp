@@ -1,0 +1,360 @@
+// Graph-level rules: transitive redundancy, machine-model consistency,
+// dependence cycles, loop-carried distance sanity and the schedule-quality
+// advisor.
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/fix.hpp"
+#include "analysis/rules.hpp"
+#include "core/deadlines.hpp"
+#include "core/lookahead.hpp"
+#include "core/rank.hpp"
+#include "graph/critpath.hpp"
+#include "graph/nodeset.hpp"
+#include "graph/topo.hpp"
+
+namespace ais::analysis::internal {
+namespace {
+
+std::string edge_subject(const DepGraph& g, const DepEdge& e) {
+  return g.node(e.from).name + " -> " + g.node(e.to).name;
+}
+
+// --- redundant-dep-edge ---------------------------------------------------
+
+void rule_redundant_edges(RuleContext& ctx, Severity effective,
+                          std::vector<Finding>& out) {
+  const DepGraph& g = *ctx.input.graph;
+  for (const std::size_t eidx : redundant_edges(g)) {
+    const DepEdge& e = g.edge(eidx);
+    Finding f;
+    f.rule = "redundant-dep-edge";
+    f.severity = effective;
+    f.block = g.node(e.from).block;
+    f.subject = edge_subject(g, e);
+    f.message = "latency-" + std::to_string(e.latency) +
+                " edge is implied by a longer-or-equal dependence path; "
+                "removable by --fix (schedule identity is proven before "
+                "removal)";
+    f.fixit = FixIt{"remove transitively redundant edge", {eidx}};
+    out.push_back(std::move(f));
+  }
+}
+
+// --- latency-mismatch -----------------------------------------------------
+
+void rule_latency_mismatch(RuleContext& ctx, Severity effective,
+                           std::vector<Finding>& out) {
+  const DepGraph& g = *ctx.input.graph;
+  const MachineModel& m = *ctx.input.machine;
+
+  // Which execution times / producer latencies are realizable per FU class
+  // on this machine: the union over operation classes assigned to that unit.
+  const int num_fu = m.num_fu_classes();
+  std::vector<std::set<int>> exec_ok(static_cast<std::size_t>(num_fu));
+  std::vector<std::set<int>> lat_ok(static_cast<std::size_t>(num_fu));
+  for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+    const OpTiming& t = m.timing(static_cast<OpClass>(c));
+    if (t.fu_class < 0 || t.fu_class >= num_fu) continue;
+    exec_ok[static_cast<std::size_t>(t.fu_class)].insert(t.exec_time);
+    lat_ok[static_cast<std::size_t>(t.fu_class)].insert(t.latency);
+  }
+
+  const auto fu_name = [&](int fu) { return m.fu_classes()[
+      static_cast<std::size_t>(fu)].name; };
+
+  for (NodeId id = 0; id < static_cast<NodeId>(g.num_nodes()); ++id) {
+    const NodeInfo& node = g.node(id);
+    if (node.fu_class < 0 || node.fu_class >= num_fu) {
+      Finding f;
+      f.rule = "latency-mismatch";
+      f.severity = effective;
+      f.block = node.block;
+      f.subject = node.name;
+      f.message = "functional-unit class " + std::to_string(node.fu_class) +
+                  " does not exist on machine '" + m.name() + "' (" +
+                  std::to_string(num_fu) + " classes)";
+      out.push_back(std::move(f));
+      continue;
+    }
+    const auto& execs = exec_ok[static_cast<std::size_t>(node.fu_class)];
+    if (execs.find(node.exec_time) == execs.end()) {
+      Finding f;
+      f.rule = "latency-mismatch";
+      f.severity = effective;
+      f.block = node.block;
+      f.subject = node.name;
+      f.message = "no '" + m.name() + "' operation on unit class '" +
+                  fu_name(node.fu_class) + "' executes in " +
+                  std::to_string(node.exec_time) + " cycle(s)";
+      out.push_back(std::move(f));
+    }
+  }
+
+  for (std::size_t i = 0; i < g.num_edges(); ++i) {
+    const DepEdge& e = g.edge(i);
+    const NodeInfo& from = g.node(e.from);
+    if (from.fu_class < 0 || from.fu_class >= num_fu) continue;  // reported
+    if (e.latency == 0) continue;  // anti/output/control edges are latency-0
+    const auto& lats = lat_ok[static_cast<std::size_t>(from.fu_class)];
+    if (e.latency < 0 || lats.find(e.latency) == lats.end()) {
+      Finding f;
+      f.rule = "latency-mismatch";
+      f.severity = effective;
+      f.block = from.block;
+      f.subject = edge_subject(g, e);
+      f.message = "edge latency " + std::to_string(e.latency) +
+                  " contradicts machine '" + m.name() +
+                  "': no operation on unit class '" + fu_name(from.fu_class) +
+                  "' produces with that latency";
+      out.push_back(std::move(f));
+    }
+  }
+}
+
+// --- dep-cycle ------------------------------------------------------------
+
+void rule_dep_cycle(RuleContext& ctx, Severity effective,
+                    std::vector<Finding>& out) {
+  const DepGraph& g = *ctx.input.graph;
+  const std::size_t n = g.num_nodes();
+
+  for (std::size_t i = 0; i < g.num_edges(); ++i) {
+    const DepEdge& e = g.edge(i);
+    if (e.from == e.to && e.distance == 0) {
+      Finding f;
+      f.rule = "dep-cycle";
+      f.severity = effective;
+      f.block = g.node(e.from).block;
+      f.subject = g.node(e.from).name;
+      f.message = "distance-0 self-edge: an instruction cannot precede "
+                  "itself within one iteration";
+      out.push_back(std::move(f));
+    }
+  }
+
+  // Kahn peel over distance-0 non-self edges; survivors contain all cycles.
+  std::vector<int> indeg(n, 0);
+  for (const DepEdge& e : g.edges()) {
+    if (e.distance == 0 && e.from != e.to) ++indeg[e.to];
+  }
+  std::deque<NodeId> queue;
+  for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+    if (indeg[id] == 0) queue.push_back(id);
+  }
+  std::size_t peeled = 0;
+  while (!queue.empty()) {
+    const NodeId x = queue.front();
+    queue.pop_front();
+    ++peeled;
+    for (const auto eidx : g.out_edges(x)) {
+      const DepEdge& e = g.edge(eidx);
+      if (e.distance != 0 || e.from == e.to) continue;
+      if (--indeg[e.to] == 0) queue.push_back(e.to);
+    }
+  }
+  if (peeled == n) return;
+
+  // Minimal witness: shortest cycle through any surviving node (BFS per
+  // survivor; the survivor set is tiny — cycles plus their downstream cone).
+  std::vector<NodeId> best_cycle;
+  std::vector<std::size_t> dist(n);
+  std::vector<NodeId> parent(n);
+  for (NodeId start = 0; start < static_cast<NodeId>(n); ++start) {
+    if (indeg[start] == 0) continue;  // peeled
+    std::fill(dist.begin(), dist.end(), static_cast<std::size_t>(-1));
+    dist[start] = 0;
+    std::deque<NodeId> bfs{start};
+    std::size_t back = static_cast<std::size_t>(-1);
+    NodeId back_from = kInvalidNode;
+    while (!bfs.empty()) {
+      const NodeId x = bfs.front();
+      bfs.pop_front();
+      for (const auto eidx : g.out_edges(x)) {
+        const DepEdge& e = g.edge(eidx);
+        if (e.distance != 0 || e.from == e.to) continue;
+        if (indeg[e.to] == 0) continue;  // peeled nodes are cycle-free
+        if (e.to == start) {
+          if (dist[x] + 1 < back) {
+            back = dist[x] + 1;
+            back_from = x;
+          }
+          continue;
+        }
+        if (dist[e.to] != static_cast<std::size_t>(-1)) continue;
+        dist[e.to] = dist[x] + 1;
+        parent[e.to] = x;
+        bfs.push_back(e.to);
+      }
+    }
+    if (back_from == kInvalidNode) continue;
+    if (!best_cycle.empty() && back >= best_cycle.size()) continue;
+    std::vector<NodeId> cycle;
+    for (NodeId x = back_from; x != start; x = parent[x]) cycle.push_back(x);
+    cycle.push_back(start);
+    std::reverse(cycle.begin(), cycle.end());
+    best_cycle = std::move(cycle);
+    if (best_cycle.size() == 2) break;  // no shorter multi-node cycle exists
+  }
+  if (best_cycle.empty()) return;  // self-edges only, reported above
+
+  std::string witness;
+  for (const NodeId id : best_cycle) {
+    witness += g.node(id).name;
+    witness += " -> ";
+  }
+  witness += g.node(best_cycle.front()).name;
+  Finding f;
+  f.rule = "dep-cycle";
+  f.severity = effective;
+  f.block = g.node(best_cycle.front()).block;
+  f.subject = witness;
+  f.message = "distance-0 dependence cycle of length " +
+              std::to_string(best_cycle.size()) +
+              "; no schedule can satisfy it (minimal witness shown)";
+  out.push_back(std::move(f));
+}
+
+// --- loop-distance --------------------------------------------------------
+
+void rule_loop_distance(RuleContext& ctx, Severity effective,
+                        std::vector<Finding>& out) {
+  const DepGraph& g = *ctx.input.graph;
+  for (std::size_t i = 0; i < g.num_edges(); ++i) {
+    const DepEdge& e = g.edge(i);
+    if (e.distance < 0) {
+      Finding f;
+      f.rule = "loop-distance";
+      f.severity = effective;
+      f.block = g.node(e.from).block;
+      f.subject = edge_subject(g, e);
+      f.message = "negative iteration distance " +
+                  std::to_string(e.distance) +
+                  ": dependences cannot flow to earlier iterations";
+      out.push_back(std::move(f));
+      continue;
+    }
+    // Only meaningful in a loop graph (carried edges present): a distance-0
+    // edge against program order says instance i of an *earlier* instruction
+    // waits on instance i of a later one — every iteration contradicts
+    // program order, so the §5 steady state is unreachable.  (In trace
+    // graphs all dependences follow program order, and genuine cycles are
+    // the dep-cycle rule's finding.)
+    if (g.has_carried_edges() && e.distance == 0 && e.to < e.from) {
+      Finding f;
+      f.rule = "loop-distance";
+      f.severity = effective;
+      f.block = g.node(e.from).block;
+      f.subject = edge_subject(g, e);
+      f.message = "distance-0 back-edge in a loop graph: steady state is "
+                  "unreachable (should this dependence be distance >= 1?)";
+      out.push_back(std::move(f));
+    }
+  }
+}
+
+// --- schedule-advisor -----------------------------------------------------
+
+void rule_schedule_advisor(RuleContext& ctx, Severity effective,
+                           std::vector<Finding>& out) {
+  const DepGraph& g = *ctx.input.graph;
+  const MachineModel& m = *ctx.input.machine;
+  if (g.num_nodes() == 0) return;
+
+  const RankScheduler scheduler(g, m);
+  const std::vector<NodeSet> blocks = blocks_of(g);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const NodeSet& active = blocks[b];
+    if (active.empty()) continue;
+    if (!is_acyclic(g, active)) continue;  // dep-cycle owns that finding
+
+    const Time cp = critical_path(g, active);
+
+    // Resource bounds: per-FU-class work over the class's unit count, and
+    // the issue-width bound on starts per cycle.
+    std::vector<Time> class_work(static_cast<std::size_t>(m.num_fu_classes()),
+                                 0);
+    std::size_t insts = 0;
+    for (const NodeId id : active.ids()) {
+      const NodeInfo& node = g.node(id);
+      ++insts;
+      if (node.fu_class >= 0 && node.fu_class < m.num_fu_classes()) {
+        class_work[static_cast<std::size_t>(node.fu_class)] += node.exec_time;
+      }
+    }
+    Time resource = (static_cast<Time>(insts) + m.issue_width() - 1) /
+                    m.issue_width();
+    for (int c = 0; c < m.num_fu_classes(); ++c) {
+      const Time units = m.fu_count(c);
+      resource = std::max(
+          resource, (class_work[static_cast<std::size_t>(c)] + units - 1) /
+                        units);
+    }
+    const Time bound = std::max(cp, resource);
+
+    const RankResult result = scheduler.run(
+        active, uniform_deadlines(g, huge_deadline(g, active)));
+    if (!result.feasible || result.makespan <= bound) continue;
+
+    Finding f;
+    f.rule = "schedule-advisor";
+    f.severity = effective;
+    f.block = static_cast<int>(b);
+    f.message = "standalone rank schedule completes in " +
+                std::to_string(result.makespan) +
+                " cycle(s) vs lower bound " + std::to_string(bound) +
+                " (critical path " + std::to_string(cp) +
+                ", resource bound " + std::to_string(resource) +
+                "): gap of " + std::to_string(result.makespan - bound) +
+                " cycle(s) may close with different tie-breaking";
+    out.push_back(std::move(f));
+  }
+}
+
+RuleImpl graph_rule(const char* id, const char* summary, Severity sev,
+                    bool needs_machine,
+                    void (*fn)(RuleContext&, Severity,
+                               std::vector<Finding>&)) {
+  RuleInfo info;
+  info.id = id;
+  info.summary = summary;
+  info.default_severity = sev;
+  info.needs_graph = true;
+  info.needs_machine = needs_machine;
+  return RuleImpl{std::move(info), fn};
+}
+
+}  // namespace
+
+void append_graph_rules(std::vector<RuleImpl>& rules) {
+  rules.push_back(graph_rule(
+      "dep-cycle",
+      "distance-0 dependence cycle or self-edge (minimal cycle witness)",
+      Severity::kError, /*needs_machine=*/false, rule_dep_cycle));
+  rules.push_back(graph_rule(
+      "loop-distance",
+      "loop-carried distance sanity: negative distances, distance-0 "
+      "back-edges with unreachable steady state",
+      Severity::kError, /*needs_machine=*/false, rule_loop_distance));
+  rules.push_back(graph_rule(
+      "latency-mismatch",
+      "edge latencies / FU classes / execution times contradicting the "
+      "active machine preset",
+      Severity::kError, /*needs_machine=*/true, rule_latency_mismatch));
+  rules.push_back(graph_rule(
+      "redundant-dep-edge",
+      "dependence edge implied by a longer-or-equal path (transitively "
+      "redundant; --fix removes with a schedule-identity proof)",
+      Severity::kNote, /*needs_machine=*/false, rule_redundant_edges));
+  rules.push_back(graph_rule(
+      "schedule-advisor",
+      "per-block makespan vs the critical-path/resource lower bound",
+      Severity::kNote, /*needs_machine=*/true, rule_schedule_advisor));
+}
+
+}  // namespace ais::analysis::internal

@@ -1,0 +1,151 @@
+// IR-level rules: the legacy aislint program lints, re-homed as registry
+// rules (same ids, same messages — tests and tooling key on them), plus the
+// cross-block dead-def rule that sees through fallthrough chains where
+// verify/lint.cpp's dead-write stops at block boundaries.
+#include <map>
+#include <string>
+#include <utility>
+
+#include "analysis/rules.hpp"
+#include "verify/lint.hpp"
+
+namespace ais::analysis::internal {
+namespace {
+
+/// One legacy lint check exposed as a rule: filters the context's shared
+/// lint_program report (one scan per run_analysis, not one per rule) down
+/// to the diagnostics carrying this rule's code, so each check stays
+/// individually addressable (--rule=, --Werror=) at no repeated cost.
+RuleImpl legacy_rule(const char* id, const char* summary, Severity sev) {
+  RuleInfo info;
+  info.id = id;
+  info.summary = summary;
+  info.default_severity = sev;
+  info.needs_program = true;
+  const std::string code = id;
+  return RuleImpl{
+      std::move(info),
+      [code](RuleContext& ctx, Severity effective,
+             std::vector<Finding>& out) {
+        for (const verify::Diagnostic& d : ctx.lint().diagnostics()) {
+          if (d.code != code) continue;
+          Finding f;
+          f.rule = code;
+          f.severity = effective;
+          f.message = d.message;
+          f.block = d.block;
+          f.subject = d.subject;
+          out.push_back(std::move(f));
+        }
+      },
+  };
+}
+
+/// Register key for the dead-def scan (class and index).
+int reg_key(const Reg& r) {
+  return static_cast<int>(r.cls) * 256 + static_cast<int>(r.idx);
+}
+
+/// Cross-block dead defs: a register written in one block and overwritten in
+/// a *later* block of the same linear (fallthrough-certain) segment with no
+/// read in between.  Segments end at conditional branches and at
+/// unconditional branches that do not target the next block — past those,
+/// another path may read the def, so nothing is reported.  Same-block
+/// overwrites are the legacy dead-write rule's territory and are skipped
+/// here to keep findings disjoint.
+void rule_dead_def(RuleContext& ctx, Severity effective,
+                   std::vector<Finding>& out) {
+  const Program& prog = *ctx.input.program;
+
+  // Sites are (block, instruction) indices; the rendering an eventual
+  // finding needs is deferred so the common no-finding scan allocates
+  // nothing per definition.
+  struct DefSite {
+    int block = -1;
+    const Instruction* inst = nullptr;
+    bool used = false;
+  };
+  std::map<int, DefSite> last_def;
+
+  for (std::size_t b = 0; b < prog.blocks.size(); ++b) {
+    const BasicBlock& bb = prog.blocks[b];
+    for (const Instruction& inst : bb.insts) {
+      for (const Reg& r : inst.uses) {
+        const auto it = last_def.find(reg_key(r));
+        if (it != last_def.end()) it->second.used = true;
+      }
+      for (const Reg& r : inst.defs) {
+        auto& site = last_def[reg_key(r)];
+        if (site.block >= 0 && !site.used &&
+            site.block != static_cast<int>(b)) {
+          Finding f;
+          f.rule = "dead-def";
+          f.severity = effective;
+          f.block = site.block;
+          f.subject = site.inst->to_string();
+          f.message = r.to_string() + " is overwritten in block " +
+                      std::to_string(b) + " (" + inst.to_string() +
+                      ") before any read; the definition is dead across the "
+                      "fallthrough chain";
+          out.push_back(std::move(f));
+        }
+        site = DefSite{static_cast<int>(b), &inst, false};
+      }
+    }
+
+    // Decide whether control certainly falls through to block b + 1.
+    bool fallthrough = b + 1 < prog.blocks.size();
+    if (fallthrough && !bb.insts.empty()) {
+      const Instruction& last = bb.insts.back();
+      if (last.is_branch()) {
+        fallthrough = last.op == Opcode::kB &&
+                      last.target == prog.blocks[b + 1].label;
+      }
+    }
+    if (!fallthrough) last_def.clear();
+  }
+}
+
+}  // namespace
+
+void append_ir_rules(std::vector<RuleImpl>& rules) {
+  rules.push_back(legacy_rule(
+      "branch-position", "branch that is not the final instruction of its block",
+      Severity::kError));
+  rules.push_back(legacy_rule(
+      "branch-operand",
+      "BT/BF without a condition-register source, or B with operands",
+      Severity::kError));
+  rules.push_back(legacy_rule("branch-no-target",
+                              "branch with an empty target label",
+                              Severity::kError));
+  rules.push_back(legacy_rule("duplicate-label", "two blocks share a label",
+                              Severity::kError));
+  rules.push_back(legacy_rule("branch-target-unknown",
+                              "branch target label not defined in the program",
+                              Severity::kWarning));
+  rules.push_back(legacy_rule("unreachable-block",
+                              "block with no path from the entry block",
+                              Severity::kWarning));
+  rules.push_back(legacy_rule(
+      "use-before-def",
+      "register read before its first write, but written later",
+      Severity::kWarning));
+  rules.push_back(legacy_rule(
+      "dead-write",
+      "register written then overwritten in the same block with no read",
+      Severity::kWarning));
+  rules.push_back(legacy_rule("empty-block", "block with no instructions",
+                              Severity::kWarning));
+
+  RuleInfo dead_def;
+  dead_def.id = "dead-def";
+  dead_def.summary =
+      "register defined, then overwritten in a later fallthrough block with "
+      "no read in between";
+  dead_def.default_severity = Severity::kWarning;
+  dead_def.needs_program = true;
+  rules.push_back(RuleImpl{std::move(dead_def), rule_dead_def});
+}
+
+}  // namespace ais::analysis::internal

@@ -1,0 +1,113 @@
+#include "analysis/sarif.hpp"
+
+#include <cstdio>
+
+namespace ais::analysis {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* sarif_level(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "none";
+}
+
+}  // namespace
+
+std::string to_sarif(const AnalysisResult& result,
+                     const std::string& artifact_uri) {
+  const std::vector<RuleInfo>& rules = rule_registry();
+
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"aislint\",\n"
+      "          \"informationUri\": \"docs/ANALYSIS.md\",\n"
+      "          \"rules\": [\n";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out += "            {\"id\": \"" + json_escape(rules[i].id) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           json_escape(rules[i].summary) +
+           "\"}, \"defaultConfiguration\": {\"level\": \"" +
+           sarif_level(rules[i].default_severity) + "\"}}";
+    out += (i + 1 < rules.size()) ? ",\n" : "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    std::size_t rule_index = 0;
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      if (rules[r].id == f.rule) {
+        rule_index = r;
+        break;
+      }
+    }
+    std::string location = f.block >= 0
+                               ? "block " + std::to_string(f.block)
+                               : std::string("program");
+    if (!f.subject.empty()) location += ": " + f.subject;
+
+    out += "        {\"ruleId\": \"" + json_escape(f.rule) +
+           "\", \"ruleIndex\": " + std::to_string(rule_index) +
+           ", \"level\": \"" + sarif_level(f.severity) +
+           "\", \"message\": {\"text\": \"" + json_escape(f.message) +
+           "\"}, \"locations\": [{";
+    if (!artifact_uri.empty()) {
+      out += "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"" +
+             json_escape(artifact_uri) + "\"}}, ";
+    }
+    out += "\"logicalLocations\": [{\"fullyQualifiedName\": \"" +
+           json_escape(location) + "\"}]}]";
+    if (f.fixit.has_value()) {
+      out += ", \"properties\": {\"fixit\": \"" +
+             json_escape(f.fixit->description) + "\"}";
+    }
+    out += "}";
+    out += (i + 1 < result.findings.size()) ? ",\n" : "\n";
+  }
+
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace ais::analysis

@@ -1,0 +1,22 @@
+// SARIF 2.1.0 output for analysis results.
+//
+// One run, one tool ("aislint"), the full rule registry in
+// tool.driver.rules (so ruleIndex resolves), one result per finding.
+// Findings carry no source line numbers — the toy assembly has no file
+// locations — so locations use logicalLocations (block / subject) plus the
+// input artifact URI when known.  Schema:
+// https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html
+#pragma once
+
+#include <string>
+
+#include "analysis/analysis.hpp"
+
+namespace ais::analysis {
+
+/// Serializes `result` as a SARIF 2.1.0 log.  `artifact_uri` names the
+/// analyzed input (may be empty).
+std::string to_sarif(const AnalysisResult& result,
+                     const std::string& artifact_uri);
+
+}  // namespace ais::analysis

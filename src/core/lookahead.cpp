@@ -1,10 +1,8 @@
 #include "core/lookahead.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 
@@ -15,6 +13,7 @@
 #include "core/schedule_cache.hpp"
 #include "obs/obs.hpp"
 #include "support/assert.hpp"
+#include "support/mutex.hpp"
 #include "support/thread_pool.hpp"
 
 namespace ais {
@@ -44,7 +43,7 @@ class BlockPrescheduler {
   struct Substrate {
     std::unique_ptr<RankSession> session;
     std::optional<RankResult> standalone;
-    bool ready = false;  // guarded by mu_
+    bool ready = false;
   };
 
   /// Requires jobs > 1 (callers keep jobs <= 1 on the plain serial path).
@@ -60,12 +59,17 @@ class BlockPrescheduler {
     for (std::size_t i = 0; i < blocks_.size(); ++i) {
       if (blocks_[i].empty()) continue;
       pool_.submit([this, i] {
-        Substrate& sub = subs_[i];
-        sub.session = std::make_unique<RankSession>(scheduler_, blocks_[i]);
-        sub.standalone = sub.session->run_silent(
+        // The expensive warm-up runs unlocked on scratch locals; only the
+        // hand-off into subs_ is a critical section.
+        auto session =
+            std::make_unique<RankSession>(scheduler_, blocks_[i]);
+        std::optional<RankResult> standalone = session->run_silent(
             uniform_deadlines(scheduler_.graph(), huge_), rank_opts_);
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
+          Substrate& sub = subs_[i];
+          sub.session = std::move(session);
+          sub.standalone = std::move(standalone);
           sub.ready = true;
         }
         cv_.notify_all();
@@ -78,10 +82,12 @@ class BlockPrescheduler {
   ~BlockPrescheduler() { pool_.wait_idle(); }
 
   /// The warmed substrate of (non-empty) block `i`; blocks until the pool
-  /// delivers it.
-  Substrate& take(std::size_t i) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return subs_[i].ready; });
+  /// delivers it.  The returned reference is safe to use unlocked: once
+  /// ready, no worker touches the slot again, so the consumer has exclusive
+  /// access until destruction.
+  Substrate& take(std::size_t i) AIS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!subs_[i].ready) cv_.wait(mu_);
     return subs_[i];
   }
 
@@ -90,9 +96,9 @@ class BlockPrescheduler {
   const std::vector<NodeSet>& blocks_;
   const Time huge_;
   const RankOptions rank_opts_;
-  std::vector<Substrate> subs_;
-  std::mutex mu_;
-  std::condition_variable cv_;
+  std::vector<Substrate> subs_ AIS_GUARDED_BY(mu_);
+  Mutex mu_;
+  CondVar cv_;
   ThreadPool pool_;  // last member: joins before the state above dies
 };
 

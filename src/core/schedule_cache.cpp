@@ -11,7 +11,6 @@
 #include <fstream>
 #include <iterator>
 #include <list>
-#include <mutex>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
@@ -19,6 +18,7 @@
 #include "obs/obs.hpp"
 #include "support/arena.hpp"
 #include "support/assert.hpp"
+#include "support/mutex.hpp"
 
 namespace ais {
 namespace {
@@ -749,10 +749,12 @@ struct ScheduleCache::Impl {
     std::list<const StoredKey*>::iterator lru_it;
   };
   struct Shard {
-    std::mutex mu;
-    std::unordered_map<StoredKey, Entry, KeyHash, KeyEq> map;
-    std::list<const StoredKey*> lru;  // front = most recently used
-    std::size_t bytes = 0;
+    Mutex mu;
+    std::unordered_map<StoredKey, Entry, KeyHash, KeyEq> map
+        AIS_GUARDED_BY(mu);
+    std::list<const StoredKey*> lru
+        AIS_GUARDED_BY(mu);  // front = most recently used
+    std::size_t bytes AIS_GUARDED_BY(mu) = 0;
   };
 
   /// Fixed per-entry overhead charged against the byte budget (map node,
@@ -762,8 +764,8 @@ struct ScheduleCache::Impl {
   std::array<Shard, kNumShards> shards;
   std::atomic<bool> enabled{true};
   std::atomic<std::size_t> capacity{kDefaultCapacityBytes};
-  mutable std::mutex dir_mu;
-  std::string dir;
+  mutable Mutex dir_mu;
+  std::string dir AIS_GUARDED_BY(dir_mu);
   std::atomic<std::uint64_t> tmp_seq{0};
 
   Shard& shard_for(std::uint64_t hash) {
@@ -772,7 +774,7 @@ struct ScheduleCache::Impl {
   }
 
   std::string dir_copy() const {
-    std::lock_guard<std::mutex> lock(dir_mu);
+    MutexLock lock(dir_mu);
     return dir;
   }
 };
@@ -821,7 +823,7 @@ void ScheduleCache::set_capacity(std::size_t bytes) {
 }
 
 void ScheduleCache::set_disk_dir(std::string dir) {
-  std::lock_guard<std::mutex> lock(impl_->dir_mu);
+  MutexLock lock(impl_->dir_mu);
   impl_->dir = std::move(dir);
 }
 
@@ -829,7 +831,7 @@ std::string ScheduleCache::disk_dir() const { return impl_->dir_copy(); }
 
 void ScheduleCache::clear() {
   for (Impl::Shard& s : impl_->shards) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     s.map.clear();
     s.lru.clear();
     s.bytes = 0;
@@ -841,7 +843,7 @@ std::optional<std::string> ScheduleCache::lookup_bytes(const CacheKey& key,
   *from_disk = false;
   Impl::Shard& s = impl_->shard_for(key.hash);
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     const auto it = s.map.find(Impl::KeyView{key.bytes, key.hash});
     if (it != s.map.end()) {
       s.lru.splice(s.lru.begin(), s.lru, it->second.lru_it);
@@ -873,7 +875,7 @@ void ScheduleCache::insert_bytes(const CacheKey& key, std::string value,
   std::uint64_t evictions = 0;
   Impl::Shard& s = impl_->shard_for(key.hash);
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     const auto it = s.map.find(Impl::KeyView{key.bytes, key.hash});
     if (it != s.map.end()) {
       // Deterministic values: an existing entry already holds these bytes.
@@ -907,7 +909,7 @@ void ScheduleCache::insert_bytes(const CacheKey& key, std::string value,
 
 void ScheduleCache::erase_bytes(const CacheKey& key) {
   Impl::Shard& s = impl_->shard_for(key.hash);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   const auto it = s.map.find(Impl::KeyView{key.bytes, key.hash});
   if (it == s.map.end()) return;
   s.bytes -= it->first.bytes.size() + it->second.value.size() +

@@ -114,6 +114,15 @@ MachineModel vliw4();
 /// per random trace stop re-parsing the timing table in their hot loop.
 /// Returns nullptr for an unknown name.  Callers needing their own mutable
 /// copy can copy the referenced model (it is small).
+///
+/// Thread-safety: the registry is one function-local static built on first
+/// use; [stmt.dcl] guarantees exactly-once initialization even when pool
+/// workers race on the first call, and after that every call is a read of
+/// immutable data.  See docs/ANALYSIS.md ("thread-safety proofs").
 const MachineModel* machine_preset(const std::string& name);
+
+/// The canonical preset names accepted by machine_preset(), in registry
+/// order (aliases excluded).
+std::vector<std::string> machine_preset_names();
 
 }  // namespace ais

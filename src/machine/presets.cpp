@@ -1,3 +1,7 @@
+#include <array>
+#include <initializer_list>
+#include <string_view>
+
 #include "machine/machine_model.hpp"
 
 namespace ais {
@@ -7,6 +11,29 @@ namespace {
 void set_all(MachineModel& m, std::initializer_list<OpClass> classes,
              OpTiming t) {
   for (const OpClass cls : classes) m.set_timing(cls, t);
+}
+
+/// One memoized preset: the canonical name, accepted aliases, and the
+/// built model.
+struct PresetEntry {
+  std::string_view name;
+  std::array<std::string_view, 2> aliases;
+  MachineModel model;
+};
+
+/// The preset registry.  A single function-local static: [stmt.dcl]/4
+/// guarantees exactly-once, race-free initialization even when the first
+/// callers are concurrent pool workers (BlockPrescheduler, aisprof --jobs),
+/// and after initialization every access is a read of const data — no lock
+/// needed, nothing for TSan or the thread-safety analysis to flag.
+const std::array<PresetEntry, 4>& preset_registry() {
+  static const std::array<PresetEntry, 4> kPresets = {{
+      {"scalar01", {"", ""}, scalar01()},
+      {"rs6000", {"rs6000-like", ""}, rs6000_like()},
+      {"deep", {"deep-pipeline", ""}, deep_pipeline()},
+      {"vliw4", {"", ""}, vliw4()},
+  }};
+  return kPresets;
 }
 
 }  // namespace
@@ -89,17 +116,21 @@ MachineModel vliw4() {
 }
 
 const MachineModel* machine_preset(const std::string& name) {
-  // Built on first use, shared for the life of the process (thread-safe
-  // function-local statics); lookups after that are string compares only.
-  static const MachineModel kScalar01 = scalar01();
-  static const MachineModel kRs6000 = rs6000_like();
-  static const MachineModel kDeep = deep_pipeline();
-  static const MachineModel kVliw4 = vliw4();
-  if (name == "scalar01") return &kScalar01;
-  if (name == "rs6000" || name == "rs6000-like") return &kRs6000;
-  if (name == "deep" || name == "deep-pipeline") return &kDeep;
-  if (name == "vliw4") return &kVliw4;
+  for (const PresetEntry& p : preset_registry()) {
+    if (name == p.name) return &p.model;
+    for (const std::string_view alias : p.aliases) {
+      if (!alias.empty() && name == alias) return &p.model;
+    }
+  }
   return nullptr;
+}
+
+std::vector<std::string> machine_preset_names() {
+  std::vector<std::string> names;
+  for (const PresetEntry& p : preset_registry()) {
+    names.emplace_back(p.name);
+  }
+  return names;
 }
 
 }  // namespace ais

@@ -7,10 +7,10 @@
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <thread>
 
+#include "support/mutex.hpp"
 #include "support/stopwatch.hpp"
 
 namespace ais::obs {
@@ -23,11 +23,14 @@ std::atomic<bool> g_trace_enabled{false};
 /// thousand per compile at most), so contention is irrelevant; counters use
 /// atomics so concurrent add() never serializes on the map once registered.
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>> counters;
-  std::map<std::string, PhaseTotal> phases;
-  std::vector<TraceEvent> events;
-  std::map<std::thread::id, int> thread_ids;
+  Mutex mu;
+  // Node-stable map: counter_slot hands out references to the atomics, which
+  // stay valid (and lock-free to bump) after mu is released.
+  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>> counters
+      AIS_GUARDED_BY(mu);
+  std::map<std::string, PhaseTotal> phases AIS_GUARDED_BY(mu);
+  std::vector<TraceEvent> events AIS_GUARDED_BY(mu);
+  std::map<std::thread::id, int> thread_ids AIS_GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -37,7 +40,7 @@ Registry& registry() {
 
 std::atomic<std::uint64_t>& counter_slot(std::string_view name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.counters.find(std::string(name));
   if (it == r.counters.end()) {
     it = r.counters
@@ -50,7 +53,7 @@ std::atomic<std::uint64_t>& counter_slot(std::string_view name) {
 
 int thread_index() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   const auto [it, inserted] = r.thread_ids.emplace(
       std::this_thread::get_id(), static_cast<int>(r.thread_ids.size()));
   static_cast<void>(inserted);
@@ -156,7 +159,7 @@ void CounterRecorder::replay(
 
 std::uint64_t counter_value(std::string_view name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   const auto it = r.counters.find(std::string(name));
   return it == r.counters.end()
              ? 0
@@ -165,7 +168,7 @@ std::uint64_t counter_value(std::string_view name) {
 
 std::vector<std::pair<std::string, std::uint64_t>> counters_snapshot() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(r.counters.size());
   for (const auto& [name, value] : r.counters) {
@@ -189,7 +192,7 @@ Span::~Span() {
   // gate only stops *new* spans from activating.
   Registry& r = registry();
   const int tid = thread_index();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   PhaseTotal& agg = r.phases[name_];
   if (agg.name.empty()) agg.name = name_;
   ++agg.calls;
@@ -202,7 +205,7 @@ Span::~Span() {
 
 std::vector<PhaseTotal> phase_totals() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   std::vector<PhaseTotal> out;
   out.reserve(r.phases.size());
   for (const auto& [name, agg] : r.phases) out.push_back(agg);
@@ -216,7 +219,7 @@ std::vector<PhaseTotal> phase_totals() {
 
 std::vector<TraceEvent> trace_events() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   return r.events;
 }
 
@@ -261,7 +264,7 @@ bool write_chrome_trace(const std::string& path) {
 
 void reset() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.counters.clear();
   r.phases.clear();
   r.events.clear();

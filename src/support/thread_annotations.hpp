@@ -1,0 +1,77 @@
+// Clang thread-safety-analysis annotation macros.
+//
+// These turn the repo's concurrency invariants — which state is guarded by
+// which mutex, which functions require a lock to be held — into compile-time
+// proofs: a Clang build with `-Wthread-safety -Werror=thread-safety-analysis`
+// (CMake option AIS_THREAD_SAFETY, a gating CI job) rejects any access to a
+// `AIS_GUARDED_BY` member outside a critical section the analysis can see.
+// The dynamic TSan job still runs — the static analysis proves lock
+// discipline, TSan catches what the annotations cannot express (ordering
+// through atomics, publication protocols).
+//
+// The macros expand to nothing under compilers without the attribute (GCC
+// builds the tree unannotated), so they are safe to use everywhere.  They
+// only do something on the annotated ais::Mutex / ais::MutexLock / ais::CondVar
+// primitives from support/mutex.hpp — std::mutex carries no capability
+// attributes, so code still on std::mutex is simply not analyzed.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define AIS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define AIS_THREAD_ANNOTATION(x)  // not Clang: annotations compile away
+#endif
+
+/// Declares a class to be a capability (a lockable resource).
+#define AIS_CAPABILITY(x) AIS_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class whose lifetime acquires/releases a capability.
+#define AIS_SCOPED_CAPABILITY AIS_THREAD_ANNOTATION(scoped_lockable)
+
+/// A data member readable/writable only while holding the given mutex(es).
+#define AIS_GUARDED_BY(x) AIS_THREAD_ANNOTATION(guarded_by(x))
+
+/// A pointer member whose *pointee* is guarded by the given mutex.
+#define AIS_PT_GUARDED_BY(x) AIS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called while holding the given mutex(es).
+#define AIS_REQUIRES(...) \
+  AIS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define AIS_REQUIRES_SHARED(...) \
+  AIS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the given capability.
+#define AIS_ACQUIRE(...) \
+  AIS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define AIS_ACQUIRE_SHARED(...) \
+  AIS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define AIS_RELEASE(...) \
+  AIS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define AIS_RELEASE_SHARED(...) \
+  AIS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `b`.
+#define AIS_TRY_ACQUIRE(b, ...) \
+  AIS_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// The function must be called while NOT holding the given mutex(es).
+#define AIS_EXCLUDES(...) AIS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability.
+#define AIS_ASSERT_CAPABILITY(x) AIS_THREAD_ANNOTATION(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define AIS_RETURN_CAPABILITY(x) AIS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Lock-ordering documentation (deadlock detection).
+#define AIS_ACQUIRED_BEFORE(...) \
+  AIS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define AIS_ACQUIRED_AFTER(...) \
+  AIS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: the function is exempt from analysis (use sparingly and
+/// document why at the call site).
+#define AIS_NO_THREAD_SAFETY_ANALYSIS \
+  AIS_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   task_ready_.notify_all();
@@ -25,23 +25,23 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
   task_ready_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mu_);
-  all_idle_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || busy_ != 0) all_idle_.wait(mu_);
 }
 
 void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) task_ready_.wait(mu_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -49,7 +49,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::unique_lock lock(mu_);
+      MutexLock lock(mu_);
       --busy_;
       if (queue_.empty() && busy_ == 0) all_idle_.notify_all();
     }

@@ -8,15 +8,19 @@
 // the only synchronization the pool provides is the completion barrier.
 // Telemetry stays correct under concurrency because obs counters/spans are
 // already thread-safe (see src/obs/obs.hpp).
+//
+// Lock discipline is statically proven: all shared state is
+// AIS_GUARDED_BY(mu_) and the gating `-Wthread-safety` build (CMake
+// AIS_THREAD_SAFETY, CI job `thread-safety`) rejects any unlocked access.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/mutex.hpp"
 
 namespace ais {
 
@@ -33,19 +37,19 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and every worker is idle.
-  void wait_idle();
+  void wait_idle() AIS_EXCLUDES(mu_);
 
   int size() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void worker_loop();
+  void worker_loop() AIS_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_idle_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t busy_ = 0;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar task_ready_;
+  CondVar all_idle_;
+  std::deque<std::function<void()>> queue_ AIS_GUARDED_BY(mu_);
+  std::size_t busy_ AIS_GUARDED_BY(mu_) = 0;
+  bool stopping_ AIS_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

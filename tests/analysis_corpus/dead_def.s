@@ -1,0 +1,11 @@
+# Fixture for rule `dead-def` (machine: rs6000).
+#
+# Block B1 defines r3 and never reads it; block B2 — reached by fallthrough —
+# overwrites r3 before any use.  The definition in B1 is dead across the
+# block boundary, which the same-block `dead-write` lint cannot see.
+block B1:
+  LI r3, 1
+  LI r2, 2
+block B2:
+  LI r3, 5
+  ST a[r2+0], r3

@@ -1,0 +1,431 @@
+// The static-analysis framework, tested four ways: unit tests of the rule
+// registry and runner (filters, severity promotion, exit codes), a seeded
+// defect corpus where every rule must fire on exactly its own fixture, a
+// clean-corpus property (shipped examples, loop kernels and random IR are
+// analysis-clean at default severity), and the --fix safety proof (the
+// transitive reduction must leave every example's schedule byte-identical).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "analysis/fix.hpp"
+#include "analysis/graph_text.hpp"
+#include "analysis/sarif.hpp"
+#include "ir/asm_parser.hpp"
+#include "ir/depbuild.hpp"
+#include "machine/machine_model.hpp"
+#include "support/prng.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/random_ir.hpp"
+
+#ifndef AIS_ANALYSIS_CORPUS_DIR
+#error "AIS_ANALYSIS_CORPUS_DIR must point at tests/analysis_corpus"
+#endif
+#ifndef AIS_EXAMPLES_DIR
+#error "AIS_EXAMPLES_DIR must point at the shipped examples/"
+#endif
+
+namespace ais {
+namespace {
+
+using analysis::AnalysisInput;
+using analysis::AnalysisOptions;
+using analysis::AnalysisResult;
+using analysis::Finding;
+using verify::Severity;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+const MachineModel& machine(const std::string& name) {
+  const MachineModel* m = machine_preset(name);
+  EXPECT_NE(m, nullptr) << name;
+  return *m;
+}
+
+std::vector<const Finding*> findings_of(const AnalysisResult& result,
+                                        const std::string& rule) {
+  std::vector<const Finding*> out;
+  for (const Finding& f : result.findings) {
+    if (f.rule == rule) out.push_back(&f);
+  }
+  return out;
+}
+
+/// Rules (any severity) that produced at least one finding.
+std::set<std::string> fired_rules(const AnalysisResult& result) {
+  std::set<std::string> out;
+  for (const Finding& f : result.findings) out.insert(f.rule);
+  return out;
+}
+
+std::string dump(const AnalysisResult& result) {
+  std::string out;
+  for (const Finding& f : result.findings) out += f.to_string() + "\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Registry and runner.
+
+TEST(Registry, CatalogsEveryRuleWithUniqueIds) {
+  const std::vector<analysis::RuleInfo>& rules = analysis::rule_registry();
+  EXPECT_GE(rules.size(), 15u);  // 9 legacy lints + dead-def + 5 graph rules
+  std::set<std::string> ids;
+  for (const analysis::RuleInfo& info : rules) {
+    EXPECT_FALSE(info.id.empty());
+    EXPECT_FALSE(info.summary.empty());
+    EXPECT_TRUE(ids.insert(info.id).second) << "duplicate id " << info.id;
+  }
+  // The new rules of this framework, beyond the rebased legacy lints.
+  for (const char* id : {"dead-def", "dep-cycle", "loop-distance",
+                         "latency-mismatch", "redundant-dep-edge",
+                         "schedule-advisor"}) {
+    EXPECT_TRUE(ids.count(id)) << id;
+    EXPECT_NE(analysis::find_rule(id), nullptr) << id;
+  }
+  EXPECT_EQ(analysis::find_rule("no-such-rule"), nullptr);
+}
+
+TEST(Runner, OnlyAndDisabledFiltersSelectRules) {
+  std::string error;
+  const std::optional<DepGraph> g = analysis::parse_graph_text(
+      slurp(std::string(AIS_ANALYSIS_CORPUS_DIR) + "/dep_cycle.dg"), &error);
+  ASSERT_TRUE(g.has_value()) << error;
+  AnalysisInput input;
+  input.graph = &*g;
+  input.machine = &machine("rs6000");
+
+  AnalysisOptions only;
+  only.only = {"latency-mismatch"};
+  const AnalysisResult r1 = analysis::run_analysis(input, only);
+  EXPECT_EQ(r1.rules_run, std::vector<std::string>{"latency-mismatch"});
+  EXPECT_TRUE(r1.findings.empty()) << dump(r1);
+
+  AnalysisOptions disabled;
+  disabled.disabled = {"dep-cycle"};
+  const AnalysisResult r2 = analysis::run_analysis(input, disabled);
+  EXPECT_TRUE(findings_of(r2, "dep-cycle").empty()) << dump(r2);
+  EXPECT_EQ(r2.num_errors, 0u);
+}
+
+TEST(Runner, SeverityPromotionAndExitCodes) {
+  Program prog = parse_program(slurp(
+      std::string(AIS_ANALYSIS_CORPUS_DIR) + "/dead_def.s"));
+  const MachineModel& m = machine("rs6000");
+  const DepGraph g = build_trace_graph(Trace{prog.blocks}, m);
+  AnalysisInput input;
+  input.program = &prog;
+  input.graph = &g;
+  input.machine = &m;
+
+  const AnalysisResult plain = analysis::run_analysis(input, {});
+  ASSERT_EQ(findings_of(plain, "dead-def").size(), 1u) << dump(plain);
+  EXPECT_EQ(findings_of(plain, "dead-def")[0]->severity, Severity::kWarning);
+  EXPECT_EQ(plain.num_errors, 0u);
+  EXPECT_TRUE(plain.clean());
+  EXPECT_EQ(plain.exit_code(), 0);
+
+  AnalysisOptions all_werror;
+  all_werror.warnings_as_errors = true;
+  const AnalysisResult promoted = analysis::run_analysis(input, all_werror);
+  EXPECT_EQ(findings_of(promoted, "dead-def")[0]->severity, Severity::kError);
+  EXPECT_GE(promoted.num_errors, 1u);
+  EXPECT_FALSE(promoted.clean());
+  EXPECT_EQ(promoted.exit_code(), 1);
+
+  AnalysisOptions one_werror;
+  one_werror.werror = {"dead-def"};
+  const AnalysisResult one = analysis::run_analysis(input, one_werror);
+  EXPECT_EQ(findings_of(one, "dead-def")[0]->severity, Severity::kError);
+  // Promotion is per-rule: nothing else may have been upgraded.
+  for (const Finding& f : one.findings) {
+    if (f.rule != "dead-def") {
+      EXPECT_NE(f.severity, Severity::kError);
+    }
+  }
+}
+
+TEST(Runner, SkipsRulesMissingTheirInputs) {
+  // Graph-only input: every program rule must be skipped, not silently run.
+  std::string error;
+  const std::optional<DepGraph> g = analysis::parse_graph_text(
+      slurp(std::string(AIS_ANALYSIS_CORPUS_DIR) + "/redundant_edge.dg"),
+      &error);
+  ASSERT_TRUE(g.has_value()) << error;
+  AnalysisInput input;
+  input.graph = &*g;
+  input.machine = &machine("rs6000");
+  const AnalysisResult result = analysis::run_analysis(input, {});
+  const std::vector<std::string>& skipped = result.rules_skipped;
+  EXPECT_TRUE(std::find(skipped.begin(), skipped.end(), "dead-def") !=
+              skipped.end());
+  EXPECT_TRUE(std::find(result.rules_run.begin(), result.rules_run.end(),
+                        "dep-cycle") != result.rules_run.end());
+}
+
+// ---------------------------------------------------------------------------
+// The seeded-defect corpus: every rule fires on exactly its own fixture.
+
+struct Fixture {
+  const char* file;     // under tests/analysis_corpus/
+  const char* rule;     // the one rule that must fire
+  const char* machine;  // preset the defect is staged against
+  Severity severity;    // expected severity of the finding
+};
+
+const Fixture kCorpus[] = {
+    {"redundant_edge.dg", "redundant-dep-edge", "rs6000", Severity::kNote},
+    {"latency_mismatch.dg", "latency-mismatch", "rs6000", Severity::kError},
+    {"dep_cycle.dg", "dep-cycle", "rs6000", Severity::kError},
+    {"loop_distance.dg", "loop-distance", "rs6000", Severity::kError},
+    {"advisor_gap.dg", "schedule-advisor", "vliw4", Severity::kNote},
+    {"dead_def.s", "dead-def", "rs6000", Severity::kWarning},
+};
+
+AnalysisResult analyze_fixture(const Fixture& fx, Program* prog_storage,
+                               DepGraph* graph_storage) {
+  const std::string path =
+      std::string(AIS_ANALYSIS_CORPUS_DIR) + "/" + fx.file;
+  const MachineModel& m = machine(fx.machine);
+  AnalysisInput input;
+  input.machine = &m;
+  const std::string text = slurp(path);
+  if (std::string(fx.file).rfind(".dg") != std::string::npos &&
+      std::string(fx.file).size() - 3 ==
+          std::string(fx.file).rfind(".dg")) {
+    std::string error;
+    std::optional<DepGraph> g = analysis::parse_graph_text(text, &error);
+    EXPECT_TRUE(g.has_value()) << path << ": " << error;
+    *graph_storage = std::move(*g);
+  } else {
+    *prog_storage = parse_program(text);
+    *graph_storage = build_trace_graph(Trace{prog_storage->blocks}, m);
+    input.program = prog_storage;
+  }
+  input.graph = graph_storage;
+  return analysis::run_analysis(input, {});
+}
+
+TEST(Corpus, EachRuleFiresExactlyOnItsFixture) {
+  for (const Fixture& fx : kCorpus) {
+    Program prog;
+    DepGraph graph;
+    const AnalysisResult result = analyze_fixture(fx, &prog, &graph);
+    const std::vector<const Finding*> hits = findings_of(result, fx.rule);
+    ASSERT_EQ(hits.size(), 1u) << fx.file << ":\n" << dump(result);
+    EXPECT_EQ(hits[0]->severity, fx.severity) << fx.file;
+    // The defect is staged to trip one rule: nothing else may fire
+    // (advisory notes excluded — they are observations, not defects).
+    for (const Finding& f : result.findings) {
+      if (f.rule == fx.rule) continue;
+      EXPECT_EQ(f.severity, Severity::kNote)
+          << fx.file << " also fired " << f.to_string();
+    }
+  }
+}
+
+TEST(Corpus, RulesStaySilentOnOtherFixtures) {
+  for (const Fixture& fx : kCorpus) {
+    Program prog;
+    DepGraph graph;
+    const AnalysisResult result = analyze_fixture(fx, &prog, &graph);
+    const std::set<std::string> fired = fired_rules(result);
+    for (const Fixture& other : kCorpus) {
+      if (std::string(other.rule) == fx.rule) continue;
+      // Error- and warning-severity rules must not cross-fire; the two
+      // advisory note rules may legitimately observe any graph.
+      if (other.severity == Severity::kNote) continue;
+      EXPECT_FALSE(fired.count(other.rule))
+          << other.rule << " cross-fired on " << fx.file << ":\n"
+          << dump(result);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Clean-corpus property: real inputs are analysis-clean at default severity.
+
+void expect_clean(const AnalysisInput& input, const std::string& what) {
+  const AnalysisResult result = analysis::run_analysis(input, {});
+  // "Clean" is the exit-code contract: zero error-severity findings.
+  // Warnings are allowed (live-in registers in loop kernels, external
+  // branch targets) but failures print the full SARIF for diagnosis.
+  EXPECT_EQ(result.num_errors, 0u)
+      << what << " is not analysis-clean:\n"
+      << analysis::to_sarif(result, what);
+}
+
+TEST(CleanCorpus, ShippedExamples) {
+  const char* examples[] = {"fig3_loop.s", "two_block_trace.s",
+                            "diamond_cfg.s", "memory_alias.s"};
+  const MachineModel& m = machine("rs6000");
+  for (const char* name : examples) {
+    Program prog =
+        parse_program(slurp(std::string(AIS_EXAMPLES_DIR) + "/" + name));
+    const DepGraph g = build_trace_graph(Trace{prog.blocks}, m);
+    AnalysisInput input;
+    input.program = &prog;
+    input.graph = &g;
+    input.machine = &m;
+    expect_clean(input, name);
+  }
+}
+
+TEST(CleanCorpus, LoopKernels) {
+  const MachineModel& m = machine("rs6000");
+  for (const NamedLoop& named : all_loop_kernels()) {
+    Program prog;
+    prog.blocks = named.loop.body.blocks;
+    const DepGraph g = build_loop_graph(named.loop, m);
+    AnalysisInput input;
+    input.program = &prog;
+    input.graph = &g;
+    input.machine = &m;
+    expect_clean(input, named.name);
+  }
+}
+
+TEST(CleanCorpus, RandomIrSeedSweep) {
+  for (const char* preset : {"scalar01", "rs6000", "deep", "vliw4"}) {
+    const MachineModel& m = machine(preset);
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      Prng prng(seed * 0x9e37u);
+      RandomIrParams params;
+      params.num_insts = 12;
+
+      Program prog;
+      prog.blocks = random_ir_trace(prng, params, 2).blocks;
+      const DepGraph tg = build_trace_graph(Trace{prog.blocks}, m);
+      AnalysisInput trace_input;
+      trace_input.program = &prog;
+      trace_input.graph = &tg;
+      trace_input.machine = &m;
+      expect_clean(trace_input, std::string(preset) + " random trace seed " +
+                                    std::to_string(seed));
+
+      const Loop loop = random_ir_loop(prng, params);
+      Program loop_prog;
+      loop_prog.blocks = loop.body.blocks;
+      const DepGraph lg = build_loop_graph(loop, m);
+      AnalysisInput loop_input;
+      loop_input.program = &loop_prog;
+      loop_input.graph = &lg;
+      loop_input.machine = &m;
+      expect_clean(loop_input, std::string(preset) + " random loop seed " +
+                                   std::to_string(seed));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The --fix safety argument: reduction must never change a schedule.
+
+TEST(Fix, ExampleSchedulesAreByteIdenticalAfterReduction) {
+  const char* examples[] = {"fig3_loop.s", "two_block_trace.s",
+                            "diamond_cfg.s", "memory_alias.s"};
+  const MachineModel& m = machine("rs6000");
+  for (const char* name : examples) {
+    const Program prog =
+        parse_program(slurp(std::string(AIS_EXAMPLES_DIR) + "/" + name));
+    const DepGraph g = build_trace_graph(Trace{prog.blocks}, m);
+    const analysis::FixResult fixed = analysis::reduce_and_prove(g, m);
+    EXPECT_TRUE(fixed.proven) << name << ": " << fixed.detail;
+    // The reduction runs to fixpoint: nothing redundant may remain.
+    EXPECT_TRUE(analysis::redundant_edges(fixed.graph).empty()) << name;
+    EXPECT_EQ(fixed.graph.num_nodes(), g.num_nodes()) << name;
+    EXPECT_LE(fixed.graph.num_edges(), g.num_edges()) << name;
+  }
+}
+
+TEST(Fix, RedundantEdgeFixtureReducesToTheTriangle) {
+  std::string error;
+  const std::optional<DepGraph> g = analysis::parse_graph_text(
+      slurp(std::string(AIS_ANALYSIS_CORPUS_DIR) + "/redundant_edge.dg"),
+      &error);
+  ASSERT_TRUE(g.has_value()) << error;
+  const analysis::FixResult fixed =
+      analysis::reduce_and_prove(*g, machine("rs6000"));
+  EXPECT_TRUE(fixed.proven) << fixed.detail;
+  ASSERT_EQ(fixed.removed.size(), 1u);
+  const DepEdge& removed = g->edge(fixed.removed[0]);
+  EXPECT_EQ(g->node(removed.from).name, "a");
+  EXPECT_EQ(g->node(removed.to).name, "c");
+  EXPECT_EQ(fixed.graph.num_edges(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Graph text round-trip and SARIF shape.
+
+TEST(GraphText, RoundTripsDepbuildGraphs) {
+  const MachineModel& m = machine("rs6000");
+  const Program prog = parse_program(
+      slurp(std::string(AIS_EXAMPLES_DIR) + "/two_block_trace.s"));
+  const DepGraph g = build_trace_graph(Trace{prog.blocks}, m);
+
+  std::string error;
+  const std::optional<DepGraph> round =
+      analysis::parse_graph_text(analysis::write_graph_text(g), &error);
+  ASSERT_TRUE(round.has_value()) << error;
+  ASSERT_EQ(round->num_nodes(), g.num_nodes());
+  ASSERT_EQ(round->num_edges(), g.num_edges());
+  for (NodeId id = 0; id < static_cast<NodeId>(g.num_nodes()); ++id) {
+    EXPECT_EQ(round->node(id).exec_time, g.node(id).exec_time);
+    EXPECT_EQ(round->node(id).fu_class, g.node(id).fu_class);
+    EXPECT_EQ(round->node(id).block, g.node(id).block);
+  }
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(round->edge(e).from, g.edge(e).from);
+    EXPECT_EQ(round->edge(e).to, g.edge(e).to);
+    EXPECT_EQ(round->edge(e).latency, g.edge(e).latency);
+    EXPECT_EQ(round->edge(e).distance, g.edge(e).distance);
+  }
+}
+
+TEST(GraphText, RejectsMalformedInputWithLineNumbers) {
+  std::string error;
+  EXPECT_FALSE(analysis::parse_graph_text("node a\nedge a b\n", &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_FALSE(analysis::parse_graph_text("node a\nnode a\n", &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+  EXPECT_FALSE(analysis::parse_graph_text("widget a\n", &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+}
+
+TEST(Sarif, EmitsWellFormedRunWithRuleMetadata) {
+  Program prog = parse_program(slurp(
+      std::string(AIS_ANALYSIS_CORPUS_DIR) + "/dead_def.s"));
+  const MachineModel& m = machine("rs6000");
+  const DepGraph g = build_trace_graph(Trace{prog.blocks}, m);
+  AnalysisInput input;
+  input.program = &prog;
+  input.graph = &g;
+  input.machine = &m;
+  const AnalysisResult result = analysis::run_analysis(input, {});
+  const std::string sarif = analysis::to_sarif(result, "dead_def.s");
+
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"aislint\""), std::string::npos);
+  // Every registry rule appears in the driver metadata...
+  for (const analysis::RuleInfo& info : analysis::rule_registry()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + info.id + "\""), std::string::npos)
+        << info.id;
+  }
+  // ...and the finding carries its rule id and the artifact location.
+  EXPECT_NE(sarif.find("\"ruleId\": \"dead-def\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"dead_def.s\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ais

@@ -197,6 +197,78 @@ TEST(Aislint, RejectsStructurallyBrokenProgram) {
   EXPECT_NE(out.find("branch-position"), std::string::npos) << out;
 }
 
+TEST(Aislint, ListRulesPrintsTheRegistry) {
+  std::string out;
+  ASSERT_EQ(run_tool(std::string(AISLINT_BINARY) + " --list-rules", &out), 0);
+  for (const char* id : {"branch-position", "dead-def", "dep-cycle",
+                         "latency-mismatch", "redundant-dep-edge",
+                         "schedule-advisor"}) {
+    EXPECT_NE(out.find(id), std::string::npos) << id << "\n" << out;
+  }
+}
+
+TEST(Aislint, GraphInputHonorsRuleSelectionAndExitContract) {
+  const std::string fixture =
+      std::string(AIS_ANALYSIS_CORPUS_DIR) + "/dep_cycle.dg";
+  std::string out;
+  // The staged defect is an error: exit 1 with the rule named.
+  EXPECT_NE(run_tool(std::string(AISLINT_BINARY) + " --graph " + fixture,
+                     &out),
+            0);
+  EXPECT_NE(out.find("dep-cycle"), std::string::npos) << out;
+  // Disabling the rule (or selecting a disjoint one) makes the run clean.
+  EXPECT_EQ(run_tool(std::string(AISLINT_BINARY) + " --graph " + fixture +
+                         " --no-rule=dep-cycle",
+                     &out),
+            0);
+  EXPECT_EQ(run_tool(std::string(AISLINT_BINARY) + " --graph " + fixture +
+                         " --rule=latency-mismatch",
+                     &out),
+            0);
+  // Unknown rule ids are a usage error, not a silent no-op.
+  EXPECT_NE(run_tool(std::string(AISLINT_BINARY) + " --graph " + fixture +
+                         " --rule=no-such-rule",
+                     nullptr),
+            0);
+}
+
+TEST(Aislint, SarifOutputIsPureAndWerrorPromotes) {
+  const std::string example =
+      std::string(AIS_EXAMPLES_DIR) + "/fig3_loop.s";
+  std::string out;
+  run_tool(std::string(AISLINT_BINARY) + " --in " + example + " --sarif",
+           &out);
+  // Machine output: starts with the SARIF object, no human summary line.
+  EXPECT_EQ(out.find('{'), 0u) << out;
+  EXPECT_NE(out.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_EQ(out.find("aislint: "), std::string::npos) << out;
+  // fig3_loop's use-before-def warnings promote to a failing exit.
+  EXPECT_EQ(run_tool(std::string(AISLINT_BINARY) + " --in " + example, &out),
+            0);
+  EXPECT_NE(run_tool(std::string(AISLINT_BINARY) + " --in " + example +
+                         " --Werror=use-before-def",
+                     &out),
+            0);
+}
+
+TEST(Aislint, FixWritesAReducedGraphThatReanalyzesClean) {
+  const std::string example =
+      std::string(AIS_EXAMPLES_DIR) + "/memory_alias.s";
+  const std::string reduced = ::testing::TempDir() + "/reduced.dg";
+  std::string out;
+  ASSERT_EQ(run_tool(std::string(AISLINT_BINARY) + " --in " + example +
+                         " --fix --out " + reduced,
+                     &out),
+            0);
+  EXPECT_NE(out.find("byte-identical"), std::string::npos) << out;
+  // The written .dg parses and carries no remaining redundant edges.
+  ASSERT_EQ(run_tool(std::string(AISLINT_BINARY) + " --graph " + reduced +
+                         " --notes",
+                     &out),
+            0);
+  EXPECT_EQ(out.find("redundant-dep-edge"), std::string::npos) << out;
+}
+
 TEST(Aislint, AcceptsAiscOutputAgainstItsSource) {
   const char* text = R"(
     block a:
