@@ -89,6 +89,33 @@ def row_from_analysis(path, max_overhead):
     return row, ok
 
 
+def row_from_obs(path, max_overhead):
+    """Folds a bench_obs --json report into one snapshot row and enforces
+    the telemetry budget: metrics-enabled compiles must stay below
+    max_overhead percent of the runtime-disabled corpus aggregate
+    (docs/OBSERVABILITY.md).  The flight-recorder arm and the ns/record
+    microbenchmark are reported but not gated.  Returns (row, ok)."""
+    with open(path) as f:
+        report = json.load(f)
+    total = report["total"]
+    ok = total["overhead_pct"] < max_overhead
+    status = "ok" if ok else "FAIL"
+    print(f"{status:4} telemetry overhead: {total['overhead_pct']:.1f}% "
+          f"metrics / {total['flight_pct']:.1f}% flight, "
+          f"{total['record_ns']:.0f} ns/record (budget {max_overhead}%)")
+    if not ok:
+        print(f"REGRESSION: metrics-enabled compile overhead "
+              f"{total['overhead_pct']:.1f}% exceeds {max_overhead}% budget",
+              file=sys.stderr)
+    row = {
+        "name": "obs_overhead.corpus",
+        "overhead_pct": round(total["overhead_pct"], 2),
+        "flight_pct": round(total["flight_pct"], 2),
+        "record_ns": round(total["record_ns"], 1),
+    }
+    return row, ok
+
+
 def load_rows(path):
     with open(path) as f:
         snapshot = json.load(f)
@@ -140,7 +167,13 @@ def main():
     parser.add_argument("--max-analysis-overhead", type=float, default=5.0,
                         help="allowed gating-analysis overhead as a percent "
                              "of corpus compile time (default: 5)")
-    parser.add_argument("--out", default="BENCH_PR6.json")
+    parser.add_argument("--obs",
+                        help="bench_obs --json report file")
+    parser.add_argument("--max-obs-overhead", type=float, default=3.0,
+                        help="allowed metrics-enabled compile overhead as a "
+                             "percent of the runtime-disabled corpus "
+                             "aggregate (default: 3)")
+    parser.add_argument("--out", default="BENCH_PR7.json")
     parser.add_argument("--compare", metavar="BASELINE",
                         help="baseline snapshot to diff --current against")
     parser.add_argument("--current", metavar="SNAPSHOT",
@@ -163,6 +196,10 @@ def main():
         row, analysis_ok = row_from_analysis(args.analysis,
                                              args.max_analysis_overhead)
         benchmarks.append(row)
+    obs_ok = True
+    if args.obs:
+        row, obs_ok = row_from_obs(args.obs, args.max_obs_overhead)
+        benchmarks.append(row)
     if not benchmarks:
         print("bench_json.py: no input reports", file=sys.stderr)
         return 2
@@ -170,7 +207,7 @@ def main():
     with open(args.out, "w") as f:
         json.dump({"schema": 1, "benchmarks": benchmarks}, f, indent=2)
         f.write("\n")
-    return 0 if analysis_ok else 1
+    return 0 if analysis_ok and obs_ok else 1
 
 
 if __name__ == "__main__":

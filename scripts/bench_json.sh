@@ -5,15 +5,15 @@
 #
 #   sh scripts/bench_json.sh [BUILD_DIR] [OUT_FILE]
 #
-# The committed BENCH_PR6.json at the repo root is this script's output;
+# The committed BENCH_PR7.json at the repo root is this script's output;
 # regenerate it after scheduler changes so the numbers stay honest.
-# BENCH_PR5.json is the frozen previous-PR baseline that CI's perf-smoke
+# BENCH_PR6.json is the frozen previous-PR baseline that CI's perf-smoke
 # job diffs fresh numbers against (bench_json.py --compare); the baseline
 # rolls forward one PR at a time (see docs/PERFORMANCE.md).
 set -eu
 
 BUILD=${1:-build}
-OUT=${2:-BENCH_PR6.json}
+OUT=${2:-BENCH_PR7.json}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -40,10 +40,16 @@ EXAMPLES=$(dirname "$0")/../examples
 "$BUILD/bench/bench_analysis" --repeat 80 \
     --json "$TMP/analysis.json" > /dev/null
 
+# Telemetry cost; bench_json.py asserts metrics-enabled compiles stay
+# under 3% of the runtime-disabled corpus aggregate.
+"$BUILD/bench/bench_obs" --repeat 40 \
+    --json "$TMP/obs.json" > /dev/null
+
 python3 "$(dirname "$0")/bench_json.py" \
     --out "$OUT" \
     --google-benchmark "$TMP/compile_time.json" \
     --analysis "$TMP/analysis.json" \
+    --obs "$TMP/obs.json" \
     "$TMP"/fig3_loop.json "$TMP"/two_block_trace.json \
     "$TMP"/memory_alias.json "$TMP"/diamond_cfg.json
 

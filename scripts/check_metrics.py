@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text exposition written by --metrics-out /
+MetricRegistry::write_prometheus (CI runs this on every telemetry
+artifact).
+
+Checks: every line is a `# TYPE` comment or a sample; metric and label
+names use the Prometheus charset; every sample belongs to a declared
+family of the right shape; counter and gauge values are non-negative
+numbers (counters are monotone from zero, so a negative snapshot value is
+impossible); and each histogram series has strictly increasing `le`
+bucket bounds with non-decreasing cumulative counts, a `+Inf` bucket
+equal to its `_count`, and a `_sum` sample.
+"""
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? (?P<value>\S+)$")
+LABEL_RE = re.compile(r'^(?P<name>[^=]+)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+
+def fail(msg):
+    print(f"check_metrics.py: {msg}", file=sys.stderr)
+    return 1
+
+
+def parse_labels(text):
+    """'a="1",b="2"' -> sorted ((name, value), ...); None on a bad pair."""
+    if not text:
+        return ()
+    pairs = []
+    for part in text.split(","):
+        m = LABEL_RE.match(part)
+        if not m or not LABEL_NAME_RE.match(m.group("name")):
+            return None
+        pairs.append((m.group("name"), m.group("value")))
+    return tuple(sorted(pairs))
+
+
+def base_family(name, families):
+    """The declared histogram family a _bucket/_sum/_count sample extends,
+    or the family matching `name` itself; None when undeclared."""
+    if name in families:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if families.get(base) == "histogram":
+                return base
+    return None
+
+
+def main(argv):
+    if len(argv) != 2:
+        return fail("usage: check_metrics.py METRICS.prom")
+
+    families = {}          # name -> type
+    histograms = {}        # (family, labels-minus-le) -> {...}
+    samples = 0
+    with open(argv[1]) as f:
+        lines = f.read().splitlines()
+    if not lines:
+        return fail("empty exposition")
+
+    for i, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "TYPE":
+                return fail(f"line {i}: unexpected comment '{line}'")
+            _, _, name, kind = parts
+            if not NAME_RE.match(name):
+                return fail(f"line {i}: bad metric name '{name}'")
+            if kind not in ("counter", "gauge", "histogram"):
+                return fail(f"line {i}: unknown type '{kind}'")
+            if name in families:
+                return fail(f"line {i}: duplicate TYPE for '{name}'")
+            families[name] = kind
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            return fail(f"line {i}: unparseable sample '{line}'")
+        name = m.group("name")
+        labels = parse_labels(m.group("labels") or "")
+        if labels is None:
+            return fail(f"line {i}: bad label pair in '{line}'")
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            return fail(f"line {i}: non-numeric value in '{line}'")
+        samples += 1
+
+        family = base_family(name, families)
+        if family is None:
+            return fail(f"line {i}: sample '{name}' has no TYPE declaration")
+        kind = families[family]
+        if value < 0:
+            return fail(f"line {i}: negative value in '{line}'")
+
+        if kind != "histogram":
+            continue
+        le = dict(labels).get("le")
+        series_labels = tuple(p for p in labels if p[0] != "le")
+        series = histograms.setdefault(
+            (family, series_labels),
+            {"buckets": [], "sum": None, "count": None, "line": i})
+        if name.endswith("_bucket"):
+            if le is None:
+                return fail(f"line {i}: bucket sample without 'le'")
+            bound = float("inf") if le == "+Inf" else float(le)
+            series["buckets"].append((bound, value, i))
+        elif name.endswith("_sum"):
+            series["sum"] = value
+        elif name.endswith("_count"):
+            series["count"] = value
+        else:
+            return fail(f"line {i}: bare histogram sample '{line}'")
+
+    for (family, labels), series in histograms.items():
+        where = f"histogram {family}{dict(labels) if labels else ''}"
+        buckets = series["buckets"]
+        if not buckets or buckets[-1][0] != float("inf"):
+            return fail(f"{where}: missing or misplaced +Inf bucket")
+        if series["sum"] is None or series["count"] is None:
+            return fail(f"{where}: missing _sum or _count")
+        for (lo, lo_n, _), (hi, hi_n, line) in zip(buckets, buckets[1:]):
+            if hi <= lo:
+                return fail(f"{where} line {line}: 'le' bounds not "
+                            f"increasing ({lo} then {hi})")
+            if hi_n < lo_n:
+                return fail(f"{where} line {line}: cumulative bucket count "
+                            f"fell ({lo_n} then {hi_n})")
+        if buckets[-1][1] != series["count"]:
+            return fail(f"{where}: +Inf bucket {buckets[-1][1]} != _count "
+                        f"{series['count']}")
+
+    if samples == 0:
+        return fail("no samples")
+    print(f"check_metrics.py: OK ({len(families)} families, "
+          f"{samples} samples, {len(histograms)} histogram series)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -14,6 +14,7 @@
 #include "obs/obs.hpp"
 #include "support/assert.hpp"
 #include "support/mutex.hpp"
+#include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
 
 namespace ais {
@@ -315,6 +316,7 @@ LookaheadResult schedule_trace(const RankScheduler& scheduler,
       out.diag.merged_makespans = std::move(hit->merged_makespans);
       out.diag.prefixes_emitted = hit->prefixes_emitted;
       obs::CounterRecorder::replay(hit->counter_deltas);
+      obs::CounterRecorder::replay_values(hit->value_samples);
       solved_from_cache = true;
     }
   }
@@ -369,6 +371,7 @@ LookaheadResult schedule_trace(const RankScheduler& scheduler,
           t_old = hit->suffix_makespan;
           out.diag.merged_makespans.push_back(hit->merged_makespan);
           obs::CounterRecorder::replay(hit->counter_deltas);
+          obs::CounterRecorder::replay_values(hit->value_samples);
           step_hit = true;
         }
       }
@@ -388,8 +391,18 @@ LookaheadResult schedule_trace(const RankScheduler& scheduler,
           seed.huge = huge;
           seed_ptr = &seed;
         }
+        // Graft latency: how long the serial chain spends consuming one
+        // prescheduled substrate.  A wall-clock ("time.") histogram, so it
+        // never enters the step recorder or a cache value.
+        const std::int64_t graft_start_us =
+            seed_ptr != nullptr && obs::enabled() ? Stopwatch::now_us() : -1;
         MergeResult m = merge_blocks(scheduler, old, new_nodes, deadlines,
                                      t_old, huge, opts.rank, seed_ptr);
+        if (graft_start_us >= 0) {
+          AIS_OBS_VALUE(obs::hist::kGraftUs,
+                        static_cast<std::uint64_t>(Stopwatch::now_us() -
+                                                   graft_start_us));
+        }
         deadlines = std::move(m.deadlines);
         merged = std::move(m.schedule);
       } else {
@@ -418,6 +431,10 @@ LookaheadResult schedule_trace(const RankScheduler& scheduler,
         ChopResult c = chop(merged, deadlines, opts.window);
         out.order.insert(out.order.end(), c.emitted.begin(), c.emitted.end());
         if (!c.emitted.empty()) ++out.diag.prefixes_emitted;
+        // Deterministic shape distribution (no "time." prefix): recorded
+        // into the step value below and replayed on hits, so cached and
+        // fresh runs report identical prefix-length histograms.
+        AIS_OBS_VALUE(obs::hist::kChopPrefixLen, c.emitted.size());
         old = std::move(c.suffix);
         t_old = c.suffix_makespan;
         // Rebase the retained suffix schedule implicitly: the next merge
@@ -447,6 +464,7 @@ LookaheadResult schedule_trace(const RankScheduler& scheduler,
         value.suffix_makespan = t_old;
         value.merged_makespan = out.diag.merged_makespans.back();
         value.counter_deltas = step_rec.deltas();
+        value.value_samples = step_rec.value_samples();
         cache->insert_step(step_key, value);
       }
     }
@@ -464,6 +482,7 @@ LookaheadResult schedule_trace(const RankScheduler& scheduler,
       value.merged_makespans = out.diag.merged_makespans;
       value.prefixes_emitted = out.diag.prefixes_emitted;
       value.counter_deltas = trace_rec.deltas();
+      value.value_samples = trace_rec.value_samples();
       cache->insert_trace(trace_key, value);
     }
   }

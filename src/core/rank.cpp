@@ -241,7 +241,7 @@ void RankSession::pack_and_finish(NodeId x, const DeadlineMap& deadlines,
 const std::vector<Time>& RankSession::compute_ranks(
     const DeadlineMap& deadlines, const RankOptions& opts,
     bool* structurally_feasible) {
-  AIS_OBS_SPAN("rank.compute");
+  AIS_OBS_SPAN_DETAIL("rank.compute");
   const DepGraph& graph = scheduler_->graph();
   AIS_CHECK(deadlines.size() == graph.num_nodes(), "deadline map size");
 

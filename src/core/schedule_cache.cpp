@@ -15,10 +15,12 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "support/arena.hpp"
 #include "support/assert.hpp"
 #include "support/mutex.hpp"
+#include "support/stopwatch.hpp"
 
 namespace ais {
 namespace {
@@ -456,12 +458,40 @@ bool read_counters(Reader& r, CounterDeltaMap& deltas) {
   return true;
 }
 
+void put_samples(std::string& b, const ValueSampleMap& samples) {
+  put_u32(b, static_cast<std::uint32_t>(samples.size()));
+  for (const auto& [name, values] : samples) {
+    put_u32(b, static_cast<std::uint32_t>(name.size()));
+    b.append(name);
+    put_u32(b, static_cast<std::uint32_t>(values.size()));
+    for (const std::uint64_t v : values) put_u64(b, v);
+  }
+}
+
+bool read_samples(Reader& r, ValueSampleMap& samples) {
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > kMaxDecodedCount) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t len = r.u32();
+    if (!r.ok() || len > kMaxDecodedCount) return false;
+    const std::string_view name = r.bytes(len);
+    const std::uint32_t count = r.u32();
+    if (!r.ok() || count > kMaxDecodedCount) return false;
+    std::vector<std::uint64_t> values(count, 0);
+    for (std::uint64_t& v : values) v = r.u64();
+    if (!r.ok()) return false;
+    samples.emplace(std::string(name), std::move(values));
+  }
+  return true;
+}
+
 std::string encode_trace_value(const TraceCacheValue& v) {
   std::string b;
   put_u32_vec(b, v.order);
   put_time_vec(b, v.merged_makespans);
   put_u64(b, v.prefixes_emitted);
   put_counters(b, v.counter_deltas);
+  put_samples(b, v.value_samples);
   return b;
 }
 
@@ -471,6 +501,7 @@ bool decode_trace_value(std::string_view bytes, TraceCacheValue& v) {
   if (!read_time_vec(r, v.merged_makespans)) return false;
   v.prefixes_emitted = r.u64();
   if (!read_counters(r, v.counter_deltas)) return false;
+  if (!read_samples(r, v.value_samples)) return false;
   return r.at_end();
 }
 
@@ -482,6 +513,7 @@ std::string encode_step_value(const StepCacheValue& v) {
   put_i64(b, v.suffix_makespan);
   put_i64(b, v.merged_makespan);
   put_counters(b, v.counter_deltas);
+  put_samples(b, v.value_samples);
   return b;
 }
 
@@ -493,6 +525,7 @@ bool decode_step_value(std::string_view bytes, StepCacheValue& v) {
   v.suffix_makespan = r.i64();
   v.merged_makespan = r.i64();
   if (!read_counters(r, v.counter_deltas)) return false;
+  if (!read_samples(r, v.value_samples)) return false;
   return r.at_end();
 }
 
@@ -768,6 +801,52 @@ struct ScheduleCache::Impl {
   std::string dir AIS_GUARDED_BY(dir_mu);
   std::atomic<std::uint64_t> tmp_seq{0};
 
+#if AIS_OBS_ENABLED
+  // Per-shard labeled latency metrics, registered once at construction so
+  // the hot paths only touch the cached handles (registrations are
+  // permanent; a second ScheduleCache instance just gets the same handles).
+  // Outcome indexes: 0 = hit (memory), 1 = miss, 2 = disk_hit.
+  static constexpr int kOutcomeHit = 0;
+  static constexpr int kOutcomeMiss = 1;
+  static constexpr int kOutcomeDiskHit = 2;
+  static constexpr const char* kOutcomeNames[3] = {"hit", "miss", "disk_hit"};
+  struct ShardMetrics {
+    obs::Counter* requests[3] = {};
+    obs::Histogram* lookup_us[3] = {};
+  };
+  std::array<ShardMetrics, kNumShards> shard_metrics;
+  obs::Histogram* disk_read_us = nullptr;
+  obs::Histogram* disk_write_us = nullptr;
+
+  Impl() {
+    obs::MetricRegistry& reg = obs::MetricRegistry::global();
+    for (std::size_t i = 0; i < kNumShards; ++i) {
+      const std::string shard = std::to_string(i);
+      for (int o = 0; o < 3; ++o) {
+        shard_metrics[i].requests[o] =
+            reg.counter("cache_requests_total", {"shard", shard},
+                        {"outcome", kOutcomeNames[o]});
+        shard_metrics[i].lookup_us[o] =
+            reg.histogram("cache_lookup_us", {"shard", shard},
+                          {"outcome", kOutcomeNames[o]});
+      }
+    }
+    disk_read_us = reg.histogram("cache_disk_read_us");
+    disk_write_us = reg.histogram("cache_disk_write_us");
+  }
+
+  /// Books one lookup: outcome counter plus whole-lookup latency, into the
+  /// shard the key hashes to.  start_us < 0 means telemetry was disabled at
+  /// lookup entry — record nothing.
+  void note_lookup(std::uint64_t hash, int outcome, std::int64_t start_us) {
+    if (start_us < 0) return;
+    const std::size_t sh = (hash >> 60U) & (kNumShards - 1);
+    shard_metrics[sh].requests[outcome]->add(1);
+    shard_metrics[sh].lookup_us[outcome]->record(
+        static_cast<std::uint64_t>(Stopwatch::now_us() - start_us));
+  }
+#endif  // AIS_OBS_ENABLED
+
   Shard& shard_for(std::uint64_t hash) {
     // High bits select the shard; the map's buckets use the full hash.
     return shards[(hash >> 60U) & (kNumShards - 1)];
@@ -852,7 +931,16 @@ std::optional<std::string> ScheduleCache::lookup_bytes(const CacheKey& key,
   }
   const std::string dir = impl_->dir_copy();
   if (dir.empty()) return std::nullopt;
+#if AIS_OBS_ENABLED
+  const std::int64_t start_us = obs::enabled() ? Stopwatch::now_us() : -1;
+#endif
   std::optional<std::string> value = disk_load(dir, key);
+#if AIS_OBS_ENABLED
+  if (start_us >= 0) {
+    impl_->disk_read_us->record(
+        static_cast<std::uint64_t>(Stopwatch::now_us() - start_us));
+  }
+#endif
   if (value) *from_disk = true;
   return value;
 }
@@ -861,10 +949,20 @@ void ScheduleCache::insert_bytes(const CacheKey& key, std::string value,
                                  bool write_disk) {
   if (write_disk) {
     const std::string dir = impl_->dir_copy();
-    if (!dir.empty() &&
-        disk_store(dir, key, value,
-                   impl_->tmp_seq.fetch_add(1, std::memory_order_relaxed))) {
-      AIS_OBS_COUNT(obs::ctr::kCacheDiskWrites);
+    if (!dir.empty()) {
+#if AIS_OBS_ENABLED
+      const std::int64_t start_us = obs::enabled() ? Stopwatch::now_us() : -1;
+#endif
+      const bool stored =
+          disk_store(dir, key, value,
+                     impl_->tmp_seq.fetch_add(1, std::memory_order_relaxed));
+#if AIS_OBS_ENABLED
+      if (start_us >= 0) {
+        impl_->disk_write_us->record(
+            static_cast<std::uint64_t>(Stopwatch::now_us() - start_us));
+      }
+#endif
+      if (stored) AIS_OBS_COUNT(obs::ctr::kCacheDiskWrites);
     }
   }
 
@@ -920,24 +1018,39 @@ void ScheduleCache::erase_bytes(const CacheKey& key) {
 
 std::optional<TraceCacheValue> ScheduleCache::lookup_trace(
     const CacheKey& key) {
+#if AIS_OBS_ENABLED
+  const std::int64_t start_us = obs::enabled() ? Stopwatch::now_us() : -1;
+  int outcome = Impl::kOutcomeMiss;
+#endif
   bool from_disk = false;
+  bool ok = true;
   std::optional<std::string> raw = lookup_bytes(key, &from_disk);
   TraceCacheValue value;
   if (!raw || !decode_trace_value(*raw, value)) {
     if (raw) erase_bytes(key);  // undecodable entries can only rot away
     AIS_OBS_COUNT(obs::ctr::kCacheMisses);
-    return std::nullopt;
-  }
-  if (from_disk) {
+    ok = false;
+  } else if (from_disk) {
     if (!certify_trace(key, value)) {
       AIS_OBS_COUNT(obs::ctr::kCacheMisses);
-      return std::nullopt;
+      ok = false;
+    } else {
+      insert_bytes(key, std::move(*raw), /*write_disk=*/false);
+      AIS_OBS_COUNT(obs::ctr::kCacheDiskHits);
+#if AIS_OBS_ENABLED
+      outcome = Impl::kOutcomeDiskHit;
+#endif
     }
-    insert_bytes(key, std::move(*raw), /*write_disk=*/false);
-    AIS_OBS_COUNT(obs::ctr::kCacheDiskHits);
   } else {
     AIS_OBS_COUNT(obs::ctr::kCacheHits);
+#if AIS_OBS_ENABLED
+    outcome = Impl::kOutcomeHit;
+#endif
   }
+#if AIS_OBS_ENABLED
+  impl_->note_lookup(key.hash, outcome, start_us);
+#endif
+  if (!ok) return std::nullopt;
   return value;
 }
 
@@ -948,24 +1061,39 @@ void ScheduleCache::insert_trace(const CacheKey& key,
 }
 
 std::optional<StepCacheValue> ScheduleCache::lookup_step(const CacheKey& key) {
+#if AIS_OBS_ENABLED
+  const std::int64_t start_us = obs::enabled() ? Stopwatch::now_us() : -1;
+  int outcome = Impl::kOutcomeMiss;
+#endif
   bool from_disk = false;
+  bool ok = true;
   std::optional<std::string> raw = lookup_bytes(key, &from_disk);
   StepCacheValue value;
   if (!raw || !decode_step_value(*raw, value)) {
     if (raw) erase_bytes(key);
     AIS_OBS_COUNT(obs::ctr::kCacheMisses);
-    return std::nullopt;
-  }
-  if (from_disk) {
+    ok = false;
+  } else if (from_disk) {
     if (!certify_step(key, value)) {
       AIS_OBS_COUNT(obs::ctr::kCacheMisses);
-      return std::nullopt;
+      ok = false;
+    } else {
+      insert_bytes(key, std::move(*raw), /*write_disk=*/false);
+      AIS_OBS_COUNT(obs::ctr::kCacheDiskHits);
+#if AIS_OBS_ENABLED
+      outcome = Impl::kOutcomeDiskHit;
+#endif
     }
-    insert_bytes(key, std::move(*raw), /*write_disk=*/false);
-    AIS_OBS_COUNT(obs::ctr::kCacheDiskHits);
   } else {
     AIS_OBS_COUNT(obs::ctr::kCacheHits);
+#if AIS_OBS_ENABLED
+    outcome = Impl::kOutcomeHit;
+#endif
   }
+#if AIS_OBS_ENABLED
+  impl_->note_lookup(key.hash, outcome, start_us);
+#endif
+  if (!ok) return std::nullopt;
   return value;
 }
 

@@ -70,7 +70,8 @@ namespace ais {
 /// older scheduler can never be served.
 inline constexpr std::uint32_t kScheduleCacheAlgoVersion = 1;
 /// Bump when the key or value serialization layout changes.
-inline constexpr std::uint32_t kScheduleCacheFormatVersion = 2;
+/// v3: values grew per-name histogram sample lists (value_samples).
+inline constexpr std::uint32_t kScheduleCacheFormatVersion = 3;
 
 /// A canonical scheduling-instance key plus the remap table for its hits.
 struct CacheKey {
@@ -100,6 +101,13 @@ struct CacheInstanceParams {
 };
 
 using CounterDeltaMap = std::map<std::string, std::uint64_t, std::less<>>;
+/// Histogram samples recorded by the original solve (obs::record_value),
+/// replayed on hits like counter_deltas.  Only deterministic, run-
+/// independent distributions qualify (chop.prefix_len); wall-clock
+/// histograms carry the "time." prefix, which CounterRecorder filters
+/// before anything reaches a cache value.
+using ValueSampleMap =
+    std::map<std::string, std::vector<std::uint64_t>, std::less<>>;
 
 /// One whole schedule_trace() outcome, in dense ids.
 struct TraceCacheValue {
@@ -107,6 +115,7 @@ struct TraceCacheValue {
   std::vector<Time> merged_makespans;      // LookaheadDiagnostics
   std::uint64_t prefixes_emitted = 0;
   CounterDeltaMap counter_deltas;
+  ValueSampleMap value_samples;
 };
 
 /// One Lookahead iteration outcome, in dense ids.
@@ -117,6 +126,7 @@ struct StepCacheValue {
   Time suffix_makespan = 0;                 // next iteration's t_old
   Time merged_makespan = 0;                 // diagnostics entry
   CounterDeltaMap counter_deltas;
+  ValueSampleMap value_samples;
 };
 
 /// Key for a whole trace: `blocks` in iteration order over `g`.

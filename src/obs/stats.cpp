@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
@@ -132,6 +133,26 @@ std::string profile_report() {
     counters.add_row({name, std::to_string(value)});
   }
   os << '\n' << counters.to_string();
+
+  // Latency/size distributions, when any were recorded this run.
+  TextTable hists({"histogram", "count", "p50", "p90", "p99", "max"});
+  bool any_hist = false;
+  for (const MetricSeries& s : MetricRegistry::global().snapshot()) {
+    if (s.type != MetricType::kHistogram || s.hist.count == 0) continue;
+    any_hist = true;
+    std::string name = s.name;
+    for (const auto& [k, v] : s.labels) {
+      name += name.size() == s.name.size() ? "{" : ",";
+      name += k + "=" + v;
+    }
+    if (!s.labels.empty()) name += "}";
+    hists.add_row({name, std::to_string(s.hist.count),
+                   std::to_string(s.hist.quantile(0.50)),
+                   std::to_string(s.hist.quantile(0.90)),
+                   std::to_string(s.hist.quantile(0.99)),
+                   std::to_string(s.hist.max)});
+  }
+  if (any_hist) os << '\n' << hists.to_string();
   return os.str();
 }
 

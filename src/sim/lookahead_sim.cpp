@@ -408,6 +408,7 @@ Time simulated_completion(const DepGraph& g, const MachineModel& machine,
 
 std::vector<SimResult> simulate_many(const std::vector<SimJob>& jobs,
                                      int threads) {
+  AIS_OBS_TIMER(obs::hist::kSimBatchUs);
   std::vector<SimResult> results(jobs.size());
   const auto run = [&](SimScratch& scratch, std::size_t i) {
     const SimJob& j = jobs[i];

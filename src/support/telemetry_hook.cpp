@@ -1,0 +1,18 @@
+#include "support/telemetry_hook.hpp"
+
+namespace ais {
+namespace {
+
+std::atomic<const TelemetrySink*> g_sink{nullptr};
+
+}  // namespace
+
+void set_telemetry_sink(const TelemetrySink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+const TelemetrySink* telemetry_sink() {
+  return g_sink.load(std::memory_order_relaxed);
+}
+
+}  // namespace ais

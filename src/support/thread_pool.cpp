@@ -4,6 +4,9 @@
 #include <atomic>
 #include <utility>
 
+#include "support/stopwatch.hpp"
+#include "support/telemetry_hook.hpp"
+
 namespace ais {
 
 ThreadPool::ThreadPool(int threads) {
@@ -24,6 +27,22 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // Wrap tasks with queue-wait/run timing when a telemetry sink is live
+  // (obs installs one; see support/telemetry_hook.hpp for the layering).
+  // Checked per submit so an AIS_OBS=OFF build or a disabled run pays only
+  // one relaxed load here and nothing per task.
+  if (const TelemetrySink* sink = telemetry_sink();
+      sink != nullptr && sink->enabled()) {
+    task = [sink, enqueue_us = Stopwatch::now_us(),
+            inner = std::move(task)] {
+      const std::int64_t start_us = Stopwatch::now_us();
+      sink->value(kPoolQueueWaitUs,
+                  static_cast<std::uint64_t>(start_us - enqueue_us));
+      inner();
+      sink->value(kPoolRunUs, static_cast<std::uint64_t>(
+                                  Stopwatch::now_us() - start_us));
+    };
+  }
   {
     MutexLock lock(mu_);
     queue_.push_back(std::move(task));

@@ -4,6 +4,7 @@
 // zero-overhead-when-disabled contract of docs/OBSERVABILITY.md.
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 
 namespace ais {
@@ -19,8 +20,11 @@ TEST(ObsOff, MacrosAreNoOpsEvenWhenRuntimeEnabled) {
 
   AIS_OBS_COUNT("off.count", 42);
   AIS_OBS_COUNT_DYN(std::string("off.") + "dyn", 1);
+  AIS_OBS_VALUE("off.value", 7);
   {
     AIS_OBS_SPAN("off.span");
+    AIS_OBS_SPAN_DETAIL("off.detail_span");
+    AIS_OBS_TIMER("off.timer_us");
   }
 
   // The library (compiled with hooks) sees nothing from this TU.
@@ -28,6 +32,9 @@ TEST(ObsOff, MacrosAreNoOpsEvenWhenRuntimeEnabled) {
   EXPECT_EQ(obs::counter_value("off.dyn"), 0u);
   EXPECT_TRUE(obs::phase_totals().empty());
   EXPECT_TRUE(obs::trace_events().empty());
+  for (const obs::MetricSeries& s : obs::MetricRegistry::global().snapshot()) {
+    EXPECT_TRUE(s.name.rfind("off.", 0) != 0) << s.name;
+  }
 
   // Direct API calls still work — only the macros are compiled out.
   obs::count("off.direct", 3);
@@ -45,6 +52,10 @@ TEST(ObsOff, MacrosExpandToExpressionsSafeInSingleStatementContexts) {
     AIS_OBS_COUNT("off.branch");
   else
     AIS_OBS_SPAN("off.branch_span");
+  if (obs::kHooksCompiledIn)
+    AIS_OBS_VALUE("off.branch_value", 1);
+  else
+    AIS_OBS_TIMER("off.branch_timer");
   SUCCEED();
 }
 

@@ -24,6 +24,9 @@
 //                    stderr after compiling (see docs/OBSERVABILITY.md)
 //   --trace-json F   write a Chrome trace-event JSON of the compile to F
 //                    (loadable in Perfetto); implies telemetry collection
+//   --metrics-out F  write the metric registry after compiling — Prometheus
+//                    text exposition, or the JSON snapshot when F ends in
+//                    .json; implies telemetry collection
 //   --cache BOOL     enable/disable the in-memory schedule cache (default
 //                    on; see docs/CACHING.md)
 //   --cache-dir DIR  also persist cache entries under DIR and reuse them
@@ -45,6 +48,7 @@
 #include "ir/rename.hpp"
 #include "core/schedule_cache.hpp"
 #include "machine/machine_model.hpp"
+#include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/stats.hpp"
 #include "sim/lookahead_sim.hpp"
@@ -81,16 +85,37 @@ int report_verification(const verify::Report& report) {
   return 1;
 }
 
+/// True when `path` names a JSON output (the --metrics-out format switch).
+bool ends_with_json(const std::string& path) {
+  return path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+}
+
 /// Emits the telemetry the run collected, on every exit path: the
-/// `--profile` table to stderr and the `--trace-json` / AIS_TRACE_JSON file.
+/// `--profile` table to stderr, the `--trace-json` / AIS_TRACE_JSON file
+/// and the `--metrics-out` registry exposition.
 struct TelemetryFinalizer {
   bool profile = false;
   std::string trace_path;
+  std::string metrics_path;
 
   ~TelemetryFinalizer() {
     if (!trace_path.empty() && !obs::write_chrome_trace(trace_path)) {
       std::fprintf(stderr, "aisc: cannot write trace to %s\n",
                    trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (out.is_open()) {
+        if (ends_with_json(metrics_path)) {
+          obs::MetricRegistry::global().write_json(out);
+        } else {
+          obs::MetricRegistry::global().write_prometheus(out);
+        }
+      }
+      if (!out.good()) {
+        std::fprintf(stderr, "aisc: cannot write metrics to %s\n",
+                     metrics_path.c_str());
+      }
     }
     if (profile) {
       std::fprintf(stderr, "aisc: pipeline profile\n%s",
@@ -108,8 +133,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: aisc --in FILE [--mode trace|loop|cfg] "
                          "[--machine NAME] [--window N] [--jobs N] "
                          "[--rename] [--report] [--verify] [--profile] "
-                         "[--trace-json FILE] [--cache BOOL] "
-                         "[--cache-dir DIR]\n");
+                         "[--trace-json FILE] [--metrics-out FILE] "
+                         "[--cache BOOL] [--cache-dir DIR]\n");
     return 1;
   }
   std::ifstream in(path);
@@ -139,8 +164,10 @@ int main(int argc, char** argv) {
   TelemetryFinalizer telemetry;
   telemetry.profile = args.get_bool("profile", false);
   telemetry.trace_path = args.get_string("trace-json", obs::env_trace_path());
+  telemetry.metrics_path = args.get_string("metrics-out", "");
   if (telemetry.profile) obs::set_enabled(true);
   if (!telemetry.trace_path.empty()) obs::set_trace_enabled(true);
+  if (!telemetry.metrics_path.empty()) obs::set_enabled(true);
   if (obs::enabled()) obs::register_builtin_counters();
 
   if (mode == "cfg") {

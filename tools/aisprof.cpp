@@ -24,6 +24,11 @@
 //   --repeat N         compile N times and aggregate (default 1)
 //   --trace-json FILE  also write Chrome trace-event JSON (Perfetto)
 //   --json FILE        machine-readable report (bench_json.py input)
+//   --metrics          print the Prometheus text exposition of the metric
+//                      registry after the report (see docs/OBSERVABILITY.md)
+//   --hist             print the ASCII histogram report (per-bucket bars)
+//   --metrics-out FILE write the registry to FILE — Prometheus text, or the
+//                      JSON snapshot when FILE ends in .json
 //   --random-traces N  window-span survey instead of a file compile
 //   --blocks/--nodes   random-trace shape (default 8 blocks x 12 nodes)
 //   --edge-prob P      intra-block edge probability (default 0.35)
@@ -53,6 +58,7 @@
 #include "driver/function_compiler.hpp"
 #include "ir/asm_parser.hpp"
 #include "machine/machine_model.hpp"
+#include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/stats.hpp"
 #include "sim/lookahead_sim.hpp"
@@ -276,8 +282,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: aisprof --in FILE [--mode trace|loop|cfg] "
                  "[--machine NAME] [--window N] [--repeat N] [--jobs N] "
-                 "[--trace-json FILE] [--json FILE] [--cache BOOL] "
-                 "[--cache-dir DIR]\n"
+                 "[--trace-json FILE] [--json FILE] [--metrics] [--hist] "
+                 "[--metrics-out FILE] [--cache BOOL] [--cache-dir DIR]\n"
                  "       aisprof --random-traces N [--blocks B] [--nodes K] "
                  "[--window W] [--machine NAME] [--seed S] [--jobs N]\n");
     return 2;
@@ -366,6 +372,30 @@ int main(int argc, char** argv) {
   std::printf("\n%s\n", obs::profile_report().c_str());
   std::printf("schedule stats (this run):\n%s\n", stats.to_string().c_str());
   if (have_sim) print_stall_table(sim);
+
+  if (args.get_bool("metrics", false)) {
+    std::printf("\n%s",
+                obs::MetricRegistry::global().prometheus_text().c_str());
+  }
+  if (args.get_bool("hist", false)) {
+    std::printf("\n%s", obs::MetricRegistry::global().ascii_report().c_str());
+  }
+  const std::string metrics_path = args.get_string("metrics-out", "");
+  if (!metrics_path.empty()) {
+    std::ofstream mo(metrics_path);
+    if (!mo.is_open()) {
+      std::fprintf(stderr, "aisprof: cannot write %s\n", metrics_path.c_str());
+      return 2;
+    }
+    const bool json_fmt = metrics_path.size() >= 5 &&
+                          metrics_path.compare(metrics_path.size() - 5, 5,
+                                               ".json") == 0;
+    if (json_fmt) {
+      obs::MetricRegistry::global().write_json(mo);
+    } else {
+      obs::MetricRegistry::global().write_prometheus(mo);
+    }
+  }
 
   if (!trace_path.empty() && !obs::write_chrome_trace(trace_path)) {
     std::fprintf(stderr, "aisprof: cannot write trace to %s\n",
