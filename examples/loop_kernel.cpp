@@ -82,7 +82,8 @@ int main(int argc, char** argv) {
   std::printf("\ncandidates (5.2.3):\n");
   TextTable t({"pivot", "form", "cycles/iter", "order"});
   for (const auto& cand : loop_single_candidates(g, machine, opts)) {
-    t.add_row({cand.pivot == kInvalidNode ? "-" : g.node(cand.pivot).name,
+    t.add_row({cand.pivot == kInvalidNode ? std::string("-")
+                                          : g.node(cand.pivot).name.str(),
                cand.source_form ? "source" : "sink",
                fmt_double(evaluator(cand.order), 2),
                order_names(g, cand.order)});

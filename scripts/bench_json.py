@@ -150,6 +150,12 @@ def compare(baseline_path, current_path, max_regress):
     if only:
         print(f"note: {len(only)} baseline rows missing from current: "
               f"{', '.join(only[:5])}{'...' if len(only) > 5 else ''}")
+    # Benchmarks that exist only in the current snapshot are fine: a PR that
+    # adds coverage must not fail its own gate for lacking baseline rows.
+    new = sorted(set(current) - set(baseline))
+    if new:
+        print(f"note: {len(new)} new benchmarks without a baseline: "
+              f"{', '.join(new[:5])}{'...' if len(new) > 5 else ''}")
 
     for f in failures:
         print(f"REGRESSION: {f}", file=sys.stderr)
@@ -173,7 +179,7 @@ def main():
                         help="allowed metrics-enabled compile overhead as a "
                              "percent of the runtime-disabled corpus "
                              "aggregate (default: 3)")
-    parser.add_argument("--out", default="BENCH_PR7.json")
+    parser.add_argument("--out", default="BENCH_PR8.json")
     parser.add_argument("--compare", metavar="BASELINE",
                         help="baseline snapshot to diff --current against")
     parser.add_argument("--current", metavar="SNAPSHOT",

@@ -5,15 +5,15 @@
 #
 #   sh scripts/bench_json.sh [BUILD_DIR] [OUT_FILE]
 #
-# The committed BENCH_PR7.json at the repo root is this script's output;
+# The committed BENCH_PR8.json at the repo root is this script's output;
 # regenerate it after scheduler changes so the numbers stay honest.
-# BENCH_PR6.json is the frozen previous-PR baseline that CI's perf-smoke
+# BENCH_PR7.json is the frozen previous-PR baseline that CI's perf-smoke
 # job diffs fresh numbers against (bench_json.py --compare); the baseline
 # rolls forward one PR at a time (see docs/PERFORMANCE.md).
 set -eu
 
 BUILD=${1:-build}
-OUT=${2:-BENCH_PR7.json}
+OUT=${2:-BENCH_PR8.json}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 

@@ -10,6 +10,11 @@ numbers (counters are monotone from zero, so a negative snapshot value is
 impossible); and each histogram series has strictly increasing `le`
 bucket bounds with non-decreasing cumulative counts, a `+Inf` bucket
 equal to its `_count`, and a `_sum` sample.
+
+`--require FAMILY` (repeatable) additionally asserts that the named
+family is declared and carries at least one sample — CI uses it to pin
+the resource gauges (mem_peak_rss_bytes, arena_high_water) that every
+`--metrics-out` run must publish.
 """
 import re
 import sys
@@ -54,13 +59,23 @@ def base_family(name, families):
 
 
 def main(argv):
-    if len(argv) != 2:
-        return fail("usage: check_metrics.py METRICS.prom")
+    required = []
+    args = []
+    it = iter(argv[1:])
+    for a in it:
+        if a == "--require":
+            required.append(next(it, None))
+        else:
+            args.append(a)
+    if len(args) != 1 or None in required:
+        return fail("usage: check_metrics.py METRICS.prom "
+                    "[--require FAMILY]...")
 
     families = {}          # name -> type
     histograms = {}        # (family, labels-minus-le) -> {...}
+    sampled = set()        # families with at least one sample
     samples = 0
-    with open(argv[1]) as f:
+    with open(args[0]) as f:
         lines = f.read().splitlines()
     if not lines:
         return fail("empty exposition")
@@ -98,6 +113,7 @@ def main(argv):
         family = base_family(name, families)
         if family is None:
             return fail(f"line {i}: sample '{name}' has no TYPE declaration")
+        sampled.add(family)
         kind = families[family]
         if value < 0:
             return fail(f"line {i}: negative value in '{line}'")
@@ -141,6 +157,9 @@ def main(argv):
 
     if samples == 0:
         return fail("no samples")
+    for name in required:
+        if name not in sampled:
+            return fail(f"required family '{name}' is missing or empty")
     print(f"check_metrics.py: OK ({len(families)} families, "
           f"{samples} samples, {len(histograms)} histogram series)")
     return 0

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ir/asm_parser.hpp"
@@ -44,6 +45,7 @@ class Cfg {
   const BasicBlock& block(BlockId id) const;
   const Program& program() const { return prog_; }
 
+  /// O(1) via the label index built at construction.
   BlockId find_label(const std::string& label) const;
 
   const std::vector<CfgEdge>& edges() const { return edges_; }
@@ -54,16 +56,27 @@ class Cfg {
   /// recomputes all edge weights by propagation from the entry.
   void set_branch_probability(BlockId id, double taken_probability);
 
-  /// Total profile weight entering `id`.
+  /// Total profile weight entering `id`; O(1) (cached whenever edge weights
+  /// are recomputed).
   double block_weight(BlockId id) const;
 
  private:
+  void build_edge_index();
   void recompute_weights();
 
   Program prog_;
   std::vector<CfgEdge> edges_;
   std::vector<double> taken_probability_;  // per block; NaN = no conditional
   double entry_weight_;
+
+  // Structure indexes, built once (edge *structure* is fixed after
+  // construction; only weights change).  The CSR arrays make per-block edge
+  // queries O(degree) and keep trace selection linear — a million-block
+  // corpus never survives the O(V * E) scans they replace.
+  std::unordered_map<std::string, BlockId> label_index_;
+  std::vector<std::uint32_t> out_begin_, out_idx_;  // CSR into edges_
+  std::vector<std::uint32_t> in_begin_, in_idx_;
+  std::vector<double> block_weight_;  // cached block_weight() per block
 };
 
 }  // namespace ais

@@ -8,6 +8,7 @@
 
 #include "graph/topo.hpp"
 #include "obs/obs.hpp"
+#include "obs/process_stats.hpp"
 #include "support/assert.hpp"
 
 namespace ais {
@@ -98,10 +99,10 @@ RankSession::RankSession(const RankScheduler& scheduler, const NodeSet& active,
       active_(active),
       active_ids_(active.ids()),
       closure_(substrate_donor == nullptr
-                   ? DescendantClosure(scheduler.graph(), active)
+                   ? DescendantClosure(scheduler.graph(), active, &arena_)
                    : DescendantClosure(scheduler.graph(), active,
                                        substrate_donor->closure_,
-                                       substrate_donor->active_)),
+                                       substrate_donor->active_, &arena_)),
       exec_(ArenaAllocator<Time>(arena_)),
       fu_class_(ArenaAllocator<std::int32_t>(arena_)),
       succ_begin_(ArenaAllocator<std::uint32_t>(arena_)),
@@ -109,9 +110,10 @@ RankSession::RankSession(const RankScheduler& scheduler, const NodeSet& active,
       succ_lat_(ArenaAllocator<Time>(arena_)),
       rank_(scheduler.graph().num_nodes(), kInf),
       desc_part_(ArenaAllocator<Time>(arena_)),
-      desc_entries_(ArenaAllocator<DescEntry>(arena_)),
       desc_keys_(ArenaAllocator<std::uint64_t>(arena_)),
       by_rank_(ArenaAllocator<DescEntry>(arena_)),
+      rank_pos_(ArenaAllocator<std::uint32_t>(arena_)),
+      pos_words_(ArenaAllocator<std::uint64_t>(arena_)),
       back_start_(ArenaAllocator<Time>(arena_)),
       packer_lanes_(BackwardPacker::make_lanes(scheduler.machine())),
       changed_(scheduler.graph().num_nodes()),
@@ -123,19 +125,18 @@ RankSession::RankSession(const RankScheduler& scheduler, const NodeSet& active,
   order_ = std::move(*order);
   back_start_.assign(scheduler.graph().num_nodes(), kInf);
   desc_part_.assign(scheduler.graph().num_nodes(), kInf);
-  desc_entries_.reserve(order_.size());
   desc_keys_.reserve(order_.size());
   by_rank_.reserve(order_.size());
 
   const DepGraph& g = scheduler.graph();
   const std::size_t n = g.num_nodes();
   single_lane_ = scheduler.machine().total_units() == 1;
-  exec_.resize(n);
-  fu_class_.resize(n);
-  for (NodeId id = 0; id < n; ++id) {
-    exec_[id] = g.node(id).exec_time;
-    fu_class_[id] = g.node(id).fu_class;
-  }
+  const std::span<const std::int32_t> exec_col = g.exec_times();
+  const std::span<const std::int32_t> fu_col = g.fu_classes();
+  exec_.assign(exec_col.begin(), exec_col.end());
+  fu_class_.assign(fu_col.begin(), fu_col.end());
+  rank_pos_.assign(n, 0);
+  pos_words_.assign((n + 63) / 64 + 1, 0);
   succ_begin_.assign(n + 1, 0);
   succ_to_.reserve(g.num_edges());
   succ_lat_.reserve(g.num_edges());
@@ -150,20 +151,70 @@ RankSession::RankSession(const RankScheduler& scheduler, const NodeSet& active,
       ++succ_begin_[x + 1];
     }
   }
+  if (obs::enabled()) {
+    obs::record_arena_high_water(
+        "rank_session", static_cast<std::int64_t>(arena_.bytes_reserved()));
+    obs::record_arena_high_water(
+        "graph", static_cast<std::int64_t>(g.arena_bytes_reserved()));
+  }
 }
 
 void RankSession::rerank_node(NodeId x, const DeadlineMap& deadlines,
                               const RankOptions& opts) {
-  // Descendants in nonincreasing rank order (ties: ascending id, making the
-  // backward pass deterministic).  by_rank_ maintains the whole active set
-  // in exactly that order, so one membership-filtered scan extracts the
-  // descendants pre-sorted — the backward pass contains no sort at all.
-  desc_entries_.clear();
-  const DynamicBitset& desc = closure_.descendants(x);
-  for (const DescEntry& e : by_rank_) {
-    if (desc.test(e.id)) desc_entries_.push_back(e);
-  }
+  // Descendants come out of for_each_descendant in nonincreasing rank order
+  // (ties: ascending id, making the backward pass deterministic): by_rank_
+  // maintains the whole active set in exactly that order, so ascending
+  // by_rank_ position yields the descendants pre-sorted — the backward pass
+  // contains no sort at all.
   pack_and_finish(x, deadlines, opts);
+}
+
+template <typename Fn>
+void RankSession::for_each_descendant(NodeId x, Fn&& fn) {
+  const ClosureRow row = closure_.descendants(x);
+  const std::uint64_t* rw = row.words().data();
+  const DescEntry* br = by_rank_.data();
+  const std::size_t nb = by_rank_.size();
+
+  // Both paths visit the descendants in ascending by_rank_ position, which
+  // is exactly (rank desc, id asc) — the backward-pass order — so the
+  // density heuristic below can never change an output bit.
+  //
+  // Dense rows: filtered scan of by_rank_ — sequential loads, and the
+  // membership pattern is the structured "below x in rank order" set, so
+  // the branch predicts well.  Sparse rows: word-driven iteration over the
+  // closure row, marking each descendant's position in pos_words_ and
+  // sweeping the position words ascending — O(set bits + nb/64) beats the
+  // O(nb) scan once the row is thin relative to the active set.
+  const std::size_t k = row.count();
+  if (k * 8 >= nb) {
+    for (std::size_t p = 0; p < nb; ++p) {
+      const DescEntry e = br[p];
+      if ((rw[e.id >> 6] >> (e.id & 63)) & 1) fn(e);
+    }
+    return;
+  }
+  row.for_each([&](std::size_t d) {
+    const std::uint32_t p = rank_pos_[d];
+    pos_words_[p >> 6] |= std::uint64_t{1} << (p & 63);
+  });
+  const std::size_t nwords = (nb + 63) / 64;  // descendant positions are < nb
+  for (std::size_t w = 0; w < nwords; ++w) {
+    std::uint64_t word = pos_words_[w];
+    if (word == 0) continue;
+    pos_words_[w] = 0;
+    while (word != 0) {
+      const int bit = __builtin_ctzll(word);
+      fn(br[w * 64 + static_cast<std::size_t>(bit)]);
+      word &= word - 1;
+    }
+  }
+}
+
+void RankSession::refresh_rank_pos(std::size_t from, std::size_t to) {
+  for (std::size_t i = from; i < to; ++i) {
+    rank_pos_[by_rank_[i].id] = static_cast<std::uint32_t>(i);
+  }
 }
 
 void RankSession::reposition(NodeId x, Time old_rank) {
@@ -181,9 +232,13 @@ void RankSession::reposition(NodeId x, Time old_rank) {
   if (new_it <= old_it) {
     std::move_backward(new_it, old_it, old_it + 1);
     *new_it = updated;
+    refresh_rank_pos(static_cast<std::size_t>(new_it - by_rank_.begin()),
+                     static_cast<std::size_t>(old_it - by_rank_.begin()) + 1);
   } else {
     std::move(old_it + 1, new_it, old_it);
     *(new_it - 1) = updated;
+    refresh_rank_pos(static_cast<std::size_t>(old_it - by_rank_.begin()),
+                     static_cast<std::size_t>(new_it - by_rank_.begin()));
   }
 }
 
@@ -200,16 +255,29 @@ void RankSession::pack_and_finish(NodeId x, const DeadlineMap& deadlines,
   // is written by this loop first.  Single-unit machines (the restricted
   // case and the deep-pipeline preset) skip the lane machinery: the one
   // lane is a scalar chained through the loop.
-  if (single_lane_) {
-    const bool split = opts.split_long_ops;
+  if (single_lane_ && !opts.split_long_ops) {
+    // The one lane's free slot chains through the fold and can only move
+    // earlier (exec >= 1), so min over every descendant's start is just the
+    // final fold value — no per-entry min against r.
+    const Time* exec = exec_.data();
+    Time* back = back_start_.data();
     Time free = kInf;
-    for (const DescEntry& e : desc_entries_) {
+    for_each_descendant(x, [&](const DescEntry e) {
+      const Time s = std::min(e.rank, free) - exec[e.id];
+      free = s;
+      back[e.id] = s;
+    });
+    r = free;  // x completes no later than any descendant starts
+  } else if (single_lane_) {
+    Time free = kInf;
+    for_each_descendant(x, [&](const DescEntry e) {
       const Time exec = exec_[e.id];
       Time s;
-      if (!split || exec == 1) {
-        s = std::min(e.rank, free) - exec;
+      if (exec == 1) {
+        s = std::min(e.rank, free) - 1;
         free = s;
       } else {
+        // §4.2 unit-splitting on the single lane.
         s = kInf;
         for (Time piece = 0; piece < exec; ++piece) {
           free = std::min(e.rank, free) - 1;
@@ -219,15 +287,16 @@ void RankSession::pack_and_finish(NodeId x, const DeadlineMap& deadlines,
       back_start_[e.id] = s;
       // x completes no later than any descendant starts.
       r = std::min(r, s);
-    }
+    });
   } else {
     BackwardPacker packer(packer_lanes_);
-    for (const DescEntry& e : desc_entries_) {
-      const Time s = packer.insert(fu_class_[e.id], static_cast<int>(exec_[e.id]),
-                                   e.rank, opts.split_long_ops);
+    for_each_descendant(x, [&](const DescEntry e) {
+      const Time s = packer.insert(fu_class_[e.id],
+                                   static_cast<int>(exec_[e.id]), e.rank,
+                                   opts.split_long_ops);
       back_start_[e.id] = s;
       r = std::min(r, s);
-    }
+    });
   }
   // Latency gaps to immediate successors (CSR built in the constructor).
   for (std::uint32_t i = succ_begin_[x]; i < succ_begin_[x + 1]; ++i) {
@@ -268,6 +337,7 @@ const std::vector<Time>& RankSession::compute_ranks(
       AIS_CHECK(donor->cached_split_ == opts.split_long_ops,
                 "rank seed split_long_ops mismatch");
       by_rank_.assign(donor->by_rank_.begin(), donor->by_rank_.end());
+      refresh_rank_pos(0, by_rank_.size());
       for (const DescEntry& e : by_rank_) {
         AIS_CHECK(deadlines[e.id] == donor->cached_deadlines_[e.id],
                   "rank seed deadline mismatch");
@@ -281,16 +351,13 @@ const std::vector<Time>& RankSession::compute_ranks(
     for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
       const NodeId x = *it;
       if (donor != nullptr && donor->active_.contains(x)) continue;
-      desc_entries_.clear();
-      const DynamicBitset& desc = closure_.descendants(x);
-      for (const DescEntry& e : by_rank_) {
-        if (desc.test(e.id)) desc_entries_.push_back(e);
-      }
       pack_and_finish(x, deadlines, opts);
       const DescEntry self{rank_[x], x};
-      by_rank_.insert(
-          std::lower_bound(by_rank_.begin(), by_rank_.end(), self, before),
-          self);
+      const auto at =
+          std::lower_bound(by_rank_.begin(), by_rank_.end(), self, before);
+      const std::size_t pos = static_cast<std::size_t>(at - by_rank_.begin());
+      by_rank_.insert(at, self);
+      refresh_rank_pos(pos, by_rank_.size());
     }
   } else {
     // Incremental pass: rank(x) depends only on d(x) and the ranks of x's
@@ -373,6 +440,7 @@ void RankSession::restore_snapshot() {
   rank_ = snap_rank_;
   desc_part_ = snap_desc_part_;
   by_rank_ = snap_by_rank_;
+  refresh_rank_pos(0, by_rank_.size());
   cached_deadlines_ = snap_deadlines_;
 }
 
@@ -499,6 +567,8 @@ Schedule RankScheduler::greedy_from_list(const NodeSet& active,
   Schedule sched(&graph_, active, total_units);
   std::vector<Time> unit_free(static_cast<std::size_t>(total_units), 0);
 
+  const std::span<const std::int32_t> exec_col = graph_.exec_times();
+  const std::span<const std::int32_t> fu_col = graph_.fu_classes();
   std::vector<std::uint32_t> pos(graph_.num_nodes(), 0);
   for (std::uint32_t i = 0; i < list.size(); ++i) pos[list[i]] = i;
 
@@ -552,11 +622,12 @@ Schedule RankScheduler::greedy_from_list(const NodeSet& active,
         break;
       }
       const NodeId id = list[*it];
-      const NodeInfo& info = graph_.node(id);
+      const int fu_class = fu_col[id];
+      const Time exec_time = exec_col[id];
       // A unit of this node's class free for [t, t + exec)?
-      const int base = unit_base[static_cast<std::size_t>(info.fu_class)];
+      const int base = unit_base[static_cast<std::size_t>(fu_class)];
       int chosen = -1;
-      for (int k = 0; k < machine_.fu_count(info.fu_class); ++k) {
+      for (int k = 0; k < machine_.fu_count(fu_class); ++k) {
         if (unit_free[static_cast<std::size_t>(base + k)] <= t) {
           chosen = base + k;
           break;
@@ -567,7 +638,7 @@ Schedule RankScheduler::greedy_from_list(const NodeSet& active,
         continue;
       }
       sched.place(id, t, chosen);
-      unit_free[static_cast<std::size_t>(chosen)] = t + info.exec_time;
+      unit_free[static_cast<std::size_t>(chosen)] = t + exec_time;
       --unplaced;
       ++issued;
       // Release successors.  A successor released now has est >= t + 1
@@ -575,7 +646,7 @@ Schedule RankScheduler::greedy_from_list(const NodeSet& active,
       for (const auto eidx : graph_.out_edges(id)) {
         const DepEdge& e = graph_.edge(eidx);
         if (e.distance != 0 || !active.contains(e.to)) continue;
-        est[e.to] = std::max(est[e.to], t + info.exec_time + e.latency);
+        est[e.to] = std::max(est[e.to], t + exec_time + e.latency);
         if (--preds_left[e.to] == 0) pending.emplace(est[e.to], pos[e.to]);
       }
       it = ready.erase(it);
@@ -591,8 +662,7 @@ Schedule RankScheduler::greedy_from_list(const NodeSet& active,
     if (!width_exhausted && !ready.empty()) {
       std::fill(class_waiting.begin(), class_waiting.end(), 0);
       for (const std::uint32_t p : ready) {
-        class_waiting[static_cast<std::size_t>(
-            graph_.node(list[p]).fu_class)] = 1;
+        class_waiting[static_cast<std::size_t>(fu_col[list[p]])] = 1;
       }
       for (int c = 0; c < machine_.num_fu_classes(); ++c) {
         if (!class_waiting[static_cast<std::size_t>(c)]) continue;

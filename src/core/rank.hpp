@@ -187,6 +187,17 @@ class RankSession {
   /// of all descendants of x must be final.
   void rerank_node(NodeId x, const DeadlineMap& deadlines,
                    const RankOptions& opts);
+  /// Calls fn(DescEntry) for each descendant of x in (rank desc, id asc)
+  /// order.  Dense closure rows use a filtered scan of by_rank_ (sequential
+  /// loads, descendants are a large predictable fraction); sparse rows use
+  /// word-driven iteration over the row (mark each descendant's by_rank_
+  /// position in pos_words_, sweep ascending — ascending position *is* the
+  /// wanted order, so no comparison happens, at O(descendants +
+  /// by_rank_/64)).  Both paths visit the identical sequence.
+  template <typename Fn>
+  void for_each_descendant(NodeId x, Fn&& fn);
+  /// Rewrites rank_pos_ for by_rank_ positions [from, to).
+  void refresh_rank_pos(std::size_t from, std::size_t to);
   /// Backward-packs desc_entries_ (already in (rank desc, id asc) order)
   /// and finishes rank_[x] / desc_part_[x].
   void pack_and_finish(NodeId x, const DeadlineMap& deadlines,
@@ -202,14 +213,18 @@ class RankSession {
   NodeSet active_;
   std::vector<NodeId> order_;       // topo order of the active nodes
   std::vector<NodeId> active_ids_;  // == active_.ids(), materialized once
-  DescendantClosure closure_;
 
-  // Backing store for the session-internal scratch vectors below: they are
-  // sized once to the active set and die with the session, so their growth
-  // is pointer bumps instead of a dozen mallocs per session.  Members the
-  // API exposes by reference (order_, active_ids_, rank_, snap_rank_,
-  // deadline maps) stay ordinary vectors.
-  Arena arena_;
+  // Backing store for the closure matrix and the session-internal scratch
+  // vectors below: they are sized once to the active set and die with the
+  // session, so their growth is pointer bumps instead of a dozen mallocs
+  // per session.  Declared before closure_ (members initialize in
+  // declaration order and the closure's row matrix is carved from this
+  // arena).  Members the API exposes by reference (order_, active_ids_,
+  // rank_, snap_rank_, deadline maps) stay ordinary vectors.  Full-size
+  // initial chunks: a session always fills tens of KiB of scratch, and the
+  // construction cost is on the per-compile hot path.
+  Arena arena_{Arena::kDefaultChunkBytes, Arena::kDefaultChunkBytes};
+  DescendantClosure closure_;
 
   // Flat copies of the per-node fields the backward pass touches — NodeInfo
   // drags a std::string through the cache per access, these do not.
@@ -240,13 +255,17 @@ class RankSession {
     Time rank;
     NodeId id;
   };
-  ArenaVector<DescEntry> desc_entries_;
   ArenaVector<std::uint64_t> desc_keys_;
   // Active nodes in (rank desc, id asc) order, maintained across passes
   // (full pass rebuilds it; incremental passes reposition changed nodes),
   // so a node's descendants come out of one membership-filtered scan
   // already sorted — no per-node sort anywhere in the backward pass.
   ArenaVector<DescEntry> by_rank_;
+  // rank_pos_[id] = id's position in by_rank_ (maintained by the same
+  // shifts that move the entries); pos_words_ is the position-space scratch
+  // bitset extract_descendants marks and sweeps.
+  ArenaVector<std::uint32_t> rank_pos_;
+  ArenaVector<std::uint64_t> pos_words_;
   ArenaVector<Time> back_start_;
   std::vector<std::vector<Time>> packer_lanes_;  // [class][lane]
   DynamicBitset changed_;       // deadline-changed nodes, per call

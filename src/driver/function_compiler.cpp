@@ -41,6 +41,12 @@ TraceOutcome compile_trace(const Cfg& cfg, const SelectedTrace& selected,
         g, machine,
         schedule_trace_per_block(g, machine, BlockScheduler::kSourceOrder), w);
     out.hot_cycles_after = out.scheduled.simulated_cycles(machine);
+  } else {
+    // The fold only consumes the reordered blocks; dropping the graph and
+    // per-iteration diagnostics here keeps the peak footprint of a
+    // many-trace compile at O(blocks), not O(traces * arena).
+    out.scheduled.graph = DepGraph();
+    out.scheduled.detail = LookaheadResult();
   }
   return out;
 }

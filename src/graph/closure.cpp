@@ -5,19 +5,29 @@
 
 namespace ais {
 
-DescendantClosure::DescendantClosure(const DepGraph& g, const NodeSet& active)
-    : DescendantClosure(g, active, nullptr, nullptr) {}
+bool ClosureRow::intersects(const DynamicBitset& mask) const {
+  const std::span<const std::uint64_t> m = mask.words();
+  const std::size_t nwords = (bits_ + 63) / 64;
+  for (std::size_t w = 0; w < nwords; ++w) {
+    if ((words_[w] & m[w]) != 0) return true;
+  }
+  return false;
+}
+
+DescendantClosure::DescendantClosure(const DepGraph& g, const NodeSet& active,
+                                     Arena* arena)
+    : DescendantClosure(g, active, nullptr, nullptr, arena) {}
 
 DescendantClosure::DescendantClosure(const DepGraph& g, const NodeSet& active,
                                      const DescendantClosure& donor,
-                                     const NodeSet& donor_nodes)
-    : DescendantClosure(g, active, &donor, &donor_nodes) {}
+                                     const NodeSet& donor_nodes, Arena* arena)
+    : DescendantClosure(g, active, &donor, &donor_nodes, arena) {}
 
 DescendantClosure::DescendantClosure(const DepGraph& g, const NodeSet& active,
                                      const DescendantClosure* donor,
-                                     const NodeSet* donor_nodes)
+                                     const NodeSet* donor_nodes, Arena* arena)
     : domain_(g.num_nodes()),
-      desc_(g.num_nodes(), DynamicBitset(g.num_nodes())),
+      matrix_(g.num_nodes(), g.num_nodes(), arena),
       member_(g.num_nodes(), false) {
   const auto order = topo_order(g, active);
   AIS_CHECK(order.has_value(),
@@ -31,22 +41,21 @@ DescendantClosure::DescendantClosure(const DepGraph& g, const NodeSet& active,
   for (auto it = order->rbegin(); it != order->rend(); ++it) {
     const NodeId id = *it;
     if (donor != nullptr && donor_nodes->contains(id)) {
-      desc_[id] = donor->descendants(id);
+      matrix_.row_copy_from(id, donor->matrix_, id);
       continue;
     }
-    DynamicBitset& mine = desc_[id];
     for (const auto eidx : g.out_edges(id)) {
       const DepEdge& e = g.edge(eidx);
       if (e.distance != 0 || !active.contains(e.to)) continue;
-      mine.set(e.to);
-      mine |= desc_[e.to];
+      matrix_.set(id, e.to);
+      matrix_.row_or(id, e.to);
     }
   }
 }
 
-const DynamicBitset& DescendantClosure::descendants(NodeId id) const {
+ClosureRow DescendantClosure::descendants(NodeId id) const {
   AIS_CHECK(id < domain_ && member_[id], "node not in closure's active set");
-  return desc_[id];
+  return matrix_.row(id);
 }
 
 bool DescendantClosure::reaches(NodeId ancestor, NodeId descendant) const {

@@ -2,21 +2,34 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
+#include <ostream>
 #include <utility>
 
 #include "support/assert.hpp"
 
 namespace ais {
 
+std::ostream& operator<<(std::ostream& os, NameRef n) {
+  return os << n.view();
+}
+
 DepGraph::DepGraph(const DepGraph& other)
-    : nodes_(other.nodes_),
+    : exec_time_(other.exec_time_),
+      fu_class_(other.fu_class_),
+      block_(other.block_),
       edges_(other.edges_),
-      out_(other.nodes_.size()),
-      in_(other.nodes_.size()),
+      out_(other.num_nodes()),
+      in_(other.num_nodes()),
       carried_edge_count_(other.carried_edge_count_),
       max_latency_(other.max_latency_),
       max_exec_time_(other.max_exec_time_),
       total_work_(other.total_work_) {
+  // Re-intern in id order so duplicate names keep resolving to the first id.
+  names_.reserve(other.names_.size());
+  for (NodeId id = 0; id < other.names_.size(); ++id) {
+    names_.push_back(intern(other.names_[id].view(), id));
+  }
   for (std::uint32_t idx = 0; idx < edges_.size(); ++idx) {
     adj_push(out_[edges_[idx].from], idx);
     adj_push(in_[edges_[idx].to], idx);
@@ -44,12 +57,50 @@ void DepGraph::adj_push(AdjList& adj, std::uint32_t edge_idx) {
   adj.data[adj.size++] = edge_idx;
 }
 
-NodeId DepGraph::add_node(std::string name, int exec_time, int fu_class,
+void DepGraph::index_insert(std::uint32_t slot_count, NodeId id) {
+  const std::uint64_t mask = slot_count - 1;
+  std::uint64_t slot = std::hash<std::string_view>{}(names_[id].view()) & mask;
+  while (index_slots_[slot] != kInvalidNode) slot = (slot + 1) & mask;
+  index_slots_[slot] = id;
+}
+
+void DepGraph::index_grow() {
+  const auto new_count =
+      static_cast<std::uint32_t>(index_slots_.empty() ? 16
+                                                      : 2 * index_slots_.size());
+  std::vector<NodeId> old = std::move(index_slots_);
+  index_slots_.assign(new_count, kInvalidNode);
+  for (const NodeId id : old) {
+    if (id != kInvalidNode) index_insert(new_count, id);
+  }
+}
+
+NameRef DepGraph::intern(std::string_view name, NodeId id) {
+  if (2 * (index_used_ + 1) > index_slots_.size()) index_grow();
+  const std::uint64_t mask = index_slots_.size() - 1;
+  std::uint64_t slot = std::hash<std::string_view>{}(name) & mask;
+  while (index_slots_[slot] != kInvalidNode) {
+    const NodeId first = index_slots_[slot];
+    if (names_[first].view() == name) return names_[first];  // first id wins
+    slot = (slot + 1) & mask;
+  }
+  char* bytes = name_pool_.alloc_array<char>(name.size() + 1);
+  std::memcpy(bytes, name.data(), name.size());
+  bytes[name.size()] = '\0';
+  index_slots_[slot] = id;
+  ++index_used_;
+  return NameRef(bytes, static_cast<std::uint32_t>(name.size()));
+}
+
+NodeId DepGraph::add_node(std::string_view name, int exec_time, int fu_class,
                           int block) {
   AIS_CHECK(exec_time >= 1, "exec_time must be positive");
   AIS_CHECK(fu_class >= 0, "fu_class must be nonnegative");
-  const NodeId id = static_cast<NodeId>(nodes_.size());
-  nodes_.push_back(NodeInfo{std::move(name), exec_time, fu_class, block});
+  const NodeId id = static_cast<NodeId>(exec_time_.size());
+  names_.push_back(intern(name, id));
+  exec_time_.push_back(exec_time);
+  fu_class_.push_back(fu_class);
+  block_.push_back(block);
   out_.emplace_back();
   in_.emplace_back();
   max_exec_time_ = std::max(max_exec_time_, exec_time);
@@ -58,7 +109,7 @@ NodeId DepGraph::add_node(std::string name, int exec_time, int fu_class,
 }
 
 void DepGraph::add_edge(NodeId from, NodeId to, int latency, int distance) {
-  AIS_CHECK(from < nodes_.size() && to < nodes_.size(),
+  AIS_CHECK(from < num_nodes() && to < num_nodes(),
             "edge endpoint out of range");
   AIS_CHECK(latency >= 0, "latency must be nonnegative");
   AIS_CHECK(distance >= 0, "distance must be nonnegative");
@@ -72,36 +123,30 @@ void DepGraph::add_edge(NodeId from, NodeId to, int latency, int distance) {
   max_latency_ = std::max(max_latency_, latency);
 }
 
-const NodeInfo& DepGraph::node(NodeId id) const {
-  AIS_CHECK(id < nodes_.size(), "node id out of range");
-  return nodes_[id];
+void DepGraph::reserve(std::size_t nodes, std::size_t edges) {
+  exec_time_.reserve(nodes);
+  fu_class_.reserve(nodes);
+  block_.reserve(nodes);
+  names_.reserve(nodes);
+  out_.reserve(nodes);
+  in_.reserve(nodes);
+  if (edges > 0) edges_.reserve(edges);
 }
 
-NodeInfo& DepGraph::node(NodeId id) {
-  AIS_CHECK(id < nodes_.size(), "node id out of range");
-  return nodes_[id];
-}
-
-const DepEdge& DepGraph::edge(std::size_t idx) const {
-  AIS_CHECK(idx < edges_.size(), "edge index out of range");
-  return edges_[idx];
-}
-
-std::span<const std::uint32_t> DepGraph::out_edges(NodeId id) const {
-  AIS_CHECK(id < nodes_.size(), "node id out of range");
-  return {out_[id].data, out_[id].size};
-}
-
-std::span<const std::uint32_t> DepGraph::in_edges(NodeId id) const {
-  AIS_CHECK(id < nodes_.size(), "node id out of range");
-  return {in_[id].data, in_[id].size};
-}
-
-NodeId DepGraph::find(const std::string& name) const {
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
-    if (nodes_[id].name == name) return id;
+NodeId DepGraph::find(std::string_view name) const {
+  if (index_slots_.empty()) return kInvalidNode;
+  const std::uint64_t mask = index_slots_.size() - 1;
+  std::uint64_t slot = std::hash<std::string_view>{}(name) & mask;
+  while (index_slots_[slot] != kInvalidNode) {
+    const NodeId first = index_slots_[slot];
+    if (names_[first].view() == name) return first;
+    slot = (slot + 1) & mask;
   }
   return kInvalidNode;
+}
+
+std::size_t DepGraph::arena_bytes_reserved() const {
+  return adj_arena_.bytes_reserved() + name_pool_.bytes_reserved();
 }
 
 }  // namespace ais

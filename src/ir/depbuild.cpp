@@ -153,7 +153,11 @@ void check_block(const BasicBlock& bb) {
 DepGraph build(const Trace& trace, const MachineModel& machine,
                const DepBuildOptions& opts, bool loop_carried) {
   DepGraph g;
+  std::size_t num_insts = 0;
+  for (const BasicBlock& bb : trace.blocks) num_insts += bb.insts.size();
+  g.reserve(num_insts);
   std::vector<Occurrence> seq;
+  seq.reserve(loop_carried ? 2 * num_insts : num_insts);
 
   for (int b = 0; b < static_cast<int>(trace.blocks.size()); ++b) {
     const BasicBlock& bb = trace.blocks[static_cast<std::size_t>(b)];

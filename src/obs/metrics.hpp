@@ -56,6 +56,15 @@ class Gauge {
   void add(std::int64_t delta) {
     v_.fetch_add(delta, std::memory_order_relaxed);
   }
+  /// Monotone raise: records `v` only if it exceeds the current value.  For
+  /// high-water marks (peak RSS, arena high water) updated from racing
+  /// threads — the CAS loop never lowers the gauge.
+  void set_max(std::int64_t v) {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur && !v_.compare_exchange_weak(cur, v,
+                                                std::memory_order_relaxed)) {
+    }
+  }
   std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
   void reset_value() { v_.store(0, std::memory_order_relaxed); }
 

@@ -78,6 +78,10 @@ SimResult simulate_list(const DepGraph& g, const MachineModel& machine,
   const int width = machine.issue_width();
   const std::size_t num_classes =
       static_cast<std::size_t>(machine.num_fu_classes());
+  // Flat per-node columns; the issue sweep reads exec times and FU classes
+  // once per issued node, so skip assembling NodeInfo views.
+  const std::span<const std::int32_t> exec_times = g.exec_times();
+  const std::span<const std::int32_t> fu_classes = g.fu_classes();
 
   // Position of each node in the list; also validates uniqueness.
   auto& pos = s.pos_;
@@ -103,7 +107,7 @@ SimResult simulate_list(const DepGraph& g, const MachineModel& machine,
   // same pass counts each position's unsatisfied predecessors.
   for (std::size_t p = 0; p < n; ++p) {
     const NodeId id = list[p];
-    klass[p] = g.node(id).fu_class;
+    klass[p] = fu_classes[id];
     for (const auto eidx : g.in_edges(id)) {
       const DepEdge& e = g.edge(eidx);
       if (e.distance != 0 || pos[e.from] == kUnlisted) {
@@ -226,7 +230,7 @@ SimResult simulate_list(const DepGraph& g, const MachineModel& machine,
       if (free_count[c] == 0) continue;
 
       const NodeId id = list[p];
-      const Time exec = g.node(id).exec_time;
+      const Time exec = exec_times[id];
       result.issue_time[id] = t;
       --free_count[c];
       busy[c].push_back(t + exec);
@@ -375,7 +379,7 @@ SimResult simulate_list(const DepGraph& g, const MachineModel& machine,
 
   for (const NodeId id : list) {
     result.completion = std::max(
-        result.completion, result.issue_time[id] + g.node(id).exec_time);
+        result.completion, result.issue_time[id] + exec_times[id]);
   }
   AIS_OBS_COUNT(obs::ctr::kSimRuns);
   AIS_OBS_COUNT(obs::ctr::kSimCycles, static_cast<std::uint64_t>(t_final));

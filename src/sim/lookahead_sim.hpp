@@ -79,7 +79,9 @@ class SimScratch {
   friend SimResult simulate_list(const DepGraph& g, const MachineModel& machine,
                                  const std::vector<NodeId>& list, int window,
                                  SimScratch& scratch);
-  Arena arena_;
+  // Full-size initial chunks: a simulation fills tens of KiB of scratch,
+  // and the one-shot simulate_list overload constructs a scratch per call.
+  Arena arena_{Arena::kDefaultChunkBytes, Arena::kDefaultChunkBytes};
   ArenaVector<std::size_t> pos_;        // id -> list position
   ArenaVector<std::int32_t> deps_left_;  // per position
   ArenaVector<Time> ready_;              // per position; final once deps == 0

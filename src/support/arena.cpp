@@ -6,14 +6,18 @@
 
 namespace ais {
 
-Arena::Arena(std::size_t chunk_bytes) : chunk_bytes_(chunk_bytes) {
+Arena::Arena(std::size_t chunk_bytes, std::size_t initial_chunk_bytes)
+    : chunk_bytes_(chunk_bytes), next_chunk_bytes_(initial_chunk_bytes) {
   AIS_CHECK(chunk_bytes > 0, "arena chunk size must be positive");
+  AIS_CHECK(initial_chunk_bytes > 0, "arena initial chunk must be positive");
+  if (next_chunk_bytes_ > chunk_bytes_) next_chunk_bytes_ = chunk_bytes_;
 }
 
 Arena::Arena(Arena&& other) noexcept
     : chunks_(std::move(other.chunks_)),
       current_(other.current_),
       chunk_bytes_(other.chunk_bytes_),
+      next_chunk_bytes_(other.next_chunk_bytes_),
       bytes_allocated_(other.bytes_allocated_),
       bytes_reserved_(other.bytes_reserved_) {
   other.chunks_.clear();
@@ -27,6 +31,7 @@ Arena& Arena::operator=(Arena&& other) noexcept {
     chunks_ = std::move(other.chunks_);
     current_ = other.current_;
     chunk_bytes_ = other.chunk_bytes_;
+    next_chunk_bytes_ = other.next_chunk_bytes_;
     bytes_allocated_ = other.bytes_allocated_;
     bytes_reserved_ = other.bytes_reserved_;
     other.chunks_.clear();
@@ -44,8 +49,17 @@ Arena::Chunk& Arena::chunk_for(std::size_t bytes, std::size_t align) {
     if (aligned + bytes <= c.size) return c;
   }
   // No existing chunk fits: open a fresh one.  Oversized requests get a
-  // dedicated chunk so they never poison the bump pattern of regular ones.
-  const std::size_t size = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+  // dedicated chunk so they never poison the bump pattern of regular ones;
+  // regular chunks double from kInitialChunkBytes up to chunk_bytes_ so a
+  // mostly-idle arena stays small.
+  std::size_t size;
+  if (bytes > chunk_bytes_) {
+    size = bytes;
+  } else {
+    size = next_chunk_bytes_;
+    while (size < bytes) size *= 2;
+    next_chunk_bytes_ = size * 2 < chunk_bytes_ ? size * 2 : chunk_bytes_;
+  }
   chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size, 0});
   bytes_reserved_ += size;
   return chunks_.back();

@@ -25,9 +25,15 @@ namespace ais {
 
 class Arena {
  public:
-  /// `chunk_bytes` is the default size of each backing chunk; allocations
-  /// larger than it get a dedicated chunk of exactly their size.
-  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes);
+  /// `chunk_bytes` caps the size of regular backing chunks; allocations
+  /// larger than it get a dedicated chunk of exactly their size.  Chunks
+  /// grow geometrically from `initial_chunk_bytes` up to the cap, so an
+  /// arena that only ever serves a few KiB (a tiny trace graph — corpus
+  /// compiles hold thousands alive at once) reserves a few KiB, not
+  /// `chunk_bytes`.  Hot scratch arenas that always reach tens of KiB
+  /// (RankSession) pass initial == cap to skip the ramp-up mallocs.
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes,
+                 std::size_t initial_chunk_bytes = kInitialChunkBytes);
 
   Arena(Arena&& other) noexcept;
   Arena& operator=(Arena&& other) noexcept;
@@ -58,6 +64,7 @@ class Arena {
   std::size_t bytes_reserved() const { return bytes_reserved_; }
 
   static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+  static constexpr std::size_t kInitialChunkBytes = 4 * 1024;
 
  private:
   struct Chunk {
@@ -73,6 +80,7 @@ class Arena {
   std::vector<Chunk> chunks_;
   std::size_t current_ = 0;  // index of the chunk being bumped
   std::size_t chunk_bytes_;
+  std::size_t next_chunk_bytes_;  // next regular chunk; doubles to the cap
   std::size_t bytes_allocated_ = 0;
   std::size_t bytes_reserved_ = 0;
 };

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace ais {
@@ -55,6 +56,10 @@ class DynamicBitset {
 
   /// Indices of set bits, ascending.
   std::vector<std::size_t> to_indices() const;
+
+  /// Backing words, bit i at words()[i / 64] >> (i % 64); lets word-parallel
+  /// consumers (ClosureMatrix row ops) mask against a bitset directly.
+  std::span<const std::uint64_t> words() const { return words_; }
 
  private:
   std::size_t nbits_ = 0;

@@ -86,6 +86,9 @@ bool match_blocks(const Trace& original, const Trace& scheduled,
 DepGraph graph_from_ir(const Trace& trace, const MachineModel& machine,
                        const std::vector<IrDep>& deps) {
   DepGraph g;
+  std::size_t num_insts = 0;
+  for (const BasicBlock& bb : trace.blocks) num_insts += bb.insts.size();
+  g.reserve(num_insts);
   int b = 0;
   for (const BasicBlock& bb : trace.blocks) {
     for (const Instruction& inst : bb.insts) {

@@ -23,6 +23,7 @@ void add_bb1(DepGraph& g, int block) {
 
 DepGraph make_fig2(int zq_latency) {
   DepGraph g = fig1_bb1();
+  g.reserve(/*nodes=*/11, /*edges=*/12);
   const NodeId w = g.find("w");
   const NodeId z = g.add_node("z", 1, 0, 1);
   const NodeId q = g.add_node("q", 1, 0, 1);
@@ -41,6 +42,7 @@ DepGraph make_fig2(int zq_latency) {
 
 DepGraph fig1_bb1() {
   DepGraph g;
+  g.reserve(/*nodes=*/6, /*edges=*/7);
   add_bb1(g, 0);
   return g;
 }
@@ -51,6 +53,7 @@ DepGraph fig2_trace_latency0() { return make_fig2(/*zq_latency=*/0); }
 
 DepGraph fig3_loop() {
   DepGraph g;
+  g.reserve(/*nodes=*/5, /*edges=*/11);
   const NodeId l4 = g.add_node("L4", 1, 0, 0);
   const NodeId st = g.add_node("ST", 1, 0, 0);
   const NodeId c4 = g.add_node("C4", 1, 0, 0);
@@ -78,6 +81,7 @@ DepGraph fig3_loop() {
 
 DepGraph fig8_loop() {
   DepGraph g;
+  g.reserve(/*nodes=*/3, /*edges=*/4);
   const NodeId n1 = g.add_node("1", 1, 0, 0);
   const NodeId n2 = g.add_node("2", 1, 0, 0);
   const NodeId n3 = g.add_node("3", 1, 0, 0);

@@ -21,10 +21,9 @@ std::vector<NodeId> add_block(DepGraph& g, Prng& prng,
   AIS_CHECK(params.num_nodes >= 1, "block needs at least one node");
   std::vector<NodeId> ids;
   std::vector<int> layer(static_cast<std::size_t>(params.num_nodes), 0);
+  const std::string prefix = "b" + std::to_string(block) + "n";
   for (int i = 0; i < params.num_nodes; ++i) {
-    ids.push_back(g.add_node("b" + std::to_string(block) + "n" +
-                                 std::to_string(i),
-                             1, 0, block));
+    ids.push_back(g.add_node(prefix + std::to_string(i), 1, 0, block));
     if (params.layers > 0) {
       layer[static_cast<std::size_t>(i)] =
           i * params.layers / params.num_nodes;
@@ -51,6 +50,7 @@ std::vector<NodeId> add_block(DepGraph& g, Prng& prng,
 
 DepGraph random_block(Prng& prng, const RandomBlockParams& params, int block) {
   DepGraph g;
+  g.reserve(static_cast<std::size_t>(params.num_nodes));
   add_block(g, prng, params, block);
   return g;
 }
@@ -58,6 +58,8 @@ DepGraph random_block(Prng& prng, const RandomBlockParams& params, int block) {
 DepGraph random_trace(Prng& prng, const RandomTraceParams& params) {
   AIS_CHECK(params.num_blocks >= 1, "trace needs at least one block");
   DepGraph g;
+  g.reserve(static_cast<std::size_t>(params.num_blocks) *
+            static_cast<std::size_t>(params.block.num_nodes));
   std::vector<std::vector<NodeId>> blocks;
   for (int b = 0; b < params.num_blocks; ++b) {
     blocks.push_back(add_block(g, prng, params.block, b));
@@ -78,6 +80,7 @@ DepGraph random_trace(Prng& prng, const RandomTraceParams& params) {
 
 DepGraph random_loop(Prng& prng, const RandomLoopParams& params) {
   DepGraph g;
+  g.reserve(static_cast<std::size_t>(params.block.num_nodes));
   const std::vector<NodeId> ids = add_block(g, prng, params.block, 0);
   for (int k = 0; k < params.carried_edges; ++k) {
     const NodeId from = ids[prng.index(ids.size())];
@@ -90,6 +93,7 @@ DepGraph random_loop(Prng& prng, const RandomLoopParams& params) {
 DepGraph random_machine_block(Prng& prng, const MachineModel& machine,
                               int num_nodes, double edge_prob, int block) {
   DepGraph g;
+  g.reserve(static_cast<std::size_t>(num_nodes));
   // Realistic opcode mix: mostly ALU, a fair share of loads, some FP and
   // stores, occasional multiplies.
   static constexpr OpClass kMix[] = {
@@ -124,6 +128,8 @@ DepGraph random_machine_trace(Prng& prng, const MachineModel& machine,
                               int num_blocks, int nodes_per_block,
                               double edge_prob, int cross_edges) {
   DepGraph g;
+  g.reserve(static_cast<std::size_t>(num_blocks) *
+            static_cast<std::size_t>(nodes_per_block));
   std::vector<std::pair<NodeId, NodeId>> block_spans;
   for (int b = 0; b < num_blocks; ++b) {
     const NodeId first = static_cast<NodeId>(g.num_nodes());
@@ -157,6 +163,9 @@ DepGraph random_machine_trace(Prng& prng, const MachineModel& machine,
 DepGraph boundary_trace(Prng& prng, const BoundaryTraceParams& params) {
   AIS_CHECK(params.num_blocks >= 2, "boundary trace needs >= 2 blocks");
   DepGraph g;
+  g.reserve(static_cast<std::size_t>(params.num_blocks) *
+            static_cast<std::size_t>(2 + params.chain_len +
+                                     params.independents));
   NodeId prev_producer = kInvalidNode;
   for (int b = 0; b < params.num_blocks; ++b) {
     const std::string tag = "b" + std::to_string(b);

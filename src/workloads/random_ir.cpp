@@ -70,6 +70,7 @@ BasicBlock random_ir_block(Prng& prng, const RandomIrParams& params,
   AIS_CHECK(params.num_insts >= 1, "block needs at least one instruction");
   BasicBlock bb;
   bb.label = label;
+  bb.insts.reserve(static_cast<std::size_t>(params.num_insts));
   const int body = params.num_insts - (params.end_with_branch ? 2 : 0);
   for (int i = 0; i < std::max(1, body); ++i) {
     bb.insts.push_back(random_inst(prng, params));
@@ -87,6 +88,7 @@ BasicBlock random_ir_block(Prng& prng, const RandomIrParams& params,
 Trace random_ir_trace(Prng& prng, const RandomIrParams& params,
                       int num_blocks) {
   Trace trace;
+  trace.blocks.reserve(static_cast<std::size_t>(num_blocks));
   for (int b = 0; b < num_blocks; ++b) {
     RandomIrParams p = params;
     p.end_with_branch = params.end_with_branch && (b + 1 < num_blocks);
@@ -100,6 +102,63 @@ Loop random_ir_loop(Prng& prng, const RandomIrParams& params) {
   Loop loop;
   loop.body.blocks.push_back(random_ir_block(prng, params, "loop"));
   return loop;
+}
+
+std::size_t random_ir_program_chunks(
+    const RandomIrProgramParams& params,
+    const std::function<void(Program&&, std::size_t)>& emit) {
+  AIS_CHECK(params.blocks_per_chunk >= 1, "chunk needs at least one block");
+  AIS_CHECK(params.self_loop_prob + params.back_branch_prob <= 1.0,
+            "branch-shape probabilities exceed 1");
+  Prng prng(params.seed);
+  std::size_t total_insts = 0;
+  std::size_t emitted = 0;
+  std::size_t chunk_index = 0;
+  while (emitted < params.num_blocks) {
+    const std::size_t chunk_blocks =
+        std::min(params.blocks_per_chunk, params.num_blocks - emitted);
+    Program prog;
+    prog.blocks.reserve(chunk_blocks);
+    for (std::size_t b = 0; b < chunk_blocks; ++b) {
+      const std::string label = "bb" + std::to_string(emitted + b);
+      // Body without the trailing cmp+branch; the branch shape is decided
+      // here so targets stay chunk-local.
+      RandomIrParams p = params.block;
+      p.end_with_branch = false;
+      BasicBlock bb = random_ir_block(prng, p, label);
+      const double roll = prng.chance(params.self_loop_prob) ? 0.0 : 1.0;
+      const bool last_in_chunk = b + 1 == chunk_blocks;
+      if (!last_in_chunk && roll == 0.0) {
+        // Hot self back edge: this block becomes its own trace seed.
+        const Reg c = cr(static_cast<std::uint8_t>(prng.uniform(0, 3)));
+        bb.insts.push_back(
+            Instruction::cmp(c, pick_gpr(prng, params.block),
+                             prng.uniform(-3, 3)));
+        bb.insts.push_back(Instruction::branch(
+            prng.chance(0.5) ? Opcode::kBt : Opcode::kBf, c, label));
+      } else if (!last_in_chunk && b > 0 &&
+                 prng.chance(params.back_branch_prob)) {
+        // Short backward branch inside the chunk: a loop shape.
+        const std::size_t span = std::min<std::size_t>(b, 8);
+        const std::size_t target =
+            b - static_cast<std::size_t>(
+                    prng.uniform(1, static_cast<long>(span)));
+        const Reg c = cr(static_cast<std::uint8_t>(prng.uniform(0, 3)));
+        bb.insts.push_back(
+            Instruction::cmp(c, pick_gpr(prng, params.block),
+                             prng.uniform(-3, 3)));
+        bb.insts.push_back(Instruction::branch(
+            prng.chance(0.5) ? Opcode::kBt : Opcode::kBf, c,
+            "bb" + std::to_string(emitted + target)));
+      }
+      total_insts += bb.insts.size();
+      prog.blocks.push_back(std::move(bb));
+    }
+    emit(std::move(prog), chunk_index);
+    emitted += chunk_blocks;
+    ++chunk_index;
+  }
+  return total_insts;
 }
 
 }  // namespace ais

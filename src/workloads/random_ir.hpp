@@ -4,6 +4,11 @@
 // register-pressure studies.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "ir/asm_parser.hpp"
 #include "ir/instruction.hpp"
 #include "support/prng.hpp"
 
@@ -34,5 +39,33 @@ Trace random_ir_trace(Prng& prng, const RandomIrParams& params,
 
 /// A single-block loop (the block's register reuse creates carried deps).
 Loop random_ir_loop(Prng& prng, const RandomIrParams& params);
+
+/// Shape of a corpus-scale streaming program (bench_corpus_scale).
+struct RandomIrProgramParams {
+  RandomIrParams block;
+  /// Total blocks in the whole program (a million for the scale gate).
+  std::size_t num_blocks = 1'000'000;
+  /// Blocks per emitted chunk; peak memory is O(chunk), never O(program).
+  std::size_t blocks_per_chunk = 4096;
+  std::uint64_t seed = 1;
+  /// Per block: probability the block ends in a conditional branch back to
+  /// its own label (a hot back edge — caps the trace there), vs. falling
+  /// through into the next block (grows the trace), vs. a short backward
+  /// branch (a loop shape).  The three probabilities sum to <= 1; the
+  /// remainder falls through without any branch.
+  double self_loop_prob = 0.35;
+  double back_branch_prob = 0.20;
+};
+
+/// Streams a `params.num_blocks`-block program as a sequence of
+/// self-contained chunk Programs of at most `params.blocks_per_chunk`
+/// blocks, calling `emit(chunk, chunk_index)` for each in order.  Block
+/// labels are globally unique ("bb<global index>"); every branch targets a
+/// label inside its own chunk, so each chunk compiles independently and the
+/// whole corpus is processed with O(chunk) peak memory.  Deterministic in
+/// `params.seed`.  Returns the total instruction count emitted.
+std::size_t random_ir_program_chunks(
+    const RandomIrProgramParams& params,
+    const std::function<void(Program&&, std::size_t)>& emit);
 
 }  // namespace ais

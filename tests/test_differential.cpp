@@ -41,6 +41,63 @@ constexpr Time kInf = std::numeric_limits<Time>::max() / 4;
 // Reference implementations (the pre-optimization formulation).
 // ---------------------------------------------------------------------------
 
+/// Original descendant closure, verbatim from the pre-ClosureMatrix code:
+/// one independently allocated DynamicBitset per row instead of the
+/// contiguous row-major matrix.  Kept as the oracle the contiguous layout
+/// is differenced against (rows, reachability, and the donor-copy
+/// constructor the lookahead prescheduler uses).
+class RefDescendantClosure {
+ public:
+  RefDescendantClosure(const DepGraph& g, const NodeSet& active)
+      : RefDescendantClosure(g, active, nullptr, nullptr) {}
+
+  RefDescendantClosure(const DepGraph& g, const NodeSet& active,
+                       const RefDescendantClosure& donor,
+                       const NodeSet& donor_nodes)
+      : RefDescendantClosure(g, active, &donor, &donor_nodes) {}
+
+  const DynamicBitset& descendants(NodeId id) const {
+    EXPECT_TRUE(id < domain_ && member_[id]);
+    return desc_[id];
+  }
+
+  bool reaches(NodeId ancestor, NodeId descendant) const {
+    return descendants(ancestor).test(descendant);
+  }
+
+ private:
+  RefDescendantClosure(const DepGraph& g, const NodeSet& active,
+                       const RefDescendantClosure* donor,
+                       const NodeSet* donor_nodes)
+      : domain_(g.num_nodes()),
+        desc_(g.num_nodes(), DynamicBitset(g.num_nodes())),
+        member_(g.num_nodes(), false) {
+    const auto order = topo_order(g, active);
+    EXPECT_TRUE(order.has_value());
+    for (const NodeId id : *order) member_[id] = true;
+
+    // Reverse topological order: successors' closures are complete first.
+    for (auto it = order->rbegin(); it != order->rend(); ++it) {
+      const NodeId id = *it;
+      if (donor != nullptr && donor_nodes->contains(id)) {
+        desc_[id] = donor->descendants(id);
+        continue;
+      }
+      DynamicBitset& mine = desc_[id];
+      for (const auto eidx : g.out_edges(id)) {
+        const DepEdge& e = g.edge(eidx);
+        if (e.distance != 0 || !active.contains(e.to)) continue;
+        mine.set(e.to);
+        mine |= desc_[e.to];
+      }
+    }
+  }
+
+  std::size_t domain_;
+  std::vector<DynamicBitset> desc_;
+  std::vector<bool> member_;
+};
+
 /// Backward packer of the original compute_ranks: one lane per physical
 /// unit, re-created from scratch for every node.
 class RefBackwardPacker {
@@ -85,7 +142,7 @@ std::vector<Time> ref_compute_ranks(const RankScheduler& scheduler,
   const DepGraph& graph = scheduler.graph();
   const auto order = topo_order(graph, active);
   EXPECT_TRUE(order.has_value());
-  const DescendantClosure closure(graph, active);
+  const RefDescendantClosure closure(graph, active);
 
   std::vector<Time> rank(graph.num_nodes(), kInf);
   bool ok = true;
@@ -606,6 +663,61 @@ TEST(Differential, GreedyQueueMatchesFrontRescan) {
       const Schedule got = scheduler.greedy_from_list(all, list);
       const Schedule want = ref_greedy_from_list(scheduler, all, list);
       expect_same_schedule(got, want, all);
+    }
+  }
+}
+
+/// The contiguous ClosureMatrix-backed closure must agree bit-for-bit with
+/// the original per-row DynamicBitset closure on random graphs: every row,
+/// every reachability query, and the donor-copy constructor path the
+/// lookahead prescheduler uses when it grafts a warmed block session into a
+/// trace session.
+TEST(Differential, ClosureMatrixMatchesPerRowBitsets) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Prng prng(0xc105 + seed * 977);
+    RandomTraceParams params;
+    params.num_blocks = 3;
+    params.block.num_nodes = 8 + static_cast<int>(seed) * 7;
+    params.block.edge_prob = 0.15 + 0.05 * static_cast<double>(seed % 3);
+    params.cross_edges = 3;
+    const DepGraph g = random_trace(prng, params);
+    const NodeSet all = NodeSet::all(g.num_nodes());
+
+    const DescendantClosure got(g, all);
+    const RefDescendantClosure want(g, all);
+    for (NodeId x = 0; x < g.num_nodes(); ++x) {
+      const ClosureRow row = got.descendants(x);
+      const DynamicBitset& ref = want.descendants(x);
+      ASSERT_EQ(row.count(), ref.count()) << "row " << x;
+      for (NodeId y = 0; y < g.num_nodes(); ++y) {
+        ASSERT_EQ(row.test(y), ref.test(y)) << x << " -> " << y;
+        ASSERT_EQ(got.reaches(x, y), want.reaches(x, y)) << x << " -> " << y;
+      }
+      // for_each must visit exactly the set bits, ascending.
+      std::vector<NodeId> via_words;
+      row.for_each([&](std::size_t i) {
+        via_words.push_back(static_cast<NodeId>(i));
+      });
+      std::vector<std::size_t> ref_ids = ref.to_indices();
+      ASSERT_EQ(via_words.size(), ref_ids.size());
+      for (std::size_t i = 0; i < ref_ids.size(); ++i) {
+        EXPECT_EQ(via_words[i], static_cast<NodeId>(ref_ids[i]));
+      }
+    }
+
+    // Donor-copy path: rows of the first block come from a closure built
+    // over that block alone; both implementations must copy identically.
+    const std::vector<NodeSet> blocks = blocks_of(g);
+    const DescendantClosure got_donor(g, blocks[0]);
+    const RefDescendantClosure want_donor(g, blocks[0]);
+    const DescendantClosure got_merged(g, all, got_donor, blocks[0]);
+    const RefDescendantClosure want_merged(g, all, want_donor, blocks[0]);
+    for (NodeId x = 0; x < g.num_nodes(); ++x) {
+      const ClosureRow row = got_merged.descendants(x);
+      const DynamicBitset& ref = want_merged.descendants(x);
+      for (NodeId y = 0; y < g.num_nodes(); ++y) {
+        ASSERT_EQ(row.test(y), ref.test(y)) << "donor row " << x << " -> " << y;
+      }
     }
   }
 }

@@ -40,6 +40,55 @@ TEST(DepGraph, BasicAccessors) {
   EXPECT_EQ(g.in_edges(3).size(), 2u);
 }
 
+TEST(DepGraph, NameInterningAndIndex) {
+  DepGraph g;
+  const NodeId a0 = g.add_node("load_a");
+  const NodeId b = g.add_node("store_b");
+  const NodeId a1 = g.add_node("load_a");  // duplicate name, distinct node
+  EXPECT_EQ(a0, NodeId{0});
+  EXPECT_EQ(b, NodeId{1});
+  EXPECT_EQ(a1, NodeId{2});
+
+  // Duplicate names intern to the same pooled bytes; ids stay dense.
+  EXPECT_EQ(g.name(a0).view(), g.name(a1).view());
+  EXPECT_EQ(g.name(a0).c_str(), g.name(a1).c_str());
+
+  // find() resolves through the hash index; duplicates yield the first id.
+  EXPECT_EQ(g.find("load_a"), a0);
+  EXPECT_EQ(g.find("store_b"), b);
+  EXPECT_EQ(g.find("missing"), kInvalidNode);
+
+  // Growth past the initial index capacity keeps every name findable, and
+  // NameRef views stay valid (pool storage is stable under growth).
+  const NameRef early = g.name(a0);
+  for (int i = 0; i < 200; ++i) g.add_node("n" + std::to_string(i));
+  EXPECT_EQ(g.find("n0"), NodeId{3});
+  EXPECT_EQ(g.find("n199"), NodeId{202});
+  EXPECT_EQ(g.find("load_a"), a0);
+  EXPECT_EQ(early.view(), "load_a");
+
+  // Copies re-intern: same names and find() results, independent storage.
+  const DepGraph copy = g;
+  EXPECT_EQ(copy.find("n123"), g.find("n123"));
+  EXPECT_EQ(copy.name(a1).view(), "load_a");
+  EXPECT_NE(copy.name(a0).c_str(), g.name(a0).c_str());
+  EXPECT_EQ(copy.name(a0).c_str(), copy.name(a1).c_str());
+}
+
+TEST(DepGraph, SoAColumnsMirrorNodeInfo) {
+  DepGraph g;
+  g.add_node("a", /*exec_time=*/3, /*fu_class=*/1, /*block=*/2);
+  g.add_node("b");
+  ASSERT_EQ(g.exec_times().size(), 2u);
+  EXPECT_EQ(g.exec_times()[0], 3);
+  EXPECT_EQ(g.fu_classes()[0], 1);
+  EXPECT_EQ(g.blocks()[0], 2);
+  EXPECT_EQ(g.exec_times()[1], 1);
+  EXPECT_EQ(g.node(0).exec_time, 3);
+  EXPECT_EQ(g.node(0).fu_class, 1);
+  EXPECT_EQ(g.node(0).block, 2);
+}
+
 TEST(DepGraph, CarriedEdgeBookkeeping) {
   DepGraph g = fig3_loop();
   EXPECT_TRUE(g.has_carried_edges());

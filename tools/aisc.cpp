@@ -50,6 +50,7 @@
 #include "machine/machine_model.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/process_stats.hpp"
 #include "obs/stats.hpp"
 #include "sim/lookahead_sim.hpp"
 #include "sim/loop_sim.hpp"
@@ -104,6 +105,7 @@ struct TelemetryFinalizer {
                    trace_path.c_str());
     }
     if (!metrics_path.empty()) {
+      obs::record_process_gauges();  // mem_peak_rss_bytes covers the run
       std::ofstream out(metrics_path);
       if (out.is_open()) {
         if (ends_with_json(metrics_path)) {

@@ -60,6 +60,7 @@
 #include "machine/machine_model.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/process_stats.hpp"
 #include "obs/stats.hpp"
 #include "sim/lookahead_sim.hpp"
 #include "support/cli.hpp"
@@ -374,6 +375,7 @@ int main(int argc, char** argv) {
   if (have_sim) print_stall_table(sim);
 
   if (args.get_bool("metrics", false)) {
+    obs::record_process_gauges();
     std::printf("\n%s",
                 obs::MetricRegistry::global().prometheus_text().c_str());
   }
@@ -382,6 +384,7 @@ int main(int argc, char** argv) {
   }
   const std::string metrics_path = args.get_string("metrics-out", "");
   if (!metrics_path.empty()) {
+    obs::record_process_gauges();
     std::ofstream mo(metrics_path);
     if (!mo.is_open()) {
       std::fprintf(stderr, "aisprof: cannot write %s\n", metrics_path.c_str());
