@@ -1,0 +1,354 @@
+// Daemon soak bench: an in-process aisd server driven closed-loop over a
+// repeated-body request mix, reporting cold-cache vs warm-cache latency
+// from the daemon's own server_request_us histogram (snapshot deltas per
+// phase), a shard-count contention sweep, and a leak gate over the soak
+// (resident set must stop growing once the per-worker scratch pools and
+// the schedule cache reach steady state).  CI perf-smoke runs this via
+// scripts/bench_json.sh; see docs/SERVER.md.
+//
+//   bench_server [--requests N] [--bodies B] [--clients C] [--threads T]
+//                [--blocks N] [--insts K] [--window W] [--machine NAME]
+//                [--seed S] [--shards "1,4,16,64"] [--json FILE]
+//                [--min-warm-speedup X] [--max-rss-growth-mb MB]
+//
+// Phases (all through the real socket protocol, C client connections):
+//   cold:  in-memory cache cleared, every body compiled once per round
+//          until at least --cold-requests samples exist — every request
+//          misses the trace cache.
+//   warm:  one priming round, then --requests requests drawn uniformly
+//          from the body pool — steady-state hits.  The leak gate samples
+//          VmRSS after priming and again after the soak.
+//   sweep: per shard count, cache rebuilt + primed, then a timed burst;
+//          reported as requests/second.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/schedule_cache.hpp"
+#include "ir/instruction.hpp"
+#include "obs/metrics.hpp"
+#include "obs/process_stats.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "support/cli.hpp"
+#include "support/prng.hpp"
+#include "workloads/random_ir.hpp"
+
+namespace {
+
+using namespace ais;
+
+std::string render_trace(const Trace& trace) {
+  std::string text;
+  for (const BasicBlock& bb : trace.blocks) {
+    text += "block " + bb.label + ":\n";
+    for (const Instruction& inst : bb.insts) {
+      text += "  " + inst.to_string() + "\n";
+    }
+  }
+  return text;
+}
+
+/// Current resident set in bytes from /proc/self/statm (0 off-Linux, which
+/// disables the leak gate rather than failing it).
+std::int64_t current_rss_bytes() {
+  std::ifstream in("/proc/self/statm");
+  if (!in.is_open()) return 0;
+  long long total_pages = 0;
+  long long resident_pages = 0;
+  in >> total_pages >> resident_pages;
+  if (!in.good()) return 0;
+  return static_cast<std::int64_t>(resident_pages) *
+         static_cast<std::int64_t>(sysconf(_SC_PAGESIZE));
+}
+
+/// Per-phase view of a monotone histogram: counts accumulated since `from`.
+obs::HistogramSnapshot snapshot_delta(const obs::HistogramSnapshot& from,
+                                      const obs::HistogramSnapshot& to) {
+  obs::HistogramSnapshot d;
+  for (std::size_t i = 0; i < obs::kHistogramBuckets; ++i) {
+    d.counts[i] = to.counts[i] - from.counts[i];
+  }
+  d.count = to.count - from.count;
+  d.sum = to.sum - from.sum;
+  d.max = to.max;  // upper clamp only; fine for per-phase quantiles
+  return d;
+}
+
+struct DriveStats {
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  double elapsed_s = 0;
+  double rps() const {
+    return elapsed_s > 0 ? static_cast<double>(ok + errors) / elapsed_s : 0;
+  }
+};
+
+/// Closed-loop drive: `clients` connections, each keeping one request in
+/// flight, until `requests` total have been answered.  pick(id) selects the
+/// body for request id.
+template <typename PickBody>
+DriveStats drive(const std::string& socket_path, std::size_t requests,
+                 std::size_t clients, const std::string& machine, int window,
+                 const PickBody& pick) {
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> errors{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      server::Client client;
+      std::string error;
+      if (!client.connect(socket_path, &error)) {
+        std::fprintf(stderr, "bench_server: connect: %s\n", error.c_str());
+        return;
+      }
+      server::Request req;
+      req.verb = server::kVerbCompile;
+      req.options["mode"] = "trace";
+      req.options["machine"] = machine;
+      req.options["window"] = std::to_string(window);
+      for (;;) {
+        const std::size_t id = next.fetch_add(1, std::memory_order_relaxed);
+        if (id >= requests) return;
+        req.body = pick(id);
+        server::Response resp;
+        if (!client.call(req, &resp, &error)) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        (resp.ok ? ok : errors).fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  DriveStats stats;
+  stats.ok = ok.load();
+  stats.errors = errors.load();
+  stats.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  return stats;
+}
+
+std::vector<std::size_t> parse_shards(const std::string& spec) {
+  std::vector<std::size_t> out;
+  std::istringstream in(spec);
+  std::string tok;
+  while (std::getline(in, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::stoul(tok));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::size_t requests =
+      static_cast<std::size_t>(args.get_int("requests", 100'000));
+  const std::size_t cold_requests =
+      static_cast<std::size_t>(args.get_int("cold-requests", 2'000));
+  const std::size_t bodies =
+      static_cast<std::size_t>(args.get_int("bodies", 256));
+  const std::size_t clients =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   args.get_int("clients", 8)));
+  const int blocks = static_cast<int>(args.get_int("blocks", 4));
+  const int insts = static_cast<int>(args.get_int("insts", 12));
+  const int window = static_cast<int>(args.get_int("window", 2));
+  const std::string machine = args.get_string("machine", "rs6000");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const double min_warm_speedup = args.get_double("min-warm-speedup", 0.0);
+  const double max_rss_growth_mb = args.get_double("max-rss-growth-mb", 0.0);
+  const std::vector<std::size_t> shard_counts =
+      parse_shards(args.get_string("shards", "1,4,16,64"));
+
+  // Body pool: `bodies` distinct traces; a request mix drawn uniformly from
+  // it re-compiles every body requests/bodies times — the repeated-body
+  // warm-cache regime.
+  Prng prng(seed);
+  RandomIrParams ir_params;
+  ir_params.num_insts = insts;
+  std::vector<std::string> pool;
+  pool.reserve(bodies);
+  for (std::size_t i = 0; i < bodies; ++i) {
+    pool.push_back(render_trace(random_ir_trace(prng, ir_params, blocks)));
+  }
+
+  server::ServerOptions options;
+  options.socket_path =
+      "/tmp/bench_server." + std::to_string(getpid()) + ".sock";
+  options.threads = static_cast<int>(args.get_int("threads", 0));
+  server::Server server(options);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "bench_server: %s\n", error.c_str());
+    return 2;
+  }
+  ScheduleCache& cache = ScheduleCache::global();
+  cache.set_enabled(true);
+
+  obs::Histogram* request_us = obs::MetricRegistry::global().histogram(
+      "server_request_us", {"outcome", "ok"});
+
+  // --- cold phase: every request misses the trace cache -------------------
+  std::vector<std::size_t> mix(std::max(cold_requests, bodies));
+  Prng mix_prng(seed ^ 0x5eedULL);
+  const obs::HistogramSnapshot before_cold = request_us->snapshot();
+  DriveStats cold;
+  {
+    // Round-robin over the pool, clearing the cache between rounds so
+    // repeats of a body never hit.
+    std::size_t done = 0;
+    while (done < cold_requests) {
+      cache.clear();
+      const std::size_t round = std::min(bodies, cold_requests - done);
+      const DriveStats r =
+          drive(options.socket_path, round, clients, machine, window,
+                [&](std::size_t id) -> const std::string& {
+                  return pool[id % bodies];
+                });
+      cold.ok += r.ok;
+      cold.errors += r.errors;
+      cold.elapsed_s += r.elapsed_s;
+      done += round;
+    }
+  }
+  const obs::HistogramSnapshot cold_hist =
+      snapshot_delta(before_cold, request_us->snapshot());
+
+  // --- warm phase + soak leak gate ----------------------------------------
+  cache.clear();
+  // Priming round: one compile per body fills the cache.
+  drive(options.socket_path, bodies, clients, machine, window,
+        [&](std::size_t id) -> const std::string& { return pool[id % bodies]; });
+  const std::int64_t rss_after_prime = current_rss_bytes();
+
+  std::vector<std::uint32_t> picks(requests);
+  for (std::uint32_t& p : picks) {
+    p = static_cast<std::uint32_t>(mix_prng.index(bodies));
+  }
+  const obs::HistogramSnapshot before_warm = request_us->snapshot();
+  const DriveStats warm =
+      drive(options.socket_path, requests, clients, machine, window,
+            [&](std::size_t id) -> const std::string& {
+              return pool[picks[id]];
+            });
+  const obs::HistogramSnapshot warm_hist =
+      snapshot_delta(before_warm, request_us->snapshot());
+  const std::int64_t rss_after_soak = current_rss_bytes();
+  const double rss_growth_mb =
+      static_cast<double>(rss_after_soak - rss_after_prime) /
+      (1024.0 * 1024.0);
+
+  // --- shard sweep: contention on the shared cache ------------------------
+  // The server is quiescent between phases (every drive() call joins its
+  // clients after their last reply), which is what set_shard_count needs.
+  struct ShardRow {
+    std::size_t shards = 0;
+    double rps = 0;
+  };
+  std::vector<ShardRow> sweep;
+  const std::size_t sweep_requests =
+      std::min<std::size_t>(requests, 20'000);
+  for (const std::size_t n : shard_counts) {
+    cache.set_shard_count(n);
+    drive(options.socket_path, bodies, clients, machine, window,
+          [&](std::size_t id) -> const std::string& {
+            return pool[id % bodies];
+          });
+    const DriveStats burst =
+        drive(options.socket_path, sweep_requests, clients, machine, window,
+              [&](std::size_t id) -> const std::string& {
+                return pool[picks[id % picks.size()]];
+              });
+    sweep.push_back({cache.shard_count(), burst.rps()});
+  }
+  cache.set_shard_count(ScheduleCache::kNumShards);
+
+  server.stop();
+
+  const double cold_p50 = static_cast<double>(cold_hist.quantile(0.50));
+  const double cold_p99 = static_cast<double>(cold_hist.quantile(0.99));
+  const double warm_p50 = static_cast<double>(warm_hist.quantile(0.50));
+  const double warm_p99 = static_cast<double>(warm_hist.quantile(0.99));
+  const double speedup = warm_p50 > 0 ? cold_p50 / warm_p50 : 0.0;
+
+  std::printf("bench_server: cold  %llu requests p50=%.0fus p99=%.0fus "
+              "(%.1f req/s)\n",
+              static_cast<unsigned long long>(cold_hist.count), cold_p50,
+              cold_p99, cold.rps());
+  std::printf("bench_server: warm  %llu requests p50=%.0fus p99=%.0fus "
+              "(%.1f req/s), p50 speedup %.2fx\n",
+              static_cast<unsigned long long>(warm_hist.count), warm_p50,
+              warm_p99, warm.rps(), speedup);
+  std::printf("bench_server: soak rss growth %.1f MiB "
+              "(prime %.1f -> soak %.1f)\n",
+              rss_growth_mb,
+              static_cast<double>(rss_after_prime) / (1024.0 * 1024.0),
+              static_cast<double>(rss_after_soak) / (1024.0 * 1024.0));
+  for (const ShardRow& row : sweep) {
+    std::printf("bench_server: shards=%zu %.1f req/s\n", row.shards, row.rps);
+  }
+
+  const std::string json_path = args.get_string("json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "bench_server: cannot write %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+    out << "{\"benchmark\": \"server\", \"requests\": " << requests
+        << ", \"bodies\": " << bodies << ", \"clients\": " << clients
+        << ", \"machine\": \"" << machine << "\", \"window\": " << window
+        << ", \"cold_p50_us\": " << cold_p50
+        << ", \"cold_p99_us\": " << cold_p99
+        << ", \"cold_rps\": " << cold.rps()
+        << ", \"warm_p50_us\": " << warm_p50
+        << ", \"warm_p99_us\": " << warm_p99
+        << ", \"warm_rps\": " << warm.rps()
+        << ", \"warm_speedup_p50\": " << speedup
+        << ", \"rss_growth_mb\": " << rss_growth_mb << ", \"shards\": [";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      out << (i > 0 ? ", " : "") << "{\"shards\": " << sweep[i].shards
+          << ", \"rps\": " << sweep[i].rps << "}";
+    }
+    out << "]}\n";
+  }
+
+  int rc = 0;
+  const std::uint64_t total_errors = cold.errors + warm.errors;
+  if (total_errors > 0) {
+    std::fprintf(stderr, "bench_server: %llu requests failed\n",
+                 static_cast<unsigned long long>(total_errors));
+    rc = 1;
+  }
+  if (min_warm_speedup > 0 && speedup < min_warm_speedup) {
+    std::fprintf(stderr,
+                 "bench_server: warm p50 speedup %.2fx below gate %.2fx\n",
+                 speedup, min_warm_speedup);
+    rc = 1;
+  }
+  if (max_rss_growth_mb > 0 && rss_growth_mb > max_rss_growth_mb) {
+    std::fprintf(stderr,
+                 "bench_server: soak RSS growth %.1f MiB exceeds budget "
+                 "%.1f MiB\n",
+                 rss_growth_mb, max_rss_growth_mb);
+    rc = 1;
+  }
+  return rc;
+}

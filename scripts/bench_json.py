@@ -116,6 +116,34 @@ def row_from_obs(path, max_overhead):
     return row, ok
 
 
+def row_from_server(path):
+    """Folds a bench_server --json soak report into one snapshot row.
+    The daemon gates itself (--min-warm-speedup, --max-rss-growth-mb exit
+    nonzero), so the row carries the latency numbers for the record but no
+    compile_ms/cycles — socket round-trip times are load-dependent and must
+    not trip the 1.15x compare gate."""
+    with open(path) as f:
+        report = json.load(f)
+    row = {
+        "name": "server_soak.warm_cache",
+        "requests": report["requests"],
+        "clients": report["clients"],
+        "cold_p50_us": report["cold_p50_us"],
+        "cold_p99_us": report["cold_p99_us"],
+        "warm_p50_us": report["warm_p50_us"],
+        "warm_p99_us": report["warm_p99_us"],
+        "warm_speedup_p50": report["warm_speedup_p50"],
+        "rss_growth_mb": report["rss_growth_mb"],
+        "shard_sweep_rps": {str(s["shards"]): round(s["rps"], 1)
+                            for s in report.get("shards", [])},
+    }
+    print(f"ok   server soak: cold p50 {report['cold_p50_us']:.0f}us, "
+          f"warm p50 {report['warm_p50_us']:.0f}us "
+          f"({report['warm_speedup_p50']:.1f}x), "
+          f"rss growth {report['rss_growth_mb']:.1f} MiB")
+    return row
+
+
 def load_rows(path):
     with open(path) as f:
         snapshot = json.load(f)
@@ -175,11 +203,13 @@ def main():
                              "of corpus compile time (default: 5)")
     parser.add_argument("--obs",
                         help="bench_obs --json report file")
+    parser.add_argument("--server",
+                        help="bench_server --json soak report file")
     parser.add_argument("--max-obs-overhead", type=float, default=3.0,
                         help="allowed metrics-enabled compile overhead as a "
                              "percent of the runtime-disabled corpus "
                              "aggregate (default: 3)")
-    parser.add_argument("--out", default="BENCH_PR8.json")
+    parser.add_argument("--out", default="BENCH_PR9.json")
     parser.add_argument("--compare", metavar="BASELINE",
                         help="baseline snapshot to diff --current against")
     parser.add_argument("--current", metavar="SNAPSHOT",
@@ -206,6 +236,8 @@ def main():
     if args.obs:
         row, obs_ok = row_from_obs(args.obs, args.max_obs_overhead)
         benchmarks.append(row)
+    if args.server:
+        benchmarks.append(row_from_server(args.server))
     if not benchmarks:
         print("bench_json.py: no input reports", file=sys.stderr)
         return 2

@@ -11,7 +11,9 @@
 #include <fstream>
 #include <iterator>
 #include <list>
+#include <mutex>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
@@ -794,12 +796,43 @@ struct ScheduleCache::Impl {
   /// list node, string headers) on top of the actual key/value bytes.
   static constexpr std::size_t kEntryOverhead = 128;
 
-  std::array<Shard, kNumShards> shards;
+  /// Shard is immovable (Mutex), so a runtime-sized shard array lives
+  /// behind unique_ptr<Shard[]>.  num_shards is a power of two, written
+  /// only under external quiescence (set_shard_count's contract).
+  std::size_t num_shards = kNumShards;
+  std::unique_ptr<Shard[]> shards = std::make_unique<Shard[]>(kNumShards);
   std::atomic<bool> enabled{true};
   std::atomic<std::size_t> capacity{kDefaultCapacityBytes};
   mutable Mutex dir_mu;
   std::string dir AIS_GUARDED_BY(dir_mu);
   std::atomic<std::uint64_t> tmp_seq{0};
+
+  // --- disk-write coalescing (background flusher) -----------------------
+  //
+  // insert_bytes queues disk writes here instead of writing inline; the
+  // flusher thread (started lazily on the first queued write) drains the
+  // map in batches after a short gather delay, so a burst of inserts of
+  // the same key — every wrap-around iteration of a warm loop body —
+  // costs one file write instead of N (counter cache.disk_write_coalesced
+  // tracks the writes saved).  disk_store's atomic tmp+rename publish is
+  // unchanged.  flush_disk() / the destructor stop the thread and drain.
+  struct PendingWrite {
+    std::uint64_t hash = 0;
+    std::string value;
+  };
+  Mutex flush_mu;
+  CondVar flush_cv;
+  std::map<std::string, PendingWrite, std::less<>> pending
+      AIS_GUARDED_BY(flush_mu);  // keyed by key bytes (dedup = coalescing)
+  bool flusher_running AIS_GUARDED_BY(flush_mu) = false;
+  bool flusher_exit AIS_GUARDED_BY(flush_mu) = false;
+  std::thread flusher_thread AIS_GUARDED_BY(flush_mu);
+  std::mutex flusher_lifecycle_mu;  // serializes stop_flusher callers
+
+  /// Gather delay before a batch is written: long enough to coalesce a
+  /// compile's burst of step inserts, short enough to be invisible next to
+  /// a single solve.
+  static constexpr std::chrono::microseconds kFlushDelay{2000};
 
 #if AIS_OBS_ENABLED
   // Per-shard labeled latency metrics, registered once at construction so
@@ -814,13 +847,24 @@ struct ScheduleCache::Impl {
     obs::Counter* requests[3] = {};
     obs::Histogram* lookup_us[3] = {};
   };
-  std::array<ShardMetrics, kNumShards> shard_metrics;
+  std::vector<ShardMetrics> shard_metrics;  // one per shard
   obs::Histogram* disk_read_us = nullptr;
   obs::Histogram* disk_write_us = nullptr;
 
   Impl() {
+    register_shard_metrics();
     obs::MetricRegistry& reg = obs::MetricRegistry::global();
-    for (std::size_t i = 0; i < kNumShards; ++i) {
+    disk_read_us = reg.histogram("cache_disk_read_us");
+    disk_write_us = reg.histogram("cache_disk_write_us");
+  }
+
+  /// (Re)builds the per-shard handle table for the current shard count.
+  /// Registrations are permanent, so growing and shrinking just re-resolves
+  /// the same series.
+  void register_shard_metrics() {
+    obs::MetricRegistry& reg = obs::MetricRegistry::global();
+    shard_metrics.assign(num_shards, ShardMetrics{});
+    for (std::size_t i = 0; i < num_shards; ++i) {
       const std::string shard = std::to_string(i);
       for (int o = 0; o < 3; ++o) {
         shard_metrics[i].requests[o] =
@@ -831,8 +875,6 @@ struct ScheduleCache::Impl {
                           {"outcome", kOutcomeNames[o]});
       }
     }
-    disk_read_us = reg.histogram("cache_disk_read_us");
-    disk_write_us = reg.histogram("cache_disk_write_us");
   }
 
   /// Books one lookup: outcome counter plus whole-lookup latency, into the
@@ -840,21 +882,110 @@ struct ScheduleCache::Impl {
   /// lookup entry — record nothing.
   void note_lookup(std::uint64_t hash, int outcome, std::int64_t start_us) {
     if (start_us < 0) return;
-    const std::size_t sh = (hash >> 60U) & (kNumShards - 1);
+    const std::size_t sh = shard_index(hash);
     shard_metrics[sh].requests[outcome]->add(1);
     shard_metrics[sh].lookup_us[outcome]->record(
         static_cast<std::uint64_t>(Stopwatch::now_us() - start_us));
   }
+#else
+  Impl() = default;
+  void register_shard_metrics() {}
 #endif  // AIS_OBS_ENABLED
 
-  Shard& shard_for(std::uint64_t hash) {
-    // High bits select the shard; the map's buckets use the full hash.
-    return shards[(hash >> 60U) & (kNumShards - 1)];
+  ~Impl() { stop_flusher(); }
+
+  std::size_t shard_index(std::uint64_t hash) const {
+    // High bits select the shard (top 8 cover kMaxShards); the map's
+    // buckets use the full hash.
+    return (hash >> 56U) & (num_shards - 1);
   }
+
+  Shard& shard_for(std::uint64_t hash) { return shards[shard_index(hash)]; }
 
   std::string dir_copy() const {
     MutexLock lock(dir_mu);
     return dir;
+  }
+
+  /// Queues one disk write for the flusher, starting it on first use.  A
+  /// key already pending is coalesced: values are deterministic, so the
+  /// queued bytes already match and one write covers both inserts.
+  void queue_disk_write(const CacheKey& key, const std::string& value)
+      AIS_EXCLUDES(flush_mu) {
+    bool coalesced = false;
+    {
+      MutexLock lock(flush_mu);
+      const auto [it, inserted] = pending.try_emplace(key.bytes);
+      if (inserted) {
+        it->second.hash = key.hash;
+        it->second.value = value;
+      } else {
+        coalesced = true;
+      }
+      if (!flusher_running) {
+        flusher_running = true;
+        flusher_exit = false;
+        flusher_thread = std::thread([this] { flusher_loop(); });
+      }
+      flush_cv.notify_one();
+    }
+    if (coalesced) AIS_OBS_COUNT(obs::ctr::kCacheDiskWriteCoalesced);
+  }
+
+  void flusher_loop() AIS_EXCLUDES(flush_mu) {
+    std::map<std::string, PendingWrite, std::less<>> batch;
+    for (;;) {
+      batch.clear();
+      {
+        MutexLock lock(flush_mu);
+        while (pending.empty() && !flusher_exit) flush_cv.wait(flush_mu);
+        if (pending.empty() && flusher_exit) return;
+        if (!flusher_exit) {
+          // Gather delay: let the burst that woke us finish coalescing.
+          flush_cv.wait_for(flush_mu, kFlushDelay);
+        }
+        batch.swap(pending);
+      }
+      const std::string dir = dir_copy();
+      if (dir.empty()) continue;  // tier turned off with writes in flight
+      for (const auto& [bytes, write] : batch) {
+        CacheKey key;
+        key.bytes = bytes;
+        key.hash = write.hash;
+#if AIS_OBS_ENABLED
+        const std::int64_t start_us =
+            obs::enabled() ? Stopwatch::now_us() : -1;
+#endif
+        const bool stored =
+            disk_store(dir, key, write.value,
+                       tmp_seq.fetch_add(1, std::memory_order_relaxed));
+#if AIS_OBS_ENABLED
+        if (start_us >= 0) {
+          disk_write_us->record(
+              static_cast<std::uint64_t>(Stopwatch::now_us() - start_us));
+        }
+#endif
+        if (stored) AIS_OBS_COUNT(obs::ctr::kCacheDiskWrites);
+      }
+    }
+  }
+
+  /// Stops the flusher after it drains everything pending.  Idempotent;
+  /// the next queue_disk_write restarts the thread.
+  void stop_flusher() AIS_EXCLUDES(flush_mu) {
+    std::lock_guard<std::mutex> lifecycle(flusher_lifecycle_mu);
+    std::thread thread;
+    {
+      MutexLock lock(flush_mu);
+      if (!flusher_running) return;
+      flusher_exit = true;
+      flush_cv.notify_all();
+      thread = std::move(flusher_thread);
+    }
+    thread.join();
+    MutexLock lock(flush_mu);
+    flusher_running = false;
+    flusher_exit = false;
   }
 };
 
@@ -875,6 +1006,14 @@ ScheduleCache& ScheduleCache::global() {
     }
     const char* dir = std::getenv("AIS_CACHE_DIR");
     if (dir != nullptr && dir[0] != '\0') c->set_disk_dir(dir);
+    const char* shards = std::getenv("AIS_CACHE_SHARDS");
+    if (shards != nullptr && shards[0] != '\0') {
+      c->set_shard_count(
+          static_cast<std::size_t>(std::strtoul(shards, nullptr, 10)));
+    }
+    // Disk writes are coalesced through a background flusher; drain it at
+    // exit so short-lived aisc runs still persist their tail-end entries.
+    std::atexit([] { ScheduleCache::global().flush_disk(); });
     return c;
   }();
   return *cache;
@@ -909,13 +1048,31 @@ void ScheduleCache::set_disk_dir(std::string dir) {
 std::string ScheduleCache::disk_dir() const { return impl_->dir_copy(); }
 
 void ScheduleCache::clear() {
-  for (Impl::Shard& s : impl_->shards) {
+  for (std::size_t i = 0; i < impl_->num_shards; ++i) {
+    Impl::Shard& s = impl_->shards[i];
     MutexLock lock(s.mu);
     s.map.clear();
     s.lru.clear();
     s.bytes = 0;
   }
 }
+
+void ScheduleCache::flush_disk() { impl_->stop_flusher(); }
+
+void ScheduleCache::set_shard_count(std::size_t count) {
+  std::size_t n = 1;
+  while (n < count && n < kMaxShards) n <<= 1U;
+  if (n == impl_->num_shards) {
+    clear();
+    return;
+  }
+  // Caller guarantees quiescence: nothing holds a Shard& or is mid-lookup.
+  impl_->shards = std::make_unique<Impl::Shard[]>(n);
+  impl_->num_shards = n;
+  impl_->register_shard_metrics();
+}
+
+std::size_t ScheduleCache::shard_count() const { return impl_->num_shards; }
 
 std::optional<std::string> ScheduleCache::lookup_bytes(const CacheKey& key,
                                                        bool* from_disk) {
@@ -947,29 +1104,14 @@ std::optional<std::string> ScheduleCache::lookup_bytes(const CacheKey& key,
 
 void ScheduleCache::insert_bytes(const CacheKey& key, std::string value,
                                  bool write_disk) {
-  if (write_disk) {
-    const std::string dir = impl_->dir_copy();
-    if (!dir.empty()) {
-#if AIS_OBS_ENABLED
-      const std::int64_t start_us = obs::enabled() ? Stopwatch::now_us() : -1;
-#endif
-      const bool stored =
-          disk_store(dir, key, value,
-                     impl_->tmp_seq.fetch_add(1, std::memory_order_relaxed));
-#if AIS_OBS_ENABLED
-      if (start_us >= 0) {
-        impl_->disk_write_us->record(
-            static_cast<std::uint64_t>(Stopwatch::now_us() - start_us));
-      }
-#endif
-      if (stored) AIS_OBS_COUNT(obs::ctr::kCacheDiskWrites);
-    }
+  if (write_disk && !impl_->dir_copy().empty()) {
+    impl_->queue_disk_write(key, value);
   }
 
   const std::size_t entry_bytes =
       key.bytes.size() + value.size() + Impl::kEntryOverhead;
   const std::size_t shard_budget =
-      impl_->capacity.load(std::memory_order_relaxed) / kNumShards;
+      impl_->capacity.load(std::memory_order_relaxed) / impl_->num_shards;
   std::uint64_t evictions = 0;
   Impl::Shard& s = impl_->shard_for(key.hash);
   {

@@ -181,6 +181,20 @@ class ScheduleCache {
   void set_disk_dir(std::string dir);
   std::string disk_dir() const;
 
+  /// Drains every pending coalesced disk write and stops the background
+  /// flusher (it restarts on the next insert).  Called on daemon shutdown;
+  /// registered via atexit for the global cache so entries written late in
+  /// a process's life still land on disk.
+  void flush_disk();
+
+  /// Number of LRU shards (rounded up to a power of two, clamped to
+  /// [1, 256]).  Resizing rebuilds the shard array and DROPS all in-memory
+  /// entries; the caller must guarantee quiescence (no concurrent lookups
+  /// or inserts).  A contention-tuning knob for bench_server's shard sweep,
+  /// also settable at process start via AIS_CACHE_SHARDS.
+  void set_shard_count(std::size_t count);
+  std::size_t shard_count() const;
+
   /// Drops every in-memory entry (the disk tier is untouched).  Tests use
   /// this to make hit/miss sequences deterministic.
   void clear();
@@ -191,7 +205,9 @@ class ScheduleCache {
   void insert_step(const CacheKey& key, const StepCacheValue& value);
 
   static constexpr std::size_t kDefaultCapacityBytes = 64u << 20;
+  /// Default shard count; see set_shard_count.
   static constexpr std::size_t kNumShards = 16;
+  static constexpr std::size_t kMaxShards = 256;
 
  private:
   struct Impl;

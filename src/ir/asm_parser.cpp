@@ -1,6 +1,7 @@
 #include "ir/asm_parser.hpp"
 
 #include <cctype>
+#include <exception>
 #include <map>
 #include <optional>
 
@@ -36,7 +37,17 @@ struct Operand {
   std::int64_t imm = 0;
 };
 
+/// Thrown instead of panicking while a parse_program_or_error call is on
+/// the stack (daemon requests must not abort the process).
+struct ParseError {
+  std::string message;
+};
+thread_local bool g_recoverable = false;
+
 [[noreturn]] void fail(int line_no, const std::string& why) {
+  if (g_recoverable) {
+    throw ParseError{"line " + std::to_string(line_no) + ": " + why};
+  }
   panic("asm", line_no, "parse error: " + why);
 }
 
@@ -229,6 +240,39 @@ BasicBlock parse_block(const std::string& text) {
   const Program prog = parse_program(text);
   AIS_CHECK(prog.blocks.size() == 1, "expected exactly one block");
   return prog.blocks[0];
+}
+
+std::optional<Program> parse_program_or_error(const std::string& text,
+                                              std::string* error) {
+  // Pre-check emptiness: parse_program's empty-program AIS_CHECK panics
+  // outside fail()'s reach.
+  bool has_content = false;
+  for (const std::string& raw_line : split(text, '\n')) {
+    std::string line = raw_line;
+    const std::size_t comment = line.find_first_of("#;");
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    if (!trim(line).empty()) {
+      has_content = true;
+      break;
+    }
+  }
+  if (!has_content) {
+    *error = "empty program";
+    return std::nullopt;
+  }
+  g_recoverable = true;
+  try {
+    Program prog = parse_program(text);
+    g_recoverable = false;
+    return prog;
+  } catch (const ParseError& e) {
+    g_recoverable = false;
+    *error = e.message;
+  } catch (const std::exception& e) {  // e.g. std::stoi range errors
+    g_recoverable = false;
+    *error = std::string("parse error: ") + e.what();
+  }
+  return std::nullopt;
 }
 
 }  // namespace ais

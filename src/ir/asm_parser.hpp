@@ -14,6 +14,7 @@
 // anything).  Registers are rN (general), fN (float), cN (condition).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,5 +33,11 @@ Program parse_program(const std::string& text);
 
 /// Parses a single (possibly unlabelled) basic block.
 BasicBlock parse_block(const std::string& text);
+
+/// Non-aborting variant for untrusted input (the aisd request path): returns
+/// nullopt with *error set instead of terminating the process on malformed
+/// text.  Successful parses are identical to parse_program.
+std::optional<Program> parse_program_or_error(const std::string& text,
+                                              std::string* error);
 
 }  // namespace ais

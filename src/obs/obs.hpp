@@ -297,6 +297,10 @@ inline constexpr const char* kCacheEvictions = "cache.evictions";
 inline constexpr const char* kCacheBytes = "cache.bytes";
 inline constexpr const char* kCacheDiskHits = "cache.disk_hits";
 inline constexpr const char* kCacheDiskWrites = "cache.disk_writes";
+/// Disk writes absorbed by the coalescing flusher: the same key was queued
+/// again before its first write hit the disk, so one write covered both.
+inline constexpr const char* kCacheDiskWriteCoalesced =
+    "cache.disk_write_coalesced";
 /// Prefix for per-diagnostic-code verifier counters ("verify.diag.<code>").
 inline constexpr const char* kVerifyDiagPrefix = "verify.diag.";
 /// Prefix for wall-clock histogram names (see namespace hist below).

@@ -1,0 +1,104 @@
+#include "server/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ais::server {
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool Client::connect(const std::string& socket_path, std::string* error) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path empty or too long for AF_UNIX";
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    *error = "socket(): " + std::string(std::strerror(errno));
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = "connect to '" + socket_path +
+             "': " + std::string(std::strerror(errno));
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::send_payload(std::string_view payload, std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  std::string framed;
+  framed.reserve(payload.size() + sizeof(std::uint32_t));
+  append_frame(framed, payload);
+  std::string_view data = framed;
+  while (!data.empty()) {
+    ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      *error = "send: " + std::string(std::strerror(errno));
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool Client::send(const Request& request, std::string* error) {
+  return send_payload(request.encode(), error);
+}
+
+bool Client::receive(Response* response, std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  std::string payload;
+  char chunk[65536];
+  for (;;) {
+    switch (take_frame(buffer_, kDefaultMaxFrameBytes, &payload)) {
+      case FrameStatus::kFrame:
+        return parse_response(payload, response, error);
+      case FrameStatus::kOversized:
+        *error = "oversized response frame";
+        return false;
+      case FrameStatus::kNeedMore:
+        break;
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      *error = "recv: " + std::string(std::strerror(errno));
+      return false;
+    }
+    if (n == 0) {
+      *error = "connection closed by server";
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool Client::call(const Request& request, Response* response,
+                  std::string* error) {
+  return send(request, error) && receive(response, error);
+}
+
+}  // namespace ais::server

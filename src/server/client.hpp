@@ -1,0 +1,43 @@
+// Blocking aisd client: connect to the daemon's unix socket, send framed
+// requests, receive framed responses.  One Client per connection; a Client
+// is not thread-safe (aisload gives each closed-loop worker its own), but
+// send/receive may be driven from two cooperating threads for pipelined
+// open-loop use (the socket itself is full-duplex).
+#pragma once
+
+#include <string>
+
+#include "server/protocol.hpp"
+
+namespace ais::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to the daemon at `socket_path`.  False with *error set when
+  /// the path is invalid or the daemon is not listening.
+  bool connect(const std::string& socket_path, std::string* error);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one framed request payload.  False when the connection broke.
+  bool send(const Request& request, std::string* error);
+  bool send_payload(std::string_view payload, std::string* error);
+
+  /// Blocks for the next response frame.  False on EOF/error or when the
+  /// frame cannot be parsed.
+  bool receive(Response* response, std::string* error);
+
+  /// send + receive; the closed-loop convenience.
+  bool call(const Request& request, Response* response, std::string* error);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes received beyond the last complete frame
+};
+
+}  // namespace ais::server

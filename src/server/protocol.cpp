@@ -1,0 +1,226 @@
+#include "server/protocol.hpp"
+
+#include <charconv>
+#include <cstring>
+
+namespace ais::server {
+namespace {
+
+/// Splits `text` at the first '\n'.  Returns the first line; *rest points
+/// past the newline (empty when there is none).
+std::string_view first_line(std::string_view text, std::string_view* rest) {
+  std::size_t nl = text.find('\n');
+  if (nl == std::string_view::npos) {
+    *rest = {};
+    return text;
+  }
+  *rest = text.substr(nl + 1);
+  return text.substr(0, nl);
+}
+
+/// Parses the space-separated `key=value` tokens after the leading word.
+bool parse_options(std::string_view line,
+                   std::map<std::string, std::string, std::less<>>* options,
+                   std::string* error) {
+  while (!line.empty()) {
+    std::size_t sp = line.find(' ');
+    std::string_view token = line.substr(0, sp);
+    line = sp == std::string_view::npos ? std::string_view{}
+                                        : line.substr(sp + 1);
+    if (token.empty()) continue;  // tolerate doubled spaces
+    std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      *error = "malformed option token '" + std::string(token) +
+               "' (expected key=value)";
+      return false;
+    }
+    (*options)[std::string(token.substr(0, eq))] =
+        std::string(token.substr(eq + 1));
+  }
+  return true;
+}
+
+void append_options(
+    std::string& out,
+    const std::map<std::string, std::string, std::less<>>& options) {
+  for (const auto& [key, value] : options) {
+    out += ' ';
+    out += key;
+    out += '=';
+    out += value;
+  }
+}
+
+}  // namespace
+
+void append_frame(std::string& out, std::string_view payload) {
+  std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  char prefix[sizeof(len)];
+  std::memcpy(prefix, &len, sizeof(len));
+  out.append(prefix, sizeof(len));
+  out.append(payload);
+}
+
+FrameStatus take_frame(std::string& buffer, std::size_t max_frame_bytes,
+                       std::string* payload) {
+  if (buffer.size() < sizeof(std::uint32_t)) return FrameStatus::kNeedMore;
+  std::uint32_t len = 0;
+  std::memcpy(&len, buffer.data(), sizeof(len));
+  if (len > max_frame_bytes) return FrameStatus::kOversized;
+  if (buffer.size() < sizeof(len) + len) return FrameStatus::kNeedMore;
+  payload->assign(buffer.data() + sizeof(len), len);
+  buffer.erase(0, sizeof(len) + len);
+  return FrameStatus::kFrame;
+}
+
+std::string_view Request::option(std::string_view key,
+                                 std::string_view fallback) const {
+  auto it = options.find(key);
+  return it == options.end() ? fallback : std::string_view(it->second);
+}
+
+std::int64_t Request::option_int(std::string_view key, std::int64_t fallback,
+                                 bool* ok) const {
+  auto it = options.find(key);
+  if (it == options.end()) return fallback;
+  const std::string& text = it->second;
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                   value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    if (ok != nullptr) *ok = false;
+    return fallback;
+  }
+  return value;
+}
+
+std::string Request::encode() const {
+  std::string out = verb;
+  append_options(out, options);
+  out += '\n';
+  out += body;
+  return out;
+}
+
+bool parse_request(std::string_view payload, Request* request,
+                   std::string* error) {
+  *request = Request{};
+  std::string_view rest;
+  std::string_view line = first_line(payload, &rest);
+  std::size_t sp = line.find(' ');
+  std::string_view verb = line.substr(0, sp);
+  if (verb.empty()) {
+    *error = "empty request (missing verb)";
+    return false;
+  }
+  request->verb = std::string(verb);
+  std::string_view opts =
+      sp == std::string_view::npos ? std::string_view{} : line.substr(sp + 1);
+  if (!parse_options(opts, &request->options, error)) return false;
+  request->body = std::string(rest);
+  return true;
+}
+
+std::string_view Response::option(std::string_view key,
+                                  std::string_view fallback) const {
+  auto it = options.find(key);
+  return it == options.end() ? fallback : std::string_view(it->second);
+}
+
+std::string Response::encode() const {
+  std::string out;
+  if (!ok) {
+    out = "ERR ";
+    out += message;
+    out += '\n';
+    return out;
+  }
+  out = "OK";
+  // asm= / diag= are derived from the section strings so they can never
+  // disagree; encode them alongside the caller's options in sorted order
+  // for a canonical wire form.
+  auto sorted = options;
+  sorted["asm"] = std::to_string(asm_text.size());
+  if (!diag_text.empty()) sorted["diag"] = std::to_string(diag_text.size());
+  append_options(out, sorted);
+  out += '\n';
+  out += asm_text;
+  out += diag_text;
+  for (const auto& [name, value] : counters) {
+    out += "counter ";
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  return out;
+}
+
+bool parse_response(std::string_view payload, Response* response,
+                    std::string* error) {
+  *response = Response{};
+  std::string_view rest;
+  std::string_view line = first_line(payload, &rest);
+  if (line.rfind("ERR ", 0) == 0 || line == "ERR") {
+    response->ok = false;
+    response->message =
+        std::string(line.size() > 4 ? line.substr(4) : std::string_view{});
+    return true;
+  }
+  if (line != "OK" && line.rfind("OK ", 0) != 0) {
+    *error = "malformed response status line";
+    return false;
+  }
+  response->ok = true;
+  if (line.size() > 2 &&
+      !parse_options(line.substr(3), &response->options, error)) {
+    return false;
+  }
+  auto section_len = [&](const char* key, std::size_t limit,
+                         std::size_t* len) {
+    *len = 0;
+    auto it = response->options.find(key);
+    if (it == response->options.end()) return true;
+    const std::string& text = it->second;
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                     *len);
+    return ec == std::errc{} && ptr == text.data() + text.size() &&
+           *len <= limit;
+  };
+  std::size_t asm_len = 0;
+  std::size_t diag_len = 0;
+  if (!section_len("asm", rest.size(), &asm_len) ||
+      !section_len("diag", rest.size() - asm_len, &diag_len)) {
+    *error = "response section length does not match payload";
+    return false;
+  }
+  response->asm_text = std::string(rest.substr(0, asm_len));
+  response->diag_text = std::string(rest.substr(asm_len, diag_len));
+  std::string_view tail = rest.substr(asm_len + diag_len);
+  while (!tail.empty()) {
+    std::string_view counter_line = first_line(tail, &tail);
+    if (counter_line.empty()) continue;
+    if (counter_line.rfind("counter ", 0) != 0) {
+      *error = "malformed response trailer line";
+      return false;
+    }
+    std::string_view entry = counter_line.substr(8);
+    std::size_t sp = entry.rfind(' ');
+    if (sp == std::string_view::npos) {
+      *error = "malformed counter line";
+      return false;
+    }
+    std::string_view value_text = entry.substr(sp + 1);
+    std::uint64_t value = 0;
+    auto [ptr, ec] = std::from_chars(
+        value_text.data(), value_text.data() + value_text.size(), value);
+    if (ec != std::errc{} || ptr != value_text.data() + value_text.size()) {
+      *error = "malformed counter value";
+      return false;
+    }
+    response->counters.emplace_back(std::string(entry.substr(0, sp)), value);
+  }
+  return true;
+}
+
+}  // namespace ais::server

@@ -1,0 +1,475 @@
+#include "server/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/schedule_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/process_stats.hpp"
+#include "obs/stats.hpp"
+#include "server/compile_service.hpp"
+#include "server/protocol.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_pool.hpp"
+
+namespace ais::server {
+namespace {
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    // MSG_NOSIGNAL: a vanished peer is EPIPE, not process death.  A failed
+    // send drops the reply — the client is gone.
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) return;
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+/// One client connection.  The fd stays open until the last reference
+/// drops: pending worker replies hold a shared_ptr, so a reader exiting at
+/// EOF never yanks the fd from under an in-flight response.
+struct Conn {
+  explicit Conn(int f) : fd(f) {}
+  ~Conn() { ::close(fd); }
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  void write_payload(std::string_view payload) {
+    std::string framed;
+    framed.reserve(payload.size() + sizeof(std::uint32_t));
+    append_frame(framed, payload);
+    MutexLock lock(write_mu);
+    send_all(fd, framed);
+  }
+
+  const int fd;
+  Mutex write_mu;  // frames must hit the stream atomically
+};
+
+/// The per-worker reusable state (satellite: scratch pooling).  Pool
+/// workers are dedicated threads, so thread_local gives exactly one scratch
+/// per worker, reused across every request it serves.
+WorkerScratch& worker_scratch() {
+  thread_local WorkerScratch scratch;
+  return scratch;
+}
+
+struct Job {
+  std::shared_ptr<Conn> conn;
+  Request request;
+  std::int64_t enqueue_us = 0;
+};
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(ServerOptions o) : opts(std::move(o)) {
+    auto& reg = obs::MetricRegistry::global();
+    request_us_ok = reg.histogram("server_request_us", {"outcome", "ok"});
+    request_us_error =
+        reg.histogram("server_request_us", {"outcome", "error"});
+    queue_wait_us = reg.histogram("server_queue_wait_us");
+    batch_size = reg.histogram("server_batch_size");
+    queue_depth = reg.gauge("server_queue_depth");
+    connections = reg.gauge("server_connections");
+  }
+
+  ServerOptions opts;
+  int listen_fd = -1;
+
+  std::atomic<bool> stop_accept{false};
+  std::thread accept_thread;
+  std::thread dispatch_thread;
+  std::unique_ptr<ThreadPool> pool;
+
+  Mutex mu;
+  CondVar queue_cv;         // dispatcher wake: work or stopping
+  CondVar queue_not_full;   // reader back-pressure release
+  CondVar drained_cv;       // stop(): in_flight reached zero
+  CondVar wait_cv;          // wait(): SHUTDOWN verb arrived
+  std::deque<Job> queue AIS_GUARDED_BY(mu);
+  std::size_t in_flight AIS_GUARDED_BY(mu) = 0;  // enqueued, reply not sent
+  bool stopping AIS_GUARDED_BY(mu) = false;
+  bool shutdown_requested AIS_GUARDED_BY(mu) = false;
+  std::vector<std::shared_ptr<Conn>> conns AIS_GUARDED_BY(mu);
+  std::vector<std::thread> readers AIS_GUARDED_BY(mu);
+
+  std::mutex lifecycle_mu;  // start/stop idempotence; never nested in mu
+  bool started = false;
+  bool stopped = false;
+
+  obs::Histogram* request_us_ok = nullptr;
+  obs::Histogram* request_us_error = nullptr;
+  obs::Histogram* queue_wait_us = nullptr;
+  obs::Histogram* batch_size = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+  obs::Gauge* connections = nullptr;
+
+  void count_request(std::string_view verb, bool ok) {
+    obs::MetricRegistry::global()
+        .counter("server_requests_total", {"verb", verb},
+                 {"outcome", ok ? "ok" : "error"})
+        ->add(1);
+  }
+
+  void accept_loop() {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    while (!stop_accept.load(std::memory_order_relaxed)) {
+      pfd.revents = 0;
+      int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+      if (ready <= 0) continue;
+      int cfd = ::accept(listen_fd, nullptr, nullptr);
+      if (cfd < 0) continue;
+      auto conn = std::make_shared<Conn>(cfd);
+      connections->add(1);
+      MutexLock lock(mu);
+      if (stopping) {
+        connections->add(-1);
+        continue;  // conn closes via dtor
+      }
+      conns.push_back(conn);
+      readers.emplace_back([this, conn] { reader_loop(conn); });
+    }
+  }
+
+  void reader_loop(std::shared_ptr<Conn> conn) AIS_EXCLUDES(mu) {
+    std::string buffer;
+    std::string payload;
+    char chunk[65536];
+    bool close_conn = false;
+    while (!close_conn) {
+      ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      for (;;) {
+        FrameStatus status =
+            take_frame(buffer, opts.max_frame_bytes, &payload);
+        if (status == FrameStatus::kNeedMore) break;
+        if (status == FrameStatus::kOversized) {
+          // The stream offset is unrecoverable: error out and hang up.
+          Response reply;
+          reply.message = "frame exceeds max_frame_bytes";
+          conn->write_payload(reply.encode());
+          count_request("unknown", false);
+          close_conn = true;
+          break;
+        }
+        handle_payload(conn, payload);
+      }
+    }
+    // A protocol-level hangup still owes the client a FIN: the Conn's fd
+    // stays open until the last in-flight reply drops its reference, so
+    // shutdown() is what the client actually observes as the close.
+    if (close_conn) ::shutdown(conn->fd, SHUT_RDWR);
+    // Deregister so churning clients do not accumulate open fds for the
+    // life of the daemon; queued jobs keep the Conn alive via shared_ptr.
+    {
+      MutexLock lock(mu);
+      const auto it = std::find(conns.begin(), conns.end(), conn);
+      if (it != conns.end()) conns.erase(it);
+    }
+    connections->add(-1);
+  }
+
+  void handle_payload(const std::shared_ptr<Conn>& conn,
+                      const std::string& payload) AIS_EXCLUDES(mu) {
+    Request request;
+    Response reply;
+    std::string error;
+    if (!parse_request(payload, &request, &error)) {
+      reply.message = error;
+      conn->write_payload(reply.encode());
+      count_request("unknown", false);
+      return;
+    }
+    if (request.verb == kVerbCompile) {
+      if (!enqueue(conn, std::move(request))) {
+        reply.message = "server is shutting down";
+        conn->write_payload(reply.encode());
+        count_request("compile", false);
+      }
+      return;
+    }
+    if (request.verb == kVerbPing) {
+      reply.ok = true;
+      conn->write_payload(reply.encode());
+      count_request("ping", true);
+      return;
+    }
+    if (request.verb == kVerbMetrics || request.verb == "STATS") {
+      obs::record_process_gauges();
+      reply.ok = true;
+      std::string_view format = request.option("format", "prom");
+      auto& reg = obs::MetricRegistry::global();
+      reply.diag_text =
+          format == "json" ? reg.json_text() : reg.prometheus_text();
+      conn->write_payload(reply.encode());
+      count_request("metrics", true);
+      return;
+    }
+    if (request.verb == kVerbShutdown) {
+      reply.ok = true;
+      conn->write_payload(reply.encode());
+      count_request("shutdown", true);
+      MutexLock lock(mu);
+      shutdown_requested = true;
+      wait_cv.notify_all();
+      return;
+    }
+    reply.message = "unknown verb '" + request.verb + "'";
+    conn->write_payload(reply.encode());
+    count_request("unknown", false);
+  }
+
+  /// Admission: blocks while the queue is full (back-pressure — the
+  /// client's sends stall behind this reader).  False once stopping.
+  bool enqueue(const std::shared_ptr<Conn>& conn, Request request)
+      AIS_EXCLUDES(mu) {
+    Job job{conn, std::move(request), now_us()};
+    MutexLock lock(mu);
+    while (queue.size() >= opts.queue_cap && !stopping) {
+      queue_not_full.wait(mu);
+    }
+    if (stopping) return false;
+    queue.push_back(std::move(job));
+    ++in_flight;
+    queue_depth->set(static_cast<std::int64_t>(queue.size()));
+    queue_cv.notify_one();
+    return true;
+  }
+
+  void dispatch_loop() AIS_EXCLUDES(mu) {
+    std::vector<Job> batch;
+    for (;;) {
+      batch.clear();
+      {
+        MutexLock lock(mu);
+        while (queue.empty() && !stopping) queue_cv.wait(mu);
+        if (queue.empty() && stopping) return;
+        // Micro-batch: gather until batch_max or until the first request
+        // has waited batch_window_us.  While stopping, flush immediately.
+        const std::int64_t deadline = now_us() + opts.batch_window_us;
+        for (;;) {
+          while (!queue.empty() && batch.size() < opts.batch_max) {
+            batch.push_back(std::move(queue.front()));
+            queue.pop_front();
+          }
+          if (batch.size() >= opts.batch_max || stopping) break;
+          const std::int64_t remaining = deadline - now_us();
+          if (remaining <= 0) break;
+          if (!queue_cv.wait_for(mu,
+                                 std::chrono::microseconds(remaining))) {
+            // Timed out: take anything that raced in, then flush.
+            while (!queue.empty() && batch.size() < opts.batch_max) {
+              batch.push_back(std::move(queue.front()));
+              queue.pop_front();
+            }
+            break;
+          }
+        }
+        queue_depth->set(static_cast<std::int64_t>(queue.size()));
+        queue_not_full.notify_all();
+      }
+      batch_size->record(batch.size());
+      for (Job& job : batch) {
+        pool->submit([this, job = std::move(job)]() mutable {
+          process(std::move(job));
+        });
+      }
+    }
+  }
+
+  void process(Job job) AIS_EXCLUDES(mu) {
+    const std::int64_t start = now_us();
+    queue_wait_us->record(
+        static_cast<std::uint64_t>(start - job.enqueue_us));
+    WorkerScratch& scratch = worker_scratch();
+
+    Response reply;
+    CompileOptions copts;
+    std::string error;
+    if (!decode_compile_options(job.request, &copts, &error)) {
+      reply.message = error;
+    } else {
+      const std::string* body = &job.request.body;
+      std::string file_body;
+      std::string_view file = job.request.option("file");
+      if (!file.empty()) {
+        std::ifstream in{std::string(file)};
+        if (!in.is_open()) {
+          reply.message = "cannot open file '" + std::string(file) + "'";
+          body = nullptr;
+        } else {
+          std::ostringstream text;
+          text << in.rdbuf();
+          file_body = text.str();
+          body = &file_body;
+        }
+      }
+      if (body != nullptr) compile_ir(*body, copts, scratch, &reply);
+    }
+
+    std::string_view id = job.request.option("id");
+    if (!id.empty()) {
+      if (reply.ok) {
+        reply.options["id"] = std::string(id);
+      } else {
+        reply.message += " (id=" + std::string(id) + ")";
+      }
+    }
+    job.conn->write_payload(reply.encode());
+
+    const std::int64_t elapsed = now_us() - start;
+    (reply.ok ? request_us_ok : request_us_error)
+        ->record(static_cast<std::uint64_t>(elapsed));
+    count_request("compile", reply.ok);
+    obs::record_arena_high_water(
+        "server_worker",
+        static_cast<std::int64_t>(scratch.bytes_reserved()));
+
+    MutexLock lock(mu);
+    if (--in_flight == 0) drained_cv.notify_all();
+  }
+};
+
+Server::Server(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Server::~Server() { stop(); }
+
+const ServerOptions& Server::options() const { return impl_->opts; }
+
+bool Server::start(std::string* error) {
+  {
+    std::lock_guard<std::mutex> guard(impl_->lifecycle_mu);
+    if (impl_->started) {
+      *error = "server already started";
+      return false;
+    }
+    impl_->started = true;
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (impl_->opts.socket_path.empty() ||
+      impl_->opts.socket_path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path empty or too long for AF_UNIX";
+    return false;
+  }
+  std::memcpy(addr.sun_path, impl_->opts.socket_path.c_str(),
+              impl_->opts.socket_path.size() + 1);
+
+  impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (impl_->listen_fd < 0) {
+    *error = "socket(): " + std::string(std::strerror(errno));
+    return false;
+  }
+  ::unlink(impl_->opts.socket_path.c_str());  // stale path from a past run
+  if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(impl_->listen_fd, 128) != 0) {
+    *error = "bind/listen on '" + impl_->opts.socket_path +
+             "': " + std::string(std::strerror(errno));
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+    return false;
+  }
+
+  // Counters and latency histograms must be live for METRICS regardless of
+  // the environment; mirrors what aisc does under --metrics-out.
+  obs::init_from_env();
+  obs::set_enabled(true);
+  obs::register_builtin_counters();
+
+  impl_->pool = std::make_unique<ThreadPool>(clamp_jobs(impl_->opts.threads));
+  impl_->dispatch_thread = std::thread([this] { impl_->dispatch_loop(); });
+  impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
+  return true;
+}
+
+void Server::wait() {
+  {
+    MutexLock lock(impl_->mu);
+    while (!impl_->shutdown_requested && !impl_->stopping) {
+      impl_->wait_cv.wait(impl_->mu);
+    }
+  }
+  stop();
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> guard(impl_->lifecycle_mu);
+    if (!impl_->started || impl_->stopped) return;
+    impl_->stopped = true;
+  }
+
+  // 1. No new connections.
+  impl_->stop_accept.store(true, std::memory_order_relaxed);
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+
+  // 2. No new admissions; wake every blocked thread; shut down connection
+  //    read sides so readers run dry (write sides stay open for replies).
+  {
+    MutexLock lock(impl_->mu);
+    impl_->stopping = true;
+    impl_->queue_cv.notify_all();
+    impl_->queue_not_full.notify_all();
+    impl_->wait_cv.notify_all();
+    for (const auto& conn : impl_->conns) ::shutdown(conn->fd, SHUT_RD);
+  }
+
+  // 3. Drain: every admitted request gets its reply.
+  {
+    MutexLock lock(impl_->mu);
+    while (impl_->in_flight > 0) impl_->drained_cv.wait(impl_->mu);
+  }
+  if (impl_->dispatch_thread.joinable()) impl_->dispatch_thread.join();
+  if (impl_->pool) {
+    impl_->pool->wait_idle();
+    impl_->pool.reset();
+  }
+
+  // 4. Join readers and release connections.
+  std::vector<std::thread> readers;
+  std::vector<std::shared_ptr<Conn>> conns;
+  {
+    MutexLock lock(impl_->mu);
+    readers.swap(impl_->readers);
+    conns.swap(impl_->conns);
+  }
+  for (std::thread& t : readers) t.join();
+  conns.clear();
+
+  if (impl_->listen_fd >= 0) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+  }
+  ::unlink(impl_->opts.socket_path.c_str());
+
+  // 5. Persist what the run learned.
+  ScheduleCache::global().flush_disk();
+}
+
+}  // namespace ais::server

@@ -1,0 +1,78 @@
+// aisd's daemon core: a unix-domain stream socket accepting framed compile
+// requests from many concurrent clients, admitted through a bounded queue
+// with a micro-batching window onto one shared ThreadPool.
+//
+// Threading model
+// ---------------
+//  * one accept thread (poll + accept, so stop() never races a blocking
+//    accept),
+//  * one reader thread per connection (blocking recv; control verbs — PING,
+//    METRICS/STATS, SHUTDOWN — are answered inline; COMPILE is enqueued),
+//  * one dispatcher thread draining the bounded queue in micro-batches (up
+//    to batch_max requests or batch_window_us, whichever first) onto the
+//    pool,
+//  * pool workers compiling and writing replies (per-connection write mutex
+//    keeps frames atomic; replies may interleave across requests, matched
+//    by the id= echo).
+//
+// Back-pressure: a full queue blocks the reader — the client's socket fills
+// and its sends stall, which is the admission control.  Per-request
+// isolation: each worker owns a thread-local WorkerScratch (arena-backed
+// simulator scratch + reply buffers) reused across requests; the shared
+// schedule cache provides cross-tenant warm hits and is itself responsible
+// for counter-identical replay.  Responses are byte-identical to offline
+// aisc at every concurrency level (tests/test_server.cpp).
+//
+// Graceful shutdown (`stop()`, or the SHUTDOWN verb via `wait()`): stop
+// accepting, shut down connection read sides, drain every admitted request
+// (replies are still written), then join all threads and flush the cache's
+// disk tier.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace ais::server {
+
+struct ServerOptions {
+  std::string socket_path;
+  /// Pool workers compiling requests; <= 0 = one per hardware thread.
+  int threads = 0;
+  /// Bounded admission queue: readers block (back-pressure) when full.
+  std::size_t queue_cap = 1024;
+  /// Micro-batch: the dispatcher forwards once it holds batch_max requests
+  /// or the oldest has waited batch_window_us, whichever comes first.
+  std::size_t batch_max = 32;
+  std::int64_t batch_window_us = 200;
+  std::size_t max_frame_bytes = 8u << 20;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();  // calls stop()
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and starts serving.  False with *error set when the socket
+  /// cannot be created (path too long, bind/listen failure).
+  bool start(std::string* error);
+
+  /// Blocks until a client issues SHUTDOWN (or another thread calls
+  /// stop()), then performs the graceful stop.  The aisd main loop.
+  void wait();
+
+  /// Graceful stop, idempotent: drains admitted requests, joins every
+  /// thread, flushes the cache disk tier.  Must not be called from a
+  /// server-owned thread (use the SHUTDOWN verb there).
+  void stop();
+
+  const ServerOptions& options() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ais::server

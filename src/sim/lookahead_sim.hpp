@@ -68,6 +68,10 @@ class SimScratch {
  public:
   SimScratch();
 
+  /// Arena bytes this scratch has reserved — the high-water footprint a
+  /// long-lived holder (an aisd worker) reports as a gauge.
+  std::size_t bytes_reserved() const { return arena_.bytes_reserved(); }
+
   /// A dep-satisfied but not yet ready position, keyed by the cycle its
   /// last operand arrives (min-heap order).
   struct WakeEntry {

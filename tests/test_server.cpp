@@ -1,0 +1,452 @@
+// aisd server tests: the framed protocol round-trips, concurrent clients
+// get byte-identical answers to a serial offline compile (assembly,
+// diagnostics and non-cache counter streams), malformed and oversized
+// frames turn into error replies instead of crashes, graceful shutdown
+// drains every admitted request, and the warm cache is shared across
+// tenant connections.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/schedule_cache.hpp"
+#include "ir/instruction.hpp"
+#include "obs/obs.hpp"
+#include "server/client.hpp"
+#include "server/compile_service.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "support/prng.hpp"
+#include "workloads/random_ir.hpp"
+
+#ifndef AISC_BINARY
+#error "AISC_BINARY must point at the aisc executable"
+#endif
+#ifndef AIS_EXAMPLES_DIR
+#error "AIS_EXAMPLES_DIR must point at the shipped examples/"
+#endif
+
+namespace ais {
+namespace {
+
+std::string unique_socket_path(const char* tag) {
+  static std::atomic<int> seq{0};
+  return ::testing::TempDir() + "/aisd_" + tag + "_" +
+         std::to_string(::getpid()) + "_" +
+         std::to_string(seq.fetch_add(1)) + ".sock";
+}
+
+std::string render_trace(const Trace& trace) {
+  std::string text;
+  for (const BasicBlock& bb : trace.blocks) {
+    text += "block " + bb.label + ":\n";
+    for (const Instruction& inst : bb.insts) {
+      text += "  " + inst.to_string() + "\n";
+    }
+  }
+  return text;
+}
+
+std::vector<std::string> make_bodies(std::size_t count, int blocks,
+                                     int insts, std::uint64_t seed) {
+  Prng prng(seed);
+  RandomIrParams params;
+  params.num_insts = insts;
+  std::vector<std::string> bodies;
+  bodies.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bodies.push_back(render_trace(random_ir_trace(prng, params, blocks)));
+  }
+  return bodies;
+}
+
+/// The serial offline reference for one body: compile_ir with the schedule
+/// cache bypassed — exactly what a cold, single-request aisc run computes.
+server::Response serial_reference(const std::string& body,
+                                  const server::CompileOptions& options) {
+  ScheduleCache::ScopedBypass bypass;
+  server::WorkerScratch scratch;
+  server::Response reply;
+  server::compile_ir(body, options, scratch, &reply);
+  return reply;
+}
+
+std::uint64_t counter_total(const char* name) {
+  for (const auto& [counter, value] : obs::counters_snapshot()) {
+    if (counter == name) return value;
+  }
+  return 0;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(const char* tag,
+                   const std::function<void(server::ServerOptions&)>& tweak =
+                       nullptr) {
+    server::ServerOptions options;
+    options.socket_path = unique_socket_path(tag);
+    options.threads = 4;
+    if (tweak) tweak(options);
+    server_ = std::make_unique<server::Server>(options);
+    std::string error;
+    ASSERT_TRUE(server_->start(&error)) << error;
+    socket_path_ = options.socket_path;
+  }
+
+  void TearDown() override {
+    if (server_) server_->stop();
+  }
+
+  server::Request compile_request(const std::string& body,
+                                  bool profile = false,
+                                  bool verify = false) const {
+    server::Request req;
+    req.verb = server::kVerbCompile;
+    req.options["mode"] = "trace";
+    req.options["machine"] = "rs6000";
+    req.options["window"] = "2";
+    if (profile) req.options["profile"] = "1";
+    if (verify) req.options["verify"] = "1";
+    req.body = body;
+    return req;
+  }
+
+  std::unique_ptr<server::Server> server_;
+  std::string socket_path_;
+};
+
+// --- protocol unit tests --------------------------------------------------
+
+TEST(ServerProtocol, FrameRoundTrip) {
+  std::string wire;
+  server::append_frame(wire, "hello");
+  server::append_frame(wire, "");
+  std::string payload;
+  ASSERT_EQ(server::take_frame(wire, 1 << 20, &payload),
+            server::FrameStatus::kFrame);
+  EXPECT_EQ(payload, "hello");
+  ASSERT_EQ(server::take_frame(wire, 1 << 20, &payload),
+            server::FrameStatus::kFrame);
+  EXPECT_EQ(payload, "");
+  EXPECT_EQ(server::take_frame(wire, 1 << 20, &payload),
+            server::FrameStatus::kNeedMore);
+}
+
+TEST(ServerProtocol, OversizedFrameDetected) {
+  std::string wire;
+  server::append_frame(wire, std::string(4096, 'x'));
+  std::string payload;
+  EXPECT_EQ(server::take_frame(wire, 1024, &payload),
+            server::FrameStatus::kOversized);
+}
+
+TEST(ServerProtocol, RequestRoundTrip) {
+  server::Request req;
+  req.verb = server::kVerbCompile;
+  req.options["mode"] = "trace";
+  req.options["window"] = "4";
+  req.body = "block a:\n  LI r1, 0\n";
+  server::Request parsed;
+  std::string error;
+  ASSERT_TRUE(server::parse_request(req.encode(), &parsed, &error)) << error;
+  EXPECT_EQ(parsed.verb, req.verb);
+  EXPECT_EQ(parsed.options, req.options);
+  EXPECT_EQ(parsed.body, req.body);
+}
+
+TEST(ServerProtocol, ResponseRoundTrip) {
+  server::Response resp;
+  resp.ok = true;
+  resp.options["id"] = "7";
+  resp.asm_text = "block a:\n  LI r1, 0\n";
+  resp.diag_text = "verify: ok\n";
+  resp.counters.emplace_back("rank.sessions", 3);
+  server::Response parsed;
+  std::string error;
+  ASSERT_TRUE(server::parse_response(resp.encode(), &parsed, &error))
+      << error;
+  EXPECT_TRUE(parsed.ok);
+  EXPECT_EQ(parsed.option("id"), "7");
+  EXPECT_EQ(parsed.asm_text, resp.asm_text);
+  EXPECT_EQ(parsed.diag_text, resp.diag_text);
+  EXPECT_EQ(parsed.counters, resp.counters);
+}
+
+// --- differential: concurrent server vs serial offline compile ------------
+
+TEST_F(ServerTest, ByteIdenticalAcrossConcurrencyLevels) {
+  StartServer("diff");
+  const std::vector<std::string> bodies = make_bodies(24, 3, 10, 17);
+
+  server::CompileOptions ref_options;
+  ref_options.mode = "trace";
+  ref_options.machine = "rs6000";
+  ref_options.window = 2;
+  ref_options.profile = true;
+  ref_options.verify = true;
+  std::vector<server::Response> reference;
+  reference.reserve(bodies.size());
+  for (const std::string& body : bodies) {
+    reference.push_back(serial_reference(body, ref_options));
+    ASSERT_TRUE(reference.back().ok) << reference.back().message;
+  }
+
+  for (const std::size_t clients : {std::size_t{1}, std::size_t{8},
+                                    std::size_t{32}}) {
+    const std::size_t per_client = 12;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        server::Client client;
+        std::string error;
+        if (!client.connect(socket_path_, &error)) {
+          ADD_FAILURE() << error;
+          failures.fetch_add(1);
+          return;
+        }
+        for (std::size_t i = 0; i < per_client; ++i) {
+          const std::size_t which = (c * per_client + i) % bodies.size();
+          const server::Request req =
+              compile_request(bodies[which], /*profile=*/true,
+                              /*verify=*/true);
+          server::Response resp;
+          if (!client.call(req, &resp, &error)) {
+            ADD_FAILURE() << error;
+            failures.fetch_add(1);
+            return;
+          }
+          const server::Response& ref = reference[which];
+          if (!resp.ok || resp.asm_text != ref.asm_text ||
+              resp.diag_text != ref.diag_text ||
+              resp.counters != ref.counters ||
+              resp.option("verified") != ref.option("verified")) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(failures.load(), 0)
+        << "divergence from serial reference at " << clients << " clients";
+  }
+}
+
+TEST_F(ServerTest, MatchesOfflineAiscBinary) {
+  StartServer("aisc");
+  struct Case {
+    const char* file;
+    const char* mode;
+  };
+  for (const Case& c : {Case{"two_block_trace.s", "trace"},
+                        Case{"memory_alias.s", "trace"},
+                        Case{"fig3_loop.s", "loop"},
+                        Case{"diamond_cfg.s", "cfg"}}) {
+    const std::string path = std::string(AIS_EXAMPLES_DIR) + "/" + c.file;
+    const std::string out_path = ::testing::TempDir() + "/aisc_ref.txt";
+    const std::string cmd = std::string(AISC_BINARY) + " --in " + path +
+                            " --mode " + c.mode +
+                            " --machine rs6000 --window 2 > " + out_path +
+                            " 2>/dev/null";
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+    server::Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect(socket_path_, &error)) << error;
+    server::Request req;
+    req.verb = server::kVerbCompile;
+    req.options["mode"] = c.mode;
+    req.options["machine"] = "rs6000";
+    req.options["window"] = "2";
+    req.body = slurp(path);
+    server::Response resp;
+    ASSERT_TRUE(client.call(req, &resp, &error)) << error;
+    ASSERT_TRUE(resp.ok) << resp.message;
+    EXPECT_EQ(resp.asm_text, slurp(out_path)) << c.file;
+  }
+}
+
+// --- robustness -----------------------------------------------------------
+
+TEST_F(ServerTest, MalformedRequestsGetErrorRepliesNotCrashes) {
+  StartServer("malformed");
+  server::Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(socket_path_, &error)) << error;
+
+  struct Case {
+    const char* name;
+    std::string payload;
+  };
+  const std::string valid_body = "block a:\n  LI r1, 1\n  ADD r2, r1, r1\n";
+  for (const Case& c : {
+           Case{"empty payload", ""},
+           Case{"unknown verb", "FROBNICATE\n"},
+           Case{"bad option token", "COMPILE modetrace\n" + valid_body},
+           Case{"unknown option", "COMPILE wibble=1\n" + valid_body},
+           Case{"unknown machine", "COMPILE machine=pdp11\n" + valid_body},
+           Case{"unknown mode", "COMPILE mode=warp\n" + valid_body},
+           Case{"negative window", "COMPILE window=-3\n" + valid_body},
+           Case{"unparseable window", "COMPILE window=banana\n" + valid_body},
+           Case{"empty program", "COMPILE mode=trace\n"},
+           Case{"garbage program", "COMPILE mode=trace\nLI LI LI\n"},
+           Case{"bad opcode", "COMPILE\nblock a:\n  QUUX r1, r2\n"},
+           Case{"huge register index",
+                "COMPILE\nblock a:\n  LI r99999999999999999999, 1\n"},
+       }) {
+    ASSERT_TRUE(client.send_payload(c.payload, &error)) << c.name;
+    server::Response resp;
+    ASSERT_TRUE(client.receive(&resp, &error)) << c.name << ": " << error;
+    EXPECT_FALSE(resp.ok) << c.name;
+    EXPECT_FALSE(resp.message.empty()) << c.name;
+  }
+
+  // The connection survived every malformed request.
+  server::Response resp;
+  ASSERT_TRUE(client.call(compile_request(valid_body), &resp, &error))
+      << error;
+  EXPECT_TRUE(resp.ok) << resp.message;
+}
+
+TEST_F(ServerTest, OversizedFrameGetsErrorReplyThenClose) {
+  StartServer("oversized", [](server::ServerOptions& options) {
+    options.max_frame_bytes = 4096;
+  });
+  server::Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(socket_path_, &error)) << error;
+  ASSERT_TRUE(client.send_payload(std::string(8192, 'x'), &error)) << error;
+  server::Response resp;
+  ASSERT_TRUE(client.receive(&resp, &error)) << error;
+  EXPECT_FALSE(resp.ok);
+  // The declared frame length is unrecoverable — the server closes after
+  // the error reply.
+  EXPECT_FALSE(client.receive(&resp, &error));
+
+  // A fresh connection still works.
+  server::Client again;
+  ASSERT_TRUE(again.connect(socket_path_, &error)) << error;
+  ASSERT_TRUE(again.call(compile_request("block a:\n  LI r1, 1\n"), &resp,
+                         &error))
+      << error;
+  EXPECT_TRUE(resp.ok) << resp.message;
+}
+
+TEST_F(ServerTest, PingAndMetricsVerbs) {
+  StartServer("verbs");
+  server::Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(socket_path_, &error)) << error;
+
+  server::Request ping;
+  ping.verb = server::kVerbPing;
+  server::Response resp;
+  ASSERT_TRUE(client.call(ping, &resp, &error)) << error;
+  EXPECT_TRUE(resp.ok);
+
+  // One compile so the request histogram is non-empty.
+  ASSERT_TRUE(client.call(compile_request("block a:\n  LI r1, 1\n"), &resp,
+                          &error))
+      << error;
+  ASSERT_TRUE(resp.ok) << resp.message;
+
+  server::Request metrics;
+  metrics.verb = server::kVerbMetrics;
+  ASSERT_TRUE(client.call(metrics, &resp, &error)) << error;
+  ASSERT_TRUE(resp.ok);
+  EXPECT_NE(resp.diag_text.find("server_request_us"), std::string::npos);
+  EXPECT_NE(resp.diag_text.find("server_requests_total"), std::string::npos);
+}
+
+// --- graceful shutdown drains in-flight work ------------------------------
+
+TEST_F(ServerTest, ShutdownVerbDrainsAdmittedRequests) {
+  StartServer("drain");
+  const std::vector<std::string> bodies = make_bodies(8, 3, 10, 29);
+
+  server::Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(socket_path_, &error)) << error;
+
+  // Pipeline a burst of compiles, then SHUTDOWN on the same connection:
+  // the reader admits frames in order, so every compile is enqueued before
+  // the shutdown is processed and the drain must answer all of them.
+  const std::size_t burst = 64;
+  for (std::size_t i = 0; i < burst; ++i) {
+    server::Request req = compile_request(bodies[i % bodies.size()]);
+    req.options["id"] = std::to_string(i);
+    ASSERT_TRUE(client.send(req, &error)) << error;
+  }
+  server::Request shutdown;
+  shutdown.verb = server::kVerbShutdown;
+  ASSERT_TRUE(client.send(shutdown, &error)) << error;
+
+  std::size_t compile_replies = 0;
+  std::size_t shutdown_replies = 0;
+  for (std::size_t i = 0; i < burst + 1; ++i) {
+    server::Response resp;
+    ASSERT_TRUE(client.receive(&resp, &error)) << error;
+    EXPECT_TRUE(resp.ok) << resp.message;
+    if (resp.option("id").empty()) {
+      ++shutdown_replies;
+    } else {
+      ++compile_replies;
+      EXPECT_FALSE(resp.asm_text.empty());
+    }
+  }
+  EXPECT_EQ(compile_replies, burst);
+  EXPECT_EQ(shutdown_replies, 1u);
+
+  server_->wait();  // returns because SHUTDOWN stopped the server
+}
+
+// --- the warm cache is shared across tenants ------------------------------
+
+TEST_F(ServerTest, CacheSharedAcrossTenantConnections) {
+  StartServer("tenants");
+  ScheduleCache::global().set_enabled(true);
+  ScheduleCache::global().clear();
+  const std::vector<std::string> bodies = make_bodies(12, 3, 10, 41);
+
+  auto compile_all = [&](server::Client& client) {
+    std::string error;
+    for (const std::string& body : bodies) {
+      server::Response resp;
+      ASSERT_TRUE(client.call(compile_request(body), &resp, &error)) << error;
+      ASSERT_TRUE(resp.ok) << resp.message;
+    }
+  };
+
+  std::string error;
+  server::Client tenant_a;
+  ASSERT_TRUE(tenant_a.connect(socket_path_, &error)) << error;
+  compile_all(tenant_a);
+
+  // Tenant B, a separate connection, re-compiles the same bodies: every
+  // request must be served from the cache tenant A warmed.
+  const std::uint64_t hits_before = counter_total(obs::ctr::kCacheHits);
+  server::Client tenant_b;
+  ASSERT_TRUE(tenant_b.connect(socket_path_, &error)) << error;
+  compile_all(tenant_b);
+  const std::uint64_t hits_after = counter_total(obs::ctr::kCacheHits);
+  EXPECT_GE(hits_after - hits_before, bodies.size());
+}
+
+}  // namespace
+}  // namespace ais

@@ -1,0 +1,115 @@
+// aisd — the long-lived anticipatory-scheduling daemon.
+//
+// Listens on a unix-domain socket for framed compile requests (see
+// docs/SERVER.md for the protocol) and serves them from a shared warm
+// schedule cache through the ThreadPool:
+//
+//   aisd --socket /tmp/aisd.sock
+//   aisd --socket /tmp/aisd.sock --threads 8 --cache-dir /var/cache/aisd
+//
+// Flags:
+//   --socket PATH         unix socket to listen on (required)
+//   --threads N           pool workers (0 = one per hardware thread)
+//   --queue-cap N         bounded admission queue depth (default 1024)
+//   --batch-max N         micro-batch size cap (default 32)
+//   --batch-window-us N   micro-batch gather window (default 200)
+//   --cache BOOL          enable/disable the shared schedule cache
+//   --cache-dir DIR       persistent cache tier shared across restarts
+//   --metrics-out F       write the metric registry on clean shutdown
+//                         (Prometheus text, or JSON when F ends in .json)
+//
+// Shut down with the SHUTDOWN verb (aisload --shutdown) or SIGINT/SIGTERM;
+// both drain every admitted request and flush the cache's disk tier.
+#include <signal.h>
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "core/schedule_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/process_stats.hpp"
+#include "server/server.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+using namespace ais;
+
+bool ends_with_json(const std::string& path) {
+  return path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  server::ServerOptions options;
+  options.socket_path = args.get_string("socket", "");
+  if (options.socket_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: aisd --socket PATH [--threads N] [--queue-cap N] "
+                 "[--batch-max N] [--batch-window-us N] [--cache BOOL] "
+                 "[--cache-dir DIR] [--metrics-out FILE]\n");
+    return 1;
+  }
+  options.threads = static_cast<int>(args.get_int("threads", 0));
+  options.queue_cap =
+      static_cast<std::size_t>(args.get_int("queue-cap", 1024));
+  options.batch_max = static_cast<std::size_t>(args.get_int("batch-max", 32));
+  options.batch_window_us = args.get_int("batch-window-us", 200);
+
+  if (args.has("cache")) {
+    ScheduleCache::global().set_enabled(args.get_bool("cache", true));
+  }
+  const std::string cache_dir = args.get_string("cache-dir", "");
+  if (!cache_dir.empty()) ScheduleCache::global().set_disk_dir(cache_dir);
+  const std::string metrics_path = args.get_string("metrics-out", "");
+
+  // Graceful SIGINT/SIGTERM: block them here (inherited by every server
+  // thread), then let a watcher thread sigwait and stop the server — signal
+  // handlers cannot take the locks a graceful stop needs.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  server::Server server(options);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "aisd: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "aisd: listening on %s (%d workers)\n",
+               options.socket_path.c_str(),
+               options.threads > 0
+                   ? options.threads
+                   : static_cast<int>(std::thread::hardware_concurrency()));
+
+  std::thread([&server, sigs] {
+    int sig = 0;
+    if (sigwait(&sigs, &sig) == 0) server.stop();
+  }).detach();  // never fires on the SHUTDOWN-verb path; gone at exit
+
+  server.wait();
+
+  if (!metrics_path.empty()) {
+    obs::record_process_gauges();
+    std::ofstream out(metrics_path);
+    if (out.is_open()) {
+      if (ends_with_json(metrics_path)) {
+        obs::MetricRegistry::global().write_json(out);
+      } else {
+        obs::MetricRegistry::global().write_prometheus(out);
+      }
+    }
+    if (!out.good()) {
+      std::fprintf(stderr, "aisd: cannot write metrics to %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "aisd: clean shutdown\n");
+  return 0;
+}
