@@ -5,15 +5,15 @@
 #
 #   sh scripts/bench_json.sh [BUILD_DIR] [OUT_FILE]
 #
-# The committed BENCH_PR9.json at the repo root is this script's output;
+# The committed BENCH_PR10.json at the repo root is this script's output;
 # regenerate it after scheduler changes so the numbers stay honest.
-# BENCH_PR8.json is the frozen previous-PR baseline that CI's perf-smoke
+# BENCH_PR9.json is the frozen previous-PR baseline that CI's perf-smoke
 # job diffs fresh numbers against (bench_json.py --compare); the baseline
 # rolls forward one PR at a time (see docs/PERFORMANCE.md).
 set -eu
 
 BUILD=${1:-build}
-OUT=${2:-BENCH_PR9.json}
+OUT=${2:-BENCH_PR10.json}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -49,9 +49,13 @@ EXAMPLES=$(dirname "$0")/../examples
 
 # Daemon soak: 1e5 warm requests through the socket protocol; the bench
 # gates itself (warm p50 must beat cold p50 by >= 3x, soak RSS growth must
-# stay flat) and exits nonzero on violation (docs/SERVER.md).
+# stay flat, TCP throughput within 15% of unix, QoS-contended interactive
+# p99 <= 3x uncontended with FIFO measurably worse) and exits nonzero on
+# violation (docs/SERVER.md).
 "$BUILD/bench/bench_server" --requests 100000 \
     --min-warm-speedup 3 --max-rss-growth-mb 64 \
+    --min-tcp-ratio 0.85 --max-qos-p99-factor 3 --min-fifo-qos-ratio 1.3 \
+    --shards 1,16,64,256 --sweep-clients 64,128,256 \
     --json "$TMP/server.json" > /dev/null
 
 python3 "$(dirname "$0")/bench_json.py" \

@@ -1,0 +1,81 @@
+#include "server/admission.hpp"
+
+#include <charconv>
+
+namespace ais::server {
+
+bool parse_priority(std::string_view text, Priority* out) {
+  if (text == "interactive" || text == "0") {
+    *out = Priority::kInteractive;
+    return true;
+  }
+  if (text == "normal" || text == "1" || text.empty()) {
+    *out = Priority::kNormal;
+    return true;
+  }
+  if (text == "bulk" || text == "2") {
+    *out = Priority::kBulk;
+    return true;
+  }
+  return false;
+}
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kBulk:
+      return "bulk";
+  }
+  return "normal";
+}
+
+bool valid_tenant(std::string_view name) {
+  if (name.empty()) return true;  // option absent -> kDefaultTenant
+  if (name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool parse_quota_list(std::string_view text, std::vector<TenantQuota>* out,
+                      std::string* error) {
+  while (!text.empty()) {
+    std::size_t comma = text.find(',');
+    std::string_view token = text.substr(0, comma);
+    text = comma == std::string_view::npos ? std::string_view{}
+                                           : text.substr(comma + 1);
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0 ||
+        eq + 1 == token.size()) {
+      *error = "malformed quota '" + std::string(token) +
+               "' (expected tenant=rps)";
+      return false;
+    }
+    TenantQuota quota;
+    quota.tenant = std::string(token.substr(0, eq));
+    if (!valid_tenant(quota.tenant) || quota.tenant.empty()) {
+      *error = "bad tenant name in quota '" + std::string(token) + "'";
+      return false;
+    }
+    const std::string_view rate = token.substr(eq + 1);
+    auto [ptr, ec] =
+        std::from_chars(rate.data(), rate.data() + rate.size(), quota.rps);
+    if (ec != std::errc{} || ptr != rate.data() + rate.size() ||
+        quota.rps < 0) {
+      *error = "bad rate in quota '" + std::string(token) + "'";
+      return false;
+    }
+    out->push_back(std::move(quota));
+  }
+  return true;
+}
+
+}  // namespace ais::server

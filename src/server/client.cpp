@@ -1,13 +1,103 @@
 #include "server/client.hpp"
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace ais::server {
+namespace {
+
+/// A connect failure worth retrying while the daemon boots: the socket
+/// path is not on disk yet (ENOENT), or the listener is not accepting
+/// (ECONNREFUSED — also what a freshly unlinked stale unix path gives).
+bool retryable_connect_errno(int err) {
+  return err == ECONNREFUSED || err == ENOENT;
+}
+
+/// One unix-socket connect attempt.  Returns the connected fd or -1 with
+/// errno set; *error is set only for non-errno (argument) failures.
+int try_connect_unix(const std::string& socket_path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path empty or too long for AF_UNIX";
+    errno = EINVAL;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = "socket(): " + std::string(std::strerror(errno));
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    *error = "connect to '" + socket_path +
+             "': " + std::string(std::strerror(saved));
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
+/// One TCP connect attempt against every address "host:port" resolves to.
+int try_connect_tcp(const std::string& host_port, std::string* error) {
+  const std::size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == host_port.size()) {
+    *error = "tcp endpoint '" + host_port + "' is not host:port";
+    errno = EINVAL;
+    return -1;
+  }
+  const std::string host = host_port.substr(0, colon);
+  const std::string port = host_port.substr(colon + 1);
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int gai = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+  if (gai != 0) {
+    *error = "resolve '" + host_port + "': " + ::gai_strerror(gai);
+    errno = ENOENT;
+    return -1;
+  }
+  int last_errno = ECONNREFUSED;
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    *error = "connect to '" + host_port +
+             "': " + std::string(std::strerror(last_errno));
+    errno = last_errno;
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
 
 Client::~Client() { close(); }
 
@@ -19,27 +109,32 @@ void Client::close() {
   buffer_.clear();
 }
 
-bool Client::connect(const std::string& socket_path, std::string* error) {
+bool Client::connect_with_retry(const std::string& target,
+                                std::string* error, bool tcp) {
   close();
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
-    *error = "socket path empty or too long for AF_UNIX";
-    return false;
+  int backoff_ms = 10;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(connect_retry_ms_);
+  for (;;) {
+    fd_ = tcp ? try_connect_tcp(target, error)
+              : try_connect_unix(target, error);
+    if (fd_ >= 0) return true;
+    if (!retryable_connect_errno(errno) ||
+        std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(backoff_ms) > deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    if (backoff_ms < 200) backoff_ms *= 2;
   }
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) {
-    *error = "socket(): " + std::string(std::strerror(errno));
-    return false;
-  }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    *error = "connect to '" + socket_path +
-             "': " + std::string(std::strerror(errno));
-    close();
-    return false;
-  }
-  return true;
+}
+
+bool Client::connect(const std::string& socket_path, std::string* error) {
+  return connect_with_retry(socket_path, error, /*tcp=*/false);
+}
+
+bool Client::connect_tcp(const std::string& host_port, std::string* error) {
+  return connect_with_retry(host_port, error, /*tcp=*/true);
 }
 
 bool Client::send_payload(std::string_view payload, std::string* error) {

@@ -1,8 +1,15 @@
-// Blocking aisd client: connect to the daemon's unix socket, send framed
-// requests, receive framed responses.  One Client per connection; a Client
-// is not thread-safe (aisload gives each closed-loop worker its own), but
-// send/receive may be driven from two cooperating threads for pipelined
-// open-loop use (the socket itself is full-duplex).
+// Blocking aisd client: connect to the daemon over its unix socket or a
+// TCP endpoint, send framed requests, receive framed responses.  One Client
+// per connection; a Client is not thread-safe (aisload gives each
+// closed-loop worker its own), but send/receive may be driven from two
+// cooperating threads for pipelined open-loop use (the socket itself is
+// full-duplex).
+//
+// Both connect paths retry a bounded backoff window on ECONNREFUSED /
+// ENOENT (daemon still booting: the socket path does not exist yet, or the
+// listener's backlog is not up) so a fast client start no longer races
+// daemon boot — set_connect_retry_ms(0) restores fail-fast for callers
+// probing liveness.
 #pragma once
 
 #include <string>
@@ -18,9 +25,20 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connects to the daemon at `socket_path`.  False with *error set when
-  /// the path is invalid or the daemon is not listening.
+  /// Connects to the daemon at `socket_path` (AF_UNIX).  False with
+  /// *error set when the path is invalid or the daemon is not listening
+  /// after the retry window.
   bool connect(const std::string& socket_path, std::string* error);
+
+  /// Connects to a TCP endpoint "host:port" (numeric or resolvable host).
+  /// Sets TCP_NODELAY — requests are latency-sensitive single frames, so
+  /// Nagle coalescing only hurts.
+  bool connect_tcp(const std::string& host_port, std::string* error);
+
+  /// Total budget for connect retries on ECONNREFUSED/ENOENT, doubling
+  /// backoff from 10 ms.  0 disables retry (single attempt).
+  void set_connect_retry_ms(int ms) { connect_retry_ms_ = ms; }
+
   void close();
   bool connected() const { return fd_ >= 0; }
 
@@ -36,7 +54,11 @@ class Client {
   bool call(const Request& request, Response* response, std::string* error);
 
  private:
+  bool connect_with_retry(const std::string& target, std::string* error,
+                          bool tcp);
+
   int fd_ = -1;
+  int connect_retry_ms_ = 2000;
   std::string buffer_;  // bytes received beyond the last complete frame
 };
 

@@ -55,7 +55,8 @@ void attach_verification(const verify::Report& report, Response* reply) {
 }  // namespace
 
 std::size_t WorkerScratch::bytes_reserved() const {
-  return sim.bytes_reserved() + asm_text.capacity() + payload.capacity();
+  return sim.bytes_reserved() + asm_text.capacity() + head.capacity() +
+         tail.capacity();
 }
 
 bool decode_compile_options(const Request& request, CompileOptions* options,
@@ -81,9 +82,11 @@ bool decode_compile_options(const Request& request, CompileOptions* options,
       ok = parse_bool(value, &options->verify);
     } else if (key == "profile") {
       ok = parse_bool(value, &options->profile);
-    } else if (key == "file" || key == "id") {
+    } else if (key == "file" || key == "id" || key == "priority" ||
+               key == "tenant") {
       // Handled by the server before the compile: file= loads the body,
-      // id= is echoed into the reply.
+      // id= is echoed into the reply, priority=/tenant= drive admission
+      // (validated before enqueue) and never change the compiled output.
     } else {
       *error = "unknown COMPILE option '" + key + "'";
       return false;

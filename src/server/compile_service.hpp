@@ -41,7 +41,8 @@ struct CompileOptions {
 struct WorkerScratch {
   SimScratch sim;
   std::string asm_text;
-  std::string payload;
+  std::string head;  // reply status line (Response::encode_head target)
+  std::string tail;  // reply counter trailer (encode_tail target)
 
   /// Bytes currently reserved by the reusable buffers (high-water gauge).
   std::size_t bytes_reserved() const;

@@ -127,31 +127,42 @@ std::string_view Response::option(std::string_view key,
   return it == options.end() ? fallback : std::string_view(it->second);
 }
 
-std::string Response::encode() const {
-  std::string out;
+void Response::encode_head(std::string* out) const {
   if (!ok) {
-    out = "ERR ";
-    out += message;
-    out += '\n';
-    return out;
+    out->append("ERR ");
+    out->append(message);
+    out->push_back('\n');
+    return;
   }
-  out = "OK";
+  out->append("OK");
   // asm= / diag= are derived from the section strings so they can never
   // disagree; encode them alongside the caller's options in sorted order
-  // for a canonical wire form.
+  // for a canonical wire form.  The map is small (a handful of status
+  // keys), so the sorted copy costs a few string moves, not a body copy.
   auto sorted = options;
   sorted["asm"] = std::to_string(asm_text.size());
   if (!diag_text.empty()) sorted["diag"] = std::to_string(diag_text.size());
-  append_options(out, sorted);
-  out += '\n';
-  out += asm_text;
-  out += diag_text;
+  append_options(*out, sorted);
+  out->push_back('\n');
+}
+
+void Response::encode_tail(std::string* out) const {
   for (const auto& [name, value] : counters) {
-    out += "counter ";
-    out += name;
-    out += ' ';
-    out += std::to_string(value);
-    out += '\n';
+    out->append("counter ");
+    out->append(name);
+    out->push_back(' ');
+    out->append(std::to_string(value));
+    out->push_back('\n');
+  }
+}
+
+std::string Response::encode() const {
+  std::string out;
+  encode_head(&out);
+  if (ok) {
+    out += asm_text;
+    out += diag_text;
+    encode_tail(&out);
   }
   return out;
 }

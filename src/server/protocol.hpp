@@ -103,6 +103,14 @@ struct Response {
                           std::string_view fallback = "") const;
 
   std::string encode() const;
+
+  /// The scatter-gather split of encode(): the payload is exactly
+  /// head + asm_text + diag_text + tail, so a worker can writev the four
+  /// pieces (plus the frame length prefix) without ever joining them into
+  /// one buffer.  Both append into caller-owned strings — the per-worker
+  /// scratch reuses their capacity across requests.
+  void encode_head(std::string* out) const;  // status line incl. '\n'
+  void encode_tail(std::string* out) const;  // "counter ..." trailer lines
 };
 
 bool parse_response(std::string_view payload, Response* response,

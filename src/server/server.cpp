@@ -1,7 +1,11 @@
 #include "server/server.hpp"
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -9,8 +13,8 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <climits>
 #include <cstring>
-#include <deque>
 #include <fstream>
 #include <mutex>
 #include <sstream>
@@ -22,6 +26,7 @@
 #include "obs/obs.hpp"
 #include "obs/process_stats.hpp"
 #include "obs/stats.hpp"
+#include "server/admission.hpp"
 #include "server/compile_service.hpp"
 #include "server/protocol.hpp"
 #include "support/mutex.hpp"
@@ -46,6 +51,28 @@ void send_all(int fd, std::string_view data) {
   }
 }
 
+/// Scatter-gather send: writev semantics via sendmsg (which takes the same
+/// iovec array but accepts MSG_NOSIGNAL).  Advances the iovec list across
+/// partial writes — a slow peer's socket buffer can split any frame.
+void sendv_all(int fd, iovec* iov, int iovcnt) {
+  while (iovcnt > 0) {
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    while (iovcnt > 0 && static_cast<std::size_t>(n) >= iov->iov_len) {
+      n -= static_cast<ssize_t>(iov->iov_len);
+      ++iov;
+      --iovcnt;
+    }
+    if (iovcnt > 0 && n > 0) {
+      iov->iov_base = static_cast<char*>(iov->iov_base) + n;
+      iov->iov_len -= static_cast<std::size_t>(n);
+    }
+  }
+}
+
 /// One client connection.  The fd stays open until the last reference
 /// drops: pending worker replies hold a shared_ptr, so a reader exiting at
 /// EOF never yanks the fd from under an in-flight response.
@@ -61,6 +88,30 @@ struct Conn {
     append_frame(framed, payload);
     MutexLock lock(write_mu);
     send_all(fd, framed);
+  }
+
+  /// The worker hot path: one frame whose payload is the concatenation of
+  /// `parts`, written scatter-gather — the length prefix and each part go
+  /// out as iovecs straight from their owning buffers, with no join copy.
+  void write_frame_parts(std::initializer_list<std::string_view> parts) {
+    std::size_t total = 0;
+    for (std::string_view p : parts) total += p.size();
+    const std::uint32_t len = static_cast<std::uint32_t>(total);
+    char prefix[sizeof(len)];
+    std::memcpy(prefix, &len, sizeof(len));
+    iovec iov[8];
+    int iovcnt = 0;
+    iov[iovcnt].iov_base = prefix;
+    iov[iovcnt].iov_len = sizeof(prefix);
+    ++iovcnt;
+    for (std::string_view p : parts) {
+      if (p.empty()) continue;
+      iov[iovcnt].iov_base = const_cast<char*>(p.data());
+      iov[iovcnt].iov_len = p.size();
+      ++iovcnt;
+    }
+    MutexLock lock(write_mu);
+    sendv_all(fd, iov, iovcnt);
   }
 
   const int fd;
@@ -79,41 +130,85 @@ struct Job {
   std::shared_ptr<Conn> conn;
   Request request;
   std::int64_t enqueue_us = 0;
+  Priority priority = Priority::kNormal;  // as requested, for metric labels
+  std::string tenant_label;               // cardinality-capped, see below
 };
+
+/// Tenant names are client-controlled, so a per-worker memo caps how many
+/// distinct label pairs the queue-wait histogram family can grow.
+obs::Histogram* queue_wait_hist(Priority prio,
+                                const std::string& tenant_label) {
+  struct Entry {
+    int prio;
+    std::string tenant;
+    obs::Histogram* hist;
+  };
+  thread_local std::vector<Entry> memo;
+  for (const Entry& e : memo) {
+    if (e.prio == static_cast<int>(prio) && e.tenant == tenant_label) {
+      return e.hist;
+    }
+  }
+  obs::Histogram* hist = obs::MetricRegistry::global().histogram(
+      "server_queue_wait_us", {"prio", priority_name(prio)},
+      {"tenant", tenant_label});
+  memo.push_back(Entry{static_cast<int>(prio), tenant_label, hist});
+  return hist;
+}
+
+/// Distinct tenant label values the server will ever emit; every tenant
+/// past the cap shares the "other" label (quotas still apply per tenant —
+/// only the metric label collapses).
+constexpr std::size_t kMaxTenantLabels = 64;
 
 }  // namespace
 
 struct Server::Impl {
-  explicit Impl(ServerOptions o) : opts(std::move(o)) {
+  explicit Impl(ServerOptions o)
+      : opts(std::move(o)), queue(opts.admission) {
     auto& reg = obs::MetricRegistry::global();
     request_us_ok = reg.histogram("server_request_us", {"outcome", "ok"});
     request_us_error =
         reg.histogram("server_request_us", {"outcome", "error"});
-    queue_wait_us = reg.histogram("server_queue_wait_us");
     batch_size = reg.histogram("server_batch_size");
     queue_depth = reg.gauge("server_queue_depth");
     connections = reg.gauge("server_connections");
   }
 
   ServerOptions opts;
-  int listen_fd = -1;
+  int unix_fd = -1;
+  int tcp_fd = -1;
+  int tcp_port_ = 0;
 
   std::atomic<bool> stop_accept{false};
   std::thread accept_thread;
   std::thread dispatch_thread;
   std::unique_ptr<ThreadPool> pool;
+  std::size_t dispatch_ahead_cap = 0;  // resolved in start()
 
   Mutex mu;
   CondVar queue_cv;         // dispatcher wake: work or stopping
   CondVar queue_not_full;   // reader back-pressure release
+  CondVar pool_room;        // dispatcher flow control: a job completed (or
+                            // an interactive request arrived — see enqueue)
   CondVar drained_cv;       // stop(): in_flight reached zero
   CondVar wait_cv;          // wait(): SHUTDOWN verb arrived
-  std::deque<Job> queue AIS_GUARDED_BY(mu);
+  AdmissionQueue<Job> queue AIS_GUARDED_BY(mu);
   std::size_t in_flight AIS_GUARDED_BY(mu) = 0;  // enqueued, reply not sent
+  /// Jobs submitted to the pool and not yet COMPLETED (in the pool FIFO or
+  /// running).  Capped at dispatch_ahead_cap so the pool's FIFO stays
+  /// shallow and the admission queue keeps ordering authority over nearly
+  /// all waiting work; the auto cap of 2x pool size leaves one queued job
+  /// per worker, so workers never idle between hand-offs.  Counting until
+  /// completion (not start) is what makes `--dispatch-ahead 1` strict:
+  /// exactly one request past admission at a time.
+  std::size_t pool_backlog AIS_GUARDED_BY(mu) = 0;
   bool stopping AIS_GUARDED_BY(mu) = false;
   bool shutdown_requested AIS_GUARDED_BY(mu) = false;
   std::vector<std::shared_ptr<Conn>> conns AIS_GUARDED_BY(mu);
   std::vector<std::thread> readers AIS_GUARDED_BY(mu);
+  std::vector<std::string> tenant_labels AIS_GUARDED_BY(mu);
+  AdmissionStats folded AIS_GUARDED_BY(mu);  // already in the registry
 
   std::mutex lifecycle_mu;  // start/stop idempotence; never nested in mu
   bool started = false;
@@ -121,7 +216,6 @@ struct Server::Impl {
 
   obs::Histogram* request_us_ok = nullptr;
   obs::Histogram* request_us_error = nullptr;
-  obs::Histogram* queue_wait_us = nullptr;
   obs::Histogram* batch_size = nullptr;
   obs::Gauge* queue_depth = nullptr;
   obs::Gauge* connections = nullptr;
@@ -133,23 +227,75 @@ struct Server::Impl {
         ->add(1);
   }
 
-  void accept_loop() {
-    pollfd pfd{listen_fd, POLLIN, 0};
-    while (!stop_accept.load(std::memory_order_relaxed)) {
-      pfd.revents = 0;
-      int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-      if (ready <= 0) continue;
-      int cfd = ::accept(listen_fd, nullptr, nullptr);
-      if (cfd < 0) continue;
-      auto conn = std::make_shared<Conn>(cfd);
-      connections->add(1);
-      MutexLock lock(mu);
-      if (stopping) {
-        connections->add(-1);
-        continue;  // conn closes via dtor
+  /// The metric label for `tenant`, interning up to kMaxTenantLabels
+  /// distinct values; everything beyond shares "other".
+  std::string tenant_label(std::string_view tenant) AIS_REQUIRES(mu) {
+    for (const std::string& t : tenant_labels) {
+      if (t == tenant) return t;
+    }
+    if (tenant_labels.size() < kMaxTenantLabels) {
+      tenant_labels.emplace_back(tenant);
+      return tenant_labels.back();
+    }
+    return "other";
+  }
+
+  /// Publishes AdmissionQueue stats growth since the last fold as counters.
+  void fold_admission_stats() AIS_REQUIRES(mu) {
+    const AdmissionStats& s = queue.stats();
+    auto& reg = obs::MetricRegistry::global();
+    auto fold = [&](const char* event, std::uint64_t cur,
+                    std::uint64_t& prev) {
+      if (cur > prev) {
+        reg.counter("server_admission_total", {"event", event})
+            ->add(cur - prev);
+        prev = cur;
       }
-      conns.push_back(conn);
-      readers.emplace_back([this, conn] { reader_loop(conn); });
+    };
+    fold("redeemed", s.redeemed, folded.redeemed);
+    fold("conserved", s.conserved, folded.conserved);
+    fold("force_admitted", s.force_admitted, folded.force_admitted);
+    fold("promoted", s.promoted, folded.promoted);
+    fold("requeued", s.requeued, folded.requeued);
+  }
+
+  void accept_loop() {
+    pollfd pfds[2];
+    bool tcp[2];
+    int nfds = 0;
+    if (unix_fd >= 0) {
+      pfds[nfds] = pollfd{unix_fd, POLLIN, 0};
+      tcp[nfds++] = false;
+    }
+    if (tcp_fd >= 0) {
+      pfds[nfds] = pollfd{tcp_fd, POLLIN, 0};
+      tcp[nfds++] = true;
+    }
+    while (!stop_accept.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < nfds; ++i) pfds[i].revents = 0;
+      int ready = ::poll(pfds, static_cast<nfds_t>(nfds),
+                         /*timeout_ms=*/100);
+      if (ready <= 0) continue;
+      for (int i = 0; i < nfds; ++i) {
+        if ((pfds[i].revents & POLLIN) == 0) continue;
+        int cfd = ::accept(pfds[i].fd, nullptr, nullptr);
+        if (cfd < 0) continue;
+        if (tcp[i]) {
+          // Replies are latency-sensitive single frames; Nagle coalescing
+          // against a peer's delayed ACK costs milliseconds per response.
+          int one = 1;
+          ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        }
+        auto conn = std::make_shared<Conn>(cfd);
+        connections->add(1);
+        MutexLock lock(mu);
+        if (stopping) {
+          connections->add(-1);
+          continue;  // conn closes via dtor
+        }
+        conns.push_back(conn);
+        readers.emplace_back([this, conn] { reader_loop(conn); });
+      }
     }
   }
 
@@ -158,7 +304,34 @@ struct Server::Impl {
     std::string payload;
     char chunk[65536];
     bool close_conn = false;
+    // Read-deadline state: armed only while a partial frame is buffered and
+    // re-armed on every byte of progress, so idle connections and slow but
+    // moving peers live while a peer stalled mid-frame is cut loose (its
+    // buffered prefix would otherwise pin reader memory forever).
+    std::int64_t stall_deadline_us = -1;
+    pollfd pfd{conn->fd, POLLIN, 0};
     while (!close_conn) {
+      int timeout_ms = -1;
+      if (stall_deadline_us >= 0) {
+        const std::int64_t remaining_ms =
+            (stall_deadline_us - now_us()) / 1000 + 1;
+        timeout_ms = remaining_ms < 1
+                         ? 0
+                         : static_cast<int>(std::min<std::int64_t>(
+                               remaining_ms, INT_MAX));
+      }
+      pfd.revents = 0;
+      int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (ready == 0) {
+        if (stall_deadline_us >= 0 && now_us() >= stall_deadline_us) {
+          close_conn = true;  // peer stalled mid-frame past the deadline
+        }
+        continue;
+      }
       ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
       if (n <= 0) break;
       buffer.append(chunk, static_cast<std::size_t>(n));
@@ -177,6 +350,10 @@ struct Server::Impl {
         }
         handle_payload(conn, payload);
       }
+      stall_deadline_us = !close_conn && !buffer.empty() &&
+                                  opts.read_deadline_ms > 0
+                              ? now_us() + opts.read_deadline_ms * 1000
+                              : -1;
     }
     // A protocol-level hangup still owes the client a FIN: the Conn's fd
     // stays open until the last in-flight reply drops its reference, so
@@ -204,10 +381,32 @@ struct Server::Impl {
       return;
     }
     if (request.verb == kVerbCompile) {
-      if (!enqueue(conn, std::move(request))) {
-        reply.message = "server is shutting down";
+      // Admission options are validated here, before the queue: an unknown
+      // priority or tenant must never reach scheduling state.  The ERR
+      // carries the id echo so pipelining clients can match it.
+      auto reject = [&](std::string message) {
+        std::string_view id = request.option("id");
+        if (!id.empty()) message += " (id=" + std::string(id) + ")";
+        reply.message = std::move(message);
         conn->write_payload(reply.encode());
         count_request("compile", false);
+      };
+      Priority priority = Priority::kNormal;
+      if (!parse_priority(request.option("priority"), &priority)) {
+        reject("unknown priority '" +
+               std::string(request.option("priority")) +
+               "' (want interactive|normal|bulk)");
+        return;
+      }
+      std::string_view tenant = request.option("tenant");
+      if (!valid_tenant(tenant)) {
+        reject("invalid tenant '" + std::string(tenant) +
+               "' (1-64 chars of [A-Za-z0-9_.-])");
+        return;
+      }
+      if (tenant.empty()) tenant = kDefaultTenant;
+      if (!enqueue(conn, std::move(request), priority, tenant)) {
+        reject("server is shutting down");
       }
       return;
     }
@@ -244,23 +443,39 @@ struct Server::Impl {
 
   /// Admission: blocks while the queue is full (back-pressure — the
   /// client's sends stall behind this reader).  False once stopping.
-  bool enqueue(const std::shared_ptr<Conn>& conn, Request request)
+  bool enqueue(const std::shared_ptr<Conn>& conn, Request request,
+               Priority priority, std::string_view tenant)
       AIS_EXCLUDES(mu) {
-    Job job{conn, std::move(request), now_us()};
     MutexLock lock(mu);
     while (queue.size() >= opts.queue_cap && !stopping) {
       queue_not_full.wait(mu);
     }
     if (stopping) return false;
-    queue.push_back(std::move(job));
+    const std::int64_t now = now_us();
+    Job job{conn, std::move(request), now, priority, tenant_label(tenant)};
+    const std::string label = job.tenant_label;
+    const bool deferred = queue.push(std::move(job), priority, tenant, now);
+    if (deferred) {
+      obs::MetricRegistry::global()
+          .counter("server_quota_deferred_total", {"tenant", label})
+          ->add(1);
+    }
     ++in_flight;
     queue_depth->set(static_cast<std::int64_t>(queue.size()));
     queue_cv.notify_one();
+    // An interactive arrival must also wake a dispatcher blocked on pool
+    // room so it can requeue held lower-priority work (see dispatch_loop).
+    if (priority == Priority::kInteractive) pool_room.notify_one();
     return true;
   }
 
+  struct Batched {
+    Job job;
+    Priority served = Priority::kNormal;  // level actually served from
+  };
+
   void dispatch_loop() AIS_EXCLUDES(mu) {
-    std::vector<Job> batch;
+    std::vector<Batched> batch;
     for (;;) {
       batch.clear();
       {
@@ -268,32 +483,72 @@ struct Server::Impl {
         while (queue.empty() && !stopping) queue_cv.wait(mu);
         if (queue.empty() && stopping) return;
         // Micro-batch: gather until batch_max or until the first request
-        // has waited batch_window_us.  While stopping, flush immediately.
+        // has waited batch_window_us — but close the window immediately
+        // once the batch holds an interactive request (its wait budget is
+        // the whole point of the priority).  While stopping, flush.
         const std::int64_t deadline = now_us() + opts.batch_window_us;
+        bool interactive = false;
         for (;;) {
-          while (!queue.empty() && batch.size() < opts.batch_max) {
-            batch.push_back(std::move(queue.front()));
-            queue.pop_front();
+          Job job;
+          Priority served = Priority::kNormal;
+          while (batch.size() < opts.batch_max &&
+                 queue.pop(now_us(), &job, &served)) {
+            if (served == Priority::kInteractive) interactive = true;
+            batch.push_back(Batched{std::move(job), served});
           }
-          if (batch.size() >= opts.batch_max || stopping) break;
+          if (batch.size() >= opts.batch_max || interactive || stopping) {
+            break;
+          }
           const std::int64_t remaining = deadline - now_us();
           if (remaining <= 0) break;
           if (!queue_cv.wait_for(mu,
                                  std::chrono::microseconds(remaining))) {
             // Timed out: take anything that raced in, then flush.
-            while (!queue.empty() && batch.size() < opts.batch_max) {
-              batch.push_back(std::move(queue.front()));
-              queue.pop_front();
+            while (batch.size() < opts.batch_max &&
+                   queue.pop(now_us(), &job, &served)) {
+              batch.push_back(Batched{std::move(job), served});
             }
             break;
           }
         }
         queue_depth->set(static_cast<std::int64_t>(queue.size()));
         queue_not_full.notify_all();
+        fold_admission_stats();
       }
       batch_size->record(batch.size());
-      for (Job& job : batch) {
-        pool->submit([this, job = std::move(job)]() mutable {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        // Flow control: the pool's internal FIFO cannot reorder, so every
+        // job handed over early is beyond the admission policy's reach.
+        // Cap the handover backlog and let waiting work keep aging,
+        // promoting and redeeming in the admission queue instead.
+        bool requeued = false;
+        {
+          MutexLock lock(mu);
+          while (pool_backlog >= dispatch_ahead_cap && !stopping) {
+            // Anti-inversion: blocked on pool room while holding
+            // non-interactive work and an interactive request just
+            // arrived — hand the undispatched remainder back to the
+            // front of its levels (reverse order preserves FIFO) and
+            // re-gather, so the interactive request goes next instead
+            // of waiting behind work that left admission early.
+            if (batch[i].served != Priority::kInteractive &&
+                queue.has_interactive()) {
+              for (std::size_t j = batch.size(); j-- > i;) {
+                const std::int64_t admitted = batch[j].job.enqueue_us;
+                queue.requeue_front(std::move(batch[j].job),
+                                    batch[j].served, admitted);
+              }
+              queue_depth->set(static_cast<std::int64_t>(queue.size()));
+              fold_admission_stats();
+              requeued = true;
+              break;
+            }
+            pool_room.wait(mu);
+          }
+          if (!requeued) ++pool_backlog;
+        }
+        if (requeued) break;
+        pool->submit([this, job = std::move(batch[i].job)]() mutable {
           process(std::move(job));
         });
       }
@@ -302,8 +557,8 @@ struct Server::Impl {
 
   void process(Job job) AIS_EXCLUDES(mu) {
     const std::int64_t start = now_us();
-    queue_wait_us->record(
-        static_cast<std::uint64_t>(start - job.enqueue_us));
+    queue_wait_hist(job.priority, job.tenant_label)
+        ->record(static_cast<std::uint64_t>(start - job.enqueue_us));
     WorkerScratch& scratch = worker_scratch();
 
     Response reply;
@@ -338,7 +593,17 @@ struct Server::Impl {
         reply.message += " (id=" + std::string(id) + ")";
       }
     }
-    job.conn->write_payload(reply.encode());
+    // Scatter-gather reply: status head and counter trailer build in the
+    // worker's reused scratch buffers, the assembly/diagnostic sections go
+    // out of their owning strings — one frame, zero join copies, written
+    // off the dispatcher's thread.
+    scratch.head.clear();
+    scratch.tail.clear();
+    reply.encode_head(&scratch.head);
+    if (reply.ok) reply.encode_tail(&scratch.tail);
+    job.conn->write_frame_parts(
+        {scratch.head, reply.ok ? std::string_view(reply.asm_text) : "",
+         reply.ok ? std::string_view(reply.diag_text) : "", scratch.tail});
 
     const std::int64_t elapsed = now_us() - start;
     (reply.ok ? request_us_ok : request_us_error)
@@ -349,9 +614,102 @@ struct Server::Impl {
         static_cast<std::int64_t>(scratch.bytes_reserved()));
 
     MutexLock lock(mu);
+    --pool_backlog;  // completion, not start: the cap counts unfinished work
+    pool_room.notify_one();
     if (--in_flight == 0) drained_cv.notify_all();
   }
 };
+
+namespace {
+
+/// Binds and listens on an AF_UNIX stream socket at `path`.
+int bind_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path empty or too long for AF_UNIX";
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = "socket(): " + std::string(std::strerror(errno));
+    return -1;
+  }
+  ::unlink(path.c_str());  // stale path from a past run
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 128) != 0) {
+    *error = "bind/listen on '" + path +
+             "': " + std::string(std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Binds and listens on a TCP "host:port" endpoint; *port gets the bound
+/// port (resolving a requested port 0 to the kernel's pick).
+int bind_tcp(const std::string& host_port, int* port, std::string* error) {
+  const std::size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == host_port.size()) {
+    *error = "tcp endpoint '" + host_port + "' is not host:port";
+    return -1;
+  }
+  const std::string host = host_port.substr(0, colon);
+  const std::string port_text = host_port.substr(colon + 1);
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const int gai =
+      ::getaddrinfo(host.c_str(), port_text.c_str(), &hints, &res);
+  if (gai != 0) {
+    *error = "resolve '" + host_port + "': " + ::gai_strerror(gai);
+    return -1;
+  }
+  int fd = -1;
+  int last_errno = EADDRNOTAVAIL;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, 128) == 0) {
+      break;
+    }
+    last_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    *error = "bind/listen on '" + host_port +
+             "': " + std::string(std::strerror(last_errno));
+    return -1;
+  }
+  sockaddr_storage bound{};
+  socklen_t bound_len = sizeof(bound);
+  *port = 0;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    if (bound.ss_family == AF_INET) {
+      *port = ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+    } else if (bound.ss_family == AF_INET6) {
+      *port = ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
+    }
+  }
+  return fd;
+}
+
+}  // namespace
 
 Server::Server(ServerOptions options)
     : impl_(std::make_unique<Impl>(std::move(options))) {}
@@ -359,6 +717,8 @@ Server::Server(ServerOptions options)
 Server::~Server() { stop(); }
 
 const ServerOptions& Server::options() const { return impl_->opts; }
+
+int Server::tcp_port() const { return impl_->tcp_port_; }
 
 bool Server::start(std::string* error) {
   {
@@ -370,30 +730,25 @@ bool Server::start(std::string* error) {
     impl_->started = true;
   }
 
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (impl_->opts.socket_path.empty() ||
-      impl_->opts.socket_path.size() >= sizeof(addr.sun_path)) {
-    *error = "socket path empty or too long for AF_UNIX";
+  if (impl_->opts.socket_path.empty() && impl_->opts.tcp_addr.empty()) {
+    *error = "no listener configured (need socket_path and/or tcp_addr)";
     return false;
   }
-  std::memcpy(addr.sun_path, impl_->opts.socket_path.c_str(),
-              impl_->opts.socket_path.size() + 1);
-
-  impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (impl_->listen_fd < 0) {
-    *error = "socket(): " + std::string(std::strerror(errno));
-    return false;
+  if (!impl_->opts.socket_path.empty()) {
+    impl_->unix_fd = bind_unix(impl_->opts.socket_path, error);
+    if (impl_->unix_fd < 0) return false;
   }
-  ::unlink(impl_->opts.socket_path.c_str());  // stale path from a past run
-  if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(impl_->listen_fd, 128) != 0) {
-    *error = "bind/listen on '" + impl_->opts.socket_path +
-             "': " + std::string(std::strerror(errno));
-    ::close(impl_->listen_fd);
-    impl_->listen_fd = -1;
-    return false;
+  if (!impl_->opts.tcp_addr.empty()) {
+    impl_->tcp_fd =
+        bind_tcp(impl_->opts.tcp_addr, &impl_->tcp_port_, error);
+    if (impl_->tcp_fd < 0) {
+      if (impl_->unix_fd >= 0) {
+        ::close(impl_->unix_fd);
+        impl_->unix_fd = -1;
+        ::unlink(impl_->opts.socket_path.c_str());
+      }
+      return false;
+    }
   }
 
   // Counters and latency histograms must be live for METRICS regardless of
@@ -403,6 +758,9 @@ bool Server::start(std::string* error) {
   obs::register_builtin_counters();
 
   impl_->pool = std::make_unique<ThreadPool>(clamp_jobs(impl_->opts.threads));
+  impl_->dispatch_ahead_cap = impl_->opts.dispatch_ahead > 0
+                                  ? impl_->opts.dispatch_ahead
+                                  : 2 * impl_->pool->size();
   impl_->dispatch_thread = std::thread([this] { impl_->dispatch_loop(); });
   impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
   return true;
@@ -436,11 +794,14 @@ void Server::stop() {
     impl_->stopping = true;
     impl_->queue_cv.notify_all();
     impl_->queue_not_full.notify_all();
+    impl_->pool_room.notify_all();
     impl_->wait_cv.notify_all();
     for (const auto& conn : impl_->conns) ::shutdown(conn->fd, SHUT_RD);
   }
 
-  // 3. Drain: every admitted request gets its reply.
+  // 3. Drain: every admitted request — including deferred over-quota work,
+  //    which the dispatcher's stopping flush pulls via work conservation —
+  //    gets its reply.
   {
     MutexLock lock(impl_->mu);
     while (impl_->in_flight > 0) impl_->drained_cv.wait(impl_->mu);
@@ -462,11 +823,17 @@ void Server::stop() {
   for (std::thread& t : readers) t.join();
   conns.clear();
 
-  if (impl_->listen_fd >= 0) {
-    ::close(impl_->listen_fd);
-    impl_->listen_fd = -1;
+  if (impl_->unix_fd >= 0) {
+    ::close(impl_->unix_fd);
+    impl_->unix_fd = -1;
   }
-  ::unlink(impl_->opts.socket_path.c_str());
+  if (impl_->tcp_fd >= 0) {
+    ::close(impl_->tcp_fd);
+    impl_->tcp_fd = -1;
+  }
+  if (!impl_->opts.socket_path.empty()) {
+    ::unlink(impl_->opts.socket_path.c_str());
+  }
 
   // 5. Persist what the run learned.
   ScheduleCache::global().flush_disk();

@@ -1,51 +1,85 @@
-// aisd's daemon core: a unix-domain stream socket accepting framed compile
-// requests from many concurrent clients, admitted through a bounded queue
-// with a micro-batching window onto one shared ThreadPool.
+// aisd's daemon core: unix-domain and/or TCP stream listeners accepting
+// framed compile requests from many concurrent clients, admitted through a
+// QoS-aware bounded queue with a micro-batching window onto one shared
+// ThreadPool.
 //
 // Threading model
 // ---------------
-//  * one accept thread (poll + accept, so stop() never races a blocking
-//    accept),
-//  * one reader thread per connection (blocking recv; control verbs — PING,
-//    METRICS/STATS, SHUTDOWN — are answered inline; COMPILE is enqueued),
-//  * one dispatcher thread draining the bounded queue in micro-batches (up
-//    to batch_max requests or batch_window_us, whichever first) onto the
-//    pool,
-//  * pool workers compiling and writing replies (per-connection write mutex
-//    keeps frames atomic; replies may interleave across requests, matched
-//    by the id= echo).
+//  * one accept thread (poll over up to two listen fds — unix and TCP — so
+//    stop() never races a blocking accept; accepted TCP sockets get
+//    TCP_NODELAY),
+//  * one reader thread per connection (poll + recv with a per-connection
+//    read deadline: a peer stalled mid-frame past read_deadline_ms is
+//    disconnected, an idle connection between frames is left alone;
+//    control verbs — PING, METRICS/STATS, SHUTDOWN — are answered inline;
+//    COMPILE is enqueued),
+//  * one dispatcher thread draining the admission queue in micro-batches
+//    (up to batch_max requests or batch_window_us, whichever first; a
+//    batch closes early the moment it holds an interactive-priority
+//    request) onto the pool, never letting more than dispatch_ahead
+//    unfinished jobs past admission — the pool's own FIFO cannot reorder,
+//    so keeping its backlog shallow is what makes admission priority
+//    bind; held work is given back (front-of-level) when an interactive
+//    request arrives behind it,
+//  * pool workers compiling and writing replies (per-connection write
+//    mutex keeps frames atomic; replies may interleave across requests,
+//    matched by the id= echo).  Replies are never joined into one buffer:
+//    the worker writev()s the frame prefix, status head, assembly,
+//    diagnostics and counter trailer straight from their own storage.
 //
-// Back-pressure: a full queue blocks the reader — the client's socket fills
-// and its sends stall, which is the admission control.  Per-request
-// isolation: each worker owns a thread-local WorkerScratch (arena-backed
-// simulator scratch + reply buffers) reused across requests; the shared
-// schedule cache provides cross-tenant warm hits and is itself responsible
-// for counter-identical replay.  Responses are byte-identical to offline
-// aisc at every concurrency level (tests/test_server.cpp).
+// Admission (src/server/admission.hpp): COMPILE requests carry optional
+// priority= (interactive|normal|bulk) and tenant= options feeding a
+// weighted multi-level queue with per-tenant token-bucket quotas —
+// over-quota work is deferred behind in-quota work (never dropped) and
+// starvation-proofed by aging.  Back-pressure is unchanged from PR 9: a
+// full queue blocks the reader, the client's socket fills and its sends
+// stall.  Responses are byte-identical to offline aisc on both transports
+// at every concurrency level and priority mix (tests/test_server.cpp).
 //
 // Graceful shutdown (`stop()`, or the SHUTDOWN verb via `wait()`): stop
 // accepting, shut down connection read sides, drain every admitted request
-// (replies are still written), then join all threads and flush the cache's
-// disk tier.
+// including deferred over-quota work (replies are still written), then
+// join all threads and flush the cache's disk tier.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
 
+#include "server/admission.hpp"
+
 namespace ais::server {
 
 struct ServerOptions {
+  /// Unix listener path; empty = no unix listener.
   std::string socket_path;
+  /// TCP listener "host:port" (port 0 = kernel-assigned, see
+  /// Server::tcp_port()); empty = no TCP listener.  At least one of
+  /// socket_path / tcp_addr must be set.
+  std::string tcp_addr;
   /// Pool workers compiling requests; <= 0 = one per hardware thread.
   int threads = 0;
-  /// Bounded admission queue: readers block (back-pressure) when full.
+  /// Bounded admission queue (levels + deferred): readers block
+  /// (back-pressure) when full.
   std::size_t queue_cap = 1024;
   /// Micro-batch: the dispatcher forwards once it holds batch_max requests
-  /// or the oldest has waited batch_window_us, whichever comes first.
+  /// or the oldest has waited batch_window_us, whichever comes first; an
+  /// interactive-priority arrival closes the batch immediately.
   std::size_t batch_max = 32;
   std::int64_t batch_window_us = 200;
+  /// Max jobs submitted to the pool but not yet picked up by a worker;
+  /// 0 = auto (2x pool size).  Small values keep ordering authority in
+  /// the admission queue (tail latency), large ones approach PR 9's
+  /// unbounded hand-off (throughput is unaffected either way: workers
+  /// always have the next batch waiting).
+  std::size_t dispatch_ahead = 0;
+  /// A peer stalled mid-frame longer than this is disconnected; idle
+  /// connections between frames are unaffected.  <= 0 disables.
+  std::int64_t read_deadline_ms = 30'000;
   std::size_t max_frame_bytes = 8u << 20;
+  /// QoS admission policy (priorities, quotas, aging).  admission.qos =
+  /// false restores the PR 9 FIFO — the bench_server baseline arm.
+  AdmissionOptions admission;
 };
 
 class Server {
@@ -55,8 +89,9 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds and starts serving.  False with *error set when the socket
-  /// cannot be created (path too long, bind/listen failure).
+  /// Binds and starts serving.  False with *error set when no listener is
+  /// configured or a socket cannot be created (path too long, bind/listen
+  /// failure, unresolvable TCP address).
   bool start(std::string* error);
 
   /// Blocks until a client issues SHUTDOWN (or another thread calls
@@ -69,6 +104,10 @@ class Server {
   void stop();
 
   const ServerOptions& options() const;
+
+  /// The TCP listener's bound port after start() (resolves tcp_addr port
+  /// 0 to the kernel's choice); 0 when no TCP listener is configured.
+  int tcp_port() const;
 
  private:
   struct Impl;

@@ -1,14 +1,21 @@
 // aisd server tests: the framed protocol round-trips, concurrent clients
 // get byte-identical answers to a serial offline compile (assembly,
-// diagnostics and non-cache counter streams), malformed and oversized
-// frames turn into error replies instead of crashes, graceful shutdown
-// drains every admitted request, and the warm cache is shared across
-// tenant connections.
+// diagnostics and non-cache counter streams) over both transports and
+// every priority mix, malformed and oversized frames turn into error
+// replies instead of crashes, the QoS admission queue defers over-quota
+// work without dropping it and ages bulk work out of starvation, read
+// deadlines cut stalled peers but spare idle connections, graceful
+// shutdown drains every admitted request, and the warm cache is shared
+// across tenant connections.
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cstring>
 #include <cstdint>
 #include <fstream>
 #include <map>
@@ -20,6 +27,7 @@
 #include "core/schedule_cache.hpp"
 #include "ir/instruction.hpp"
 #include "obs/obs.hpp"
+#include "server/admission.hpp"
 #include "server/client.hpp"
 #include "server/compile_service.hpp"
 #include "server/protocol.hpp"
@@ -106,6 +114,14 @@ class ServerTest : public ::testing::Test {
     std::string error;
     ASSERT_TRUE(server_->start(&error)) << error;
     socket_path_ = options.socket_path;
+    if (!options.tcp_addr.empty()) {
+      tcp_target_ = "127.0.0.1:" + std::to_string(server_->tcp_port());
+    }
+  }
+
+  bool Connect(server::Client& client, bool tcp, std::string* error) const {
+    return tcp ? client.connect_tcp(tcp_target_, error)
+               : client.connect(socket_path_, error);
   }
 
   void TearDown() override {
@@ -126,8 +142,78 @@ class ServerTest : public ::testing::Test {
     return req;
   }
 
+  /// The differential body shared by the unix and TCP transport tests:
+  /// concurrent clients at several fan-outs, every request tagged with a
+  /// rotating priority/tenant mix, replies compared byte-for-byte against
+  /// the serial offline reference — QoS options may reorder service but
+  /// must never change a single output byte.
+  void RunDifferential(bool tcp) {
+    const std::vector<std::string> bodies = make_bodies(24, 3, 10, 17);
+
+    server::CompileOptions ref_options;
+    ref_options.mode = "trace";
+    ref_options.machine = "rs6000";
+    ref_options.window = 2;
+    ref_options.profile = true;
+    ref_options.verify = true;
+    std::vector<server::Response> reference;
+    reference.reserve(bodies.size());
+    for (const std::string& body : bodies) {
+      reference.push_back(serial_reference(body, ref_options));
+      ASSERT_TRUE(reference.back().ok) << reference.back().message;
+    }
+
+    static constexpr const char* kPriorities[] = {"interactive", "normal",
+                                                  "bulk"};
+    static constexpr const char* kTenants[] = {"alpha", "beta"};
+    for (const std::size_t clients : {std::size_t{1}, std::size_t{8},
+                                      std::size_t{32}}) {
+      const std::size_t per_client = 12;
+      std::atomic<int> failures{0};
+      std::vector<std::thread> threads;
+      threads.reserve(clients);
+      for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          server::Client client;
+          std::string error;
+          if (!Connect(client, tcp, &error)) {
+            ADD_FAILURE() << error;
+            failures.fetch_add(1);
+            return;
+          }
+          for (std::size_t i = 0; i < per_client; ++i) {
+            const std::size_t which = (c * per_client + i) % bodies.size();
+            server::Request req =
+                compile_request(bodies[which], /*profile=*/true,
+                                /*verify=*/true);
+            req.options["priority"] = kPriorities[(c + i) % 3];
+            req.options["tenant"] = kTenants[c % 2];
+            server::Response resp;
+            if (!client.call(req, &resp, &error)) {
+              ADD_FAILURE() << error;
+              failures.fetch_add(1);
+              return;
+            }
+            const server::Response& ref = reference[which];
+            if (!resp.ok || resp.asm_text != ref.asm_text ||
+                resp.diag_text != ref.diag_text ||
+                resp.counters != ref.counters ||
+                resp.option("verified") != ref.option("verified")) {
+              failures.fetch_add(1);
+            }
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      EXPECT_EQ(failures.load(), 0)
+          << "divergence from serial reference at " << clients << " clients"
+          << (tcp ? " (tcp)" : " (unix)");
+    }
+  }
+
   std::unique_ptr<server::Server> server_;
   std::string socket_path_;
+  std::string tcp_target_;
 };
 
 // --- protocol unit tests --------------------------------------------------
@@ -191,61 +277,14 @@ TEST(ServerProtocol, ResponseRoundTrip) {
 
 TEST_F(ServerTest, ByteIdenticalAcrossConcurrencyLevels) {
   StartServer("diff");
-  const std::vector<std::string> bodies = make_bodies(24, 3, 10, 17);
+  RunDifferential(/*tcp=*/false);
+}
 
-  server::CompileOptions ref_options;
-  ref_options.mode = "trace";
-  ref_options.machine = "rs6000";
-  ref_options.window = 2;
-  ref_options.profile = true;
-  ref_options.verify = true;
-  std::vector<server::Response> reference;
-  reference.reserve(bodies.size());
-  for (const std::string& body : bodies) {
-    reference.push_back(serial_reference(body, ref_options));
-    ASSERT_TRUE(reference.back().ok) << reference.back().message;
-  }
-
-  for (const std::size_t clients : {std::size_t{1}, std::size_t{8},
-                                    std::size_t{32}}) {
-    const std::size_t per_client = 12;
-    std::atomic<int> failures{0};
-    std::vector<std::thread> threads;
-    threads.reserve(clients);
-    for (std::size_t c = 0; c < clients; ++c) {
-      threads.emplace_back([&, c] {
-        server::Client client;
-        std::string error;
-        if (!client.connect(socket_path_, &error)) {
-          ADD_FAILURE() << error;
-          failures.fetch_add(1);
-          return;
-        }
-        for (std::size_t i = 0; i < per_client; ++i) {
-          const std::size_t which = (c * per_client + i) % bodies.size();
-          const server::Request req =
-              compile_request(bodies[which], /*profile=*/true,
-                              /*verify=*/true);
-          server::Response resp;
-          if (!client.call(req, &resp, &error)) {
-            ADD_FAILURE() << error;
-            failures.fetch_add(1);
-            return;
-          }
-          const server::Response& ref = reference[which];
-          if (!resp.ok || resp.asm_text != ref.asm_text ||
-              resp.diag_text != ref.diag_text ||
-              resp.counters != ref.counters ||
-              resp.option("verified") != ref.option("verified")) {
-            failures.fetch_add(1);
-          }
-        }
-      });
-    }
-    for (std::thread& t : threads) t.join();
-    EXPECT_EQ(failures.load(), 0)
-        << "divergence from serial reference at " << clients << " clients";
-  }
+TEST_F(ServerTest, ByteIdenticalOverTcp) {
+  StartServer("difftcp", [](server::ServerOptions& options) {
+    options.tcp_addr = "127.0.0.1:0";
+  });
+  RunDifferential(/*tcp=*/true);
 }
 
 TEST_F(ServerTest, MatchesOfflineAiscBinary) {
@@ -446,6 +485,353 @@ TEST_F(ServerTest, CacheSharedAcrossTenantConnections) {
   compile_all(tenant_b);
   const std::uint64_t hits_after = counter_total(obs::ctr::kCacheHits);
   EXPECT_GE(hits_after - hits_before, bodies.size());
+}
+
+// --- QoS admission queue (fake clock) -------------------------------------
+
+TEST(AdmissionQueue, ServesPriorityLevelsFifoWithinLevel) {
+  server::AdmissionQueue<int> q{server::AdmissionOptions{}};
+  std::int64_t t = 0;
+  q.push(1, server::Priority::kBulk, "t", t);
+  q.push(2, server::Priority::kNormal, "t", t);
+  q.push(3, server::Priority::kInteractive, "t", t);
+  q.push(4, server::Priority::kInteractive, "t", t);
+  q.push(5, server::Priority::kBulk, "t", t);
+  int out = 0;
+  std::vector<int> order;
+  while (q.pop(t, &out)) order.push_back(out);
+  EXPECT_EQ(order, (std::vector<int>{3, 4, 2, 1, 5}));
+}
+
+TEST(AdmissionQueue, QosOffDegradesToFifo) {
+  server::AdmissionOptions opts;
+  opts.qos = false;
+  opts.quotas.push_back({"t", 0.001});  // ignored without qos
+  server::AdmissionQueue<int> q{opts};
+  for (int i = 0; i < 4; ++i) {
+    const auto prio = i % 2 == 0 ? server::Priority::kBulk
+                                 : server::Priority::kInteractive;
+    EXPECT_FALSE(q.push(i, prio, "t", 0));  // never deferred
+  }
+  int out = 0;
+  std::vector<int> order;
+  while (q.pop(0, &out)) order.push_back(out);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(AdmissionQueue, OverQuotaDeferredBehindInQuotaNeverDropped) {
+  server::AdmissionOptions opts;
+  opts.quotas.push_back({"limited", 1.0});  // burst 1: one token at t0
+  server::AdmissionQueue<int> q{opts};
+  std::int64_t t = 0;
+  EXPECT_FALSE(q.push(1, server::Priority::kInteractive, "limited", t));
+  EXPECT_TRUE(q.push(2, server::Priority::kInteractive, "limited", t));
+  EXPECT_TRUE(q.push(3, server::Priority::kInteractive, "limited", t));
+  // A lower-priority in-quota tenant still runs before the deferred
+  // higher-priority over-quota work.
+  EXPECT_FALSE(q.push(4, server::Priority::kBulk, "free", t));
+  EXPECT_EQ(q.size(), 4u);
+  int out = 0;
+  std::vector<int> order;
+  while (q.pop(t, &out)) order.push_back(out);
+  // 1 (in-quota), 4 (in-quota bulk), then the deferred items via work
+  // conservation, FIFO — nothing dropped.
+  EXPECT_EQ(order, (std::vector<int>{1, 4, 2, 3}));
+  EXPECT_EQ(q.stats().deferred, 2u);
+  EXPECT_EQ(q.stats().conserved, 2u);
+}
+
+TEST(AdmissionQueue, TokenRefillRedeemsDeferredWork) {
+  server::AdmissionOptions opts;
+  opts.quotas.push_back({"limited", 1.0});
+  opts.defer_max_us = 10'000'000;  // keep force-admission out of this test
+  server::AdmissionQueue<int> q{opts};
+  std::int64_t t = 0;
+  q.push(1, server::Priority::kNormal, "limited", t);   // takes the token
+  q.push(2, server::Priority::kNormal, "limited", t);   // deferred
+  q.push(3, server::Priority::kBulk, "free", t);
+  int out = 0;
+  ASSERT_TRUE(q.pop(t, &out));
+  EXPECT_EQ(out, 1);
+  // One second later the bucket has a token again: the deferred normal
+  // item redeems into its level and beats the bulk work.
+  t += 1'000'000;
+  ASSERT_TRUE(q.pop(t, &out));
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(q.stats().redeemed, 1u);
+  ASSERT_TRUE(q.pop(t, &out));
+  EXPECT_EQ(out, 3);
+}
+
+TEST(AdmissionQueue, DeferredWorkForceAdmittedPastDeferMax) {
+  server::AdmissionOptions opts;
+  opts.quotas.push_back({"limited", 0.0001});  // effectively never refills
+  opts.defer_max_us = 200'000;
+  server::AdmissionQueue<int> q{opts};
+  std::int64_t t = 0;
+  q.push(1, server::Priority::kNormal, "limited", t);
+  q.push(2, server::Priority::kNormal, "limited", t);  // deferred, ~forever
+  q.push(3, server::Priority::kNormal, "free", t);
+  int out = 0;
+  ASSERT_TRUE(q.pop(t, &out));
+  EXPECT_EQ(out, 1);
+  // Before defer_max the in-quota tenant keeps winning...
+  t += 100'000;
+  q.push(4, server::Priority::kNormal, "free", t);
+  ASSERT_TRUE(q.pop(t, &out));
+  EXPECT_EQ(out, 3);
+  EXPECT_EQ(q.stats().force_admitted, 0u);
+  // ...but past defer_max the deferred item is force-admitted into its
+  // level — behind in-quota work already queued, ahead of later arrivals —
+  // even though its bucket still has no token.
+  t += 150'000;
+  ASSERT_TRUE(q.pop(t, &out));
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(q.stats().force_admitted, 1u);
+  ASSERT_TRUE(q.pop(t, &out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(AdmissionQueue, AgingPromotesBulkPastFreshInteractive) {
+  server::AdmissionOptions opts;
+  opts.age_promote_us = 50'000;
+  server::AdmissionQueue<int> q{opts};
+  std::int64_t t = 0;
+  q.push(1, server::Priority::kBulk, "t", t);
+  // At t1 the bulk item has aged one step (bulk -> normal); a concurrent
+  // interactive request still wins.
+  t += 50'000;
+  q.push(2, server::Priority::kInteractive, "t", t);
+  int out = 0;
+  ASSERT_TRUE(q.pop(t, &out));
+  EXPECT_EQ(out, 2);
+  // At t2 it reaches the interactive level and runs ahead of interactive
+  // work arriving after the promotion — bulk is delayed, never starved.
+  t += 50'000;
+  ASSERT_TRUE(q.pop(t, &out));
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(q.stats().promoted, 2u);
+  q.push(3, server::Priority::kInteractive, "t", t);
+  ASSERT_TRUE(q.pop(t, &out));
+  EXPECT_EQ(out, 3);
+}
+
+TEST(AdmissionQueue, RequeueFrontKeepsPlaceAndChargesNoToken) {
+  server::AdmissionOptions opts;
+  opts.quotas.push_back({"limited", 1.0});  // burst 1: one token at t0
+  server::AdmissionQueue<int> q{opts};
+  std::int64_t t = 0;
+  q.push(1, server::Priority::kBulk, "limited", t);  // takes the token
+  q.push(2, server::Priority::kBulk, "free", t);
+  int out = 0;
+  server::Priority served = server::Priority::kNormal;
+  ASSERT_TRUE(q.pop(t, &out, &served));
+  EXPECT_EQ(out, 1);
+  // The dispatcher hands 1 back (interactive work arrived downstream):
+  // it re-enters at the FRONT of its level — ahead of 2 — and pays no
+  // second quota token (its bucket is empty; a push would defer).
+  q.requeue_front(out, served, t);
+  EXPECT_EQ(q.stats().requeued, 1u);
+  q.push(3, server::Priority::kInteractive, "free", t);
+  std::vector<int> order;
+  while (q.pop(t, &out)) order.push_back(out);
+  EXPECT_EQ(order, (std::vector<int>{3, 1, 2}));
+  EXPECT_EQ(q.stats().deferred, 0u);
+}
+
+TEST(AdmissionQueue, ParsersValidateWireValues) {
+  server::Priority p;
+  EXPECT_TRUE(server::parse_priority("interactive", &p));
+  EXPECT_EQ(p, server::Priority::kInteractive);
+  EXPECT_TRUE(server::parse_priority("", &p));
+  EXPECT_EQ(p, server::Priority::kNormal);
+  EXPECT_TRUE(server::parse_priority("2", &p));
+  EXPECT_EQ(p, server::Priority::kBulk);
+  EXPECT_FALSE(server::parse_priority("urgent", &p));
+  EXPECT_FALSE(server::parse_priority("-1", &p));
+
+  EXPECT_TRUE(server::valid_tenant(""));
+  EXPECT_TRUE(server::valid_tenant("team-a.prod_7"));
+  EXPECT_FALSE(server::valid_tenant("has space"));
+  EXPECT_FALSE(server::valid_tenant(std::string(65, 'x')));
+
+  std::vector<server::TenantQuota> quotas;
+  std::string error;
+  EXPECT_TRUE(server::parse_quota_list("a=5,b=0.5", &quotas, &error));
+  ASSERT_EQ(quotas.size(), 2u);
+  EXPECT_EQ(quotas[0].tenant, "a");
+  EXPECT_DOUBLE_EQ(quotas[0].rps, 5.0);
+  EXPECT_DOUBLE_EQ(quotas[1].rps, 0.5);
+  EXPECT_FALSE(server::parse_quota_list("a", &quotas, &error));
+  EXPECT_FALSE(server::parse_quota_list("a=x", &quotas, &error));
+  EXPECT_FALSE(server::parse_quota_list("bad tenant=1", &quotas, &error));
+}
+
+// --- QoS options on the wire ----------------------------------------------
+
+TEST_F(ServerTest, UnknownPriorityOrTenantGetsErrorReplyNotCrash) {
+  StartServer("qosopts");
+  server::Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(socket_path_, &error)) << error;
+  const std::string body = "block a:\n  LI r1, 1\n";
+
+  server::Request req = compile_request(body);
+  req.options["priority"] = "urgent";
+  server::Response resp;
+  ASSERT_TRUE(client.call(req, &resp, &error)) << error;
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.message.find("priority"), std::string::npos);
+
+  req = compile_request(body);
+  req.options["tenant"] = "no/slashes!";
+  ASSERT_TRUE(client.call(req, &resp, &error)) << error;
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.message.find("tenant"), std::string::npos);
+
+  // The id echo survives rejection, and the connection stays usable with
+  // valid QoS options.
+  req = compile_request(body);
+  req.options["priority"] = "warp9";
+  req.options["id"] = "42";
+  ASSERT_TRUE(client.call(req, &resp, &error)) << error;
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.message.find("(id=42)"), std::string::npos);
+
+  req = compile_request(body);
+  req.options["priority"] = "bulk";
+  req.options["tenant"] = "team-a";
+  ASSERT_TRUE(client.call(req, &resp, &error)) << error;
+  EXPECT_TRUE(resp.ok) << resp.message;
+}
+
+TEST_F(ServerTest, OverQuotaRequestsDeferredNotDropped) {
+  StartServer("quota", [](server::ServerOptions& options) {
+    options.admission.quotas.push_back({"metered", 1.0});
+    options.admission.defer_max_us = 50'000;
+  });
+  server::Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(socket_path_, &error)) << error;
+
+  // Pipeline far more requests than the 1 rps quota admits: every one must
+  // still be answered (deferred, force-admitted or work-conserved — never
+  // dropped).
+  const std::size_t burst = 24;
+  const std::string body = "block a:\n  LI r1, 1\n  ADD r2, r1, r1\n";
+  for (std::size_t i = 0; i < burst; ++i) {
+    server::Request req = compile_request(body);
+    req.options["tenant"] = "metered";
+    req.options["priority"] = "normal";
+    req.options["id"] = std::to_string(i);
+    ASSERT_TRUE(client.send(req, &error)) << error;
+  }
+  std::vector<bool> seen(burst, false);
+  for (std::size_t i = 0; i < burst; ++i) {
+    server::Response resp;
+    ASSERT_TRUE(client.receive(&resp, &error)) << error;
+    EXPECT_TRUE(resp.ok) << resp.message;
+    const std::string id(resp.option("id"));
+    ASSERT_FALSE(id.empty());
+    seen[static_cast<std::size_t>(std::stoul(id))] = true;
+  }
+  for (std::size_t i = 0; i < burst; ++i) {
+    EXPECT_TRUE(seen[i]) << "reply for request " << i << " missing";
+  }
+}
+
+// --- TCP transport robustness ---------------------------------------------
+
+/// Connects a raw TCP socket to "127.0.0.1:<port>" — the tests that need
+/// byte-level control the Client wrapper does not expose.
+int raw_tcp_connect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST_F(ServerTest, ReassemblesFramesSplitAcrossTcpSegments) {
+  StartServer("segments", [](server::ServerOptions& options) {
+    options.tcp_addr = "127.0.0.1:0";
+  });
+  const std::string body = "block a:\n  LI r1, 1\n  ADD r2, r1, r1\n";
+  server::CompileOptions ref_options;
+  ref_options.window = 2;
+  const server::Response reference = serial_reference(body, ref_options);
+  ASSERT_TRUE(reference.ok) << reference.message;
+
+  server::Request req = compile_request(body);
+  std::string wire;
+  server::append_frame(wire, req.encode());
+
+  const int fd = raw_tcp_connect(server_->tcp_port());
+  ASSERT_GE(fd, 0);
+  // Dribble the frame a few bytes per send with TCP_NODELAY, so the length
+  // prefix itself — let alone the payload — spans several segments.
+  for (std::size_t off = 0; off < wire.size(); off += 3) {
+    const std::size_t n = std::min<std::size_t>(3, wire.size() - off);
+    ASSERT_EQ(::send(fd, wire.data() + off, n, 0),
+              static_cast<ssize_t>(n));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::string buffer;
+  std::string payload;
+  char chunk[4096];
+  while (server::take_frame(buffer, 1 << 20, &payload) !=
+         server::FrameStatus::kFrame) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    ASSERT_GT(n, 0);
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  server::Response resp;
+  std::string error;
+  ASSERT_TRUE(server::parse_response(payload, &resp, &error)) << error;
+  ASSERT_TRUE(resp.ok) << resp.message;
+  EXPECT_EQ(resp.asm_text, reference.asm_text);
+}
+
+TEST_F(ServerTest, ReadDeadlineCutsStalledPeerButSparesIdleConnection) {
+  StartServer("deadline", [](server::ServerOptions& options) {
+    options.tcp_addr = "127.0.0.1:0";
+    options.read_deadline_ms = 100;
+  });
+  std::string error;
+
+  // An idle connection (no partial frame pending) outlives the deadline.
+  server::Client idle;
+  ASSERT_TRUE(idle.connect_tcp(tcp_target_, &error)) << error;
+
+  // A peer that stalls mid-frame is disconnected once the deadline passes.
+  const int fd = raw_tcp_connect(server_->tcp_port());
+  ASSERT_GE(fd, 0);
+  const std::uint32_t claimed = 4096;  // promise 4 KiB, deliver 8 bytes
+  char partial[sizeof(claimed) + 8];
+  std::memcpy(partial, &claimed, sizeof(claimed));
+  std::memset(partial + sizeof(claimed), 'x', 8);
+  ASSERT_EQ(::send(fd, partial, sizeof(partial), 0),
+            static_cast<ssize_t>(sizeof(partial)));
+  char chunk[64];
+  const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);  // blocks until cut
+  EXPECT_EQ(n, 0) << "server should close a peer stalled mid-frame";
+  ::close(fd);
+
+  // The idle connection is still serviceable well past the deadline.
+  server::Response resp;
+  ASSERT_TRUE(idle.call(compile_request("block a:\n  LI r1, 1\n"), &resp,
+                        &error))
+      << error;
+  EXPECT_TRUE(resp.ok) << resp.message;
 }
 
 }  // namespace
